@@ -1,0 +1,101 @@
+"""Experiment A2 — ablation: special-cased SIV tests vs the general exact
+SIV test.
+
+The paper's Section 4.2 argues for special-casing the common SIV shapes:
+the strong/weak-zero/weak-crossing tests are exact *and* cheaper than the
+general Diophantine-based Single-Index exact test.  This bench verifies
+both halves on generated SIV families:
+
+* verdict parity — every special-case verdict matches the exact test;
+* cost — the strong SIV test beats the general exact test on its shape.
+"""
+
+import time
+
+from repro.classify.pairs import PairContext
+from repro.classify.subscript import siv_shape
+from repro.corpus.generator import siv_family
+from repro.ir.expr import Const, IndexedLoad
+from repro.ir.loop import ArrayRef, Assign, Loop, collect_access_sites
+from repro.single.siv import (
+    exact_siv_test,
+    strong_siv_test,
+    weak_crossing_siv_test,
+    weak_zero_siv_test,
+)
+
+SPECIAL = {
+    "strong": strong_siv_test,
+    "weak-zero": weak_zero_siv_test,
+    "weak-crossing": weak_crossing_siv_test,
+}
+
+
+def _shapes(kind, count=120, extent=100):
+    shapes = []
+    for write_sub, read_sub in siv_family(kind, count, extent):
+        loop = Loop("i", Const(1), Const(extent), 1, [])
+        loop.body.append(
+            Assign(ArrayRef("a", (write_sub,)), IndexedLoad("a", (read_sub,)))
+        )
+        sites = [s for s in collect_access_sites([loop]) if s.ref.array == "a"]
+        context = PairContext(sites[0], sites[1])
+        shapes.append((context, siv_shape(context.subscripts[0], context, "i")))
+    return shapes
+
+
+def test_special_cases_match_exact_test():
+    print()
+    for kind, special in SPECIAL.items():
+        shapes = _shapes(kind)
+        agreements = 0
+        for context, shape in shapes:
+            fast = special(shape, context)
+            slow = exact_siv_test(shape, context)
+            assert fast.applicable, kind
+            assert fast.independent == slow.independent, (kind, shape)
+            if not fast.independent:
+                assert (
+                    fast.constraints["i"].directions
+                    == slow.constraints["i"].directions
+                ), (kind, shape)
+            agreements += 1
+        print(f"  {kind:14s}: {agreements} verdicts identical to exact test")
+
+
+def _time_test(test, shapes, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for context, shape in shapes:
+            test(shape, context)
+    return time.perf_counter() - start
+
+
+def test_strong_siv_cheaper_than_exact():
+    shapes = _shapes("strong", count=200)
+    fast = _time_test(strong_siv_test, shapes)
+    slow = _time_test(exact_siv_test, shapes)
+    print()
+    print(f"  strong SIV: {fast:.4f}s   exact SIV: {slow:.4f}s   "
+          f"ratio {slow / fast:.1f}x")
+    assert fast < slow, "special case must be cheaper on its shape"
+
+
+def test_strong_siv_throughput(benchmark):
+    shapes = _shapes("strong", count=100)
+
+    def run():
+        for context, shape in shapes:
+            strong_siv_test(shape, context)
+
+    benchmark(run)
+
+
+def test_exact_siv_throughput(benchmark):
+    shapes = _shapes("strong", count=100)
+
+    def run():
+        for context, shape in shapes:
+            exact_siv_test(shape, context)
+
+    benchmark(run)

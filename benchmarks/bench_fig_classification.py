@@ -1,0 +1,69 @@
+"""Experiment F1 — the paper's subscript-classification figure.
+
+The paper's Section 3 figure classifies the subscripts of
+
+    DO i; DO j; DO k
+       A(5, i+1, j) = A(N, i, k) + C
+
+as <ZIV, strong SIV, RDIV-like MIV>.  This bench re-derives that taxonomy
+through the public classifier and times classification + partitioning over
+the whole corpus (classification must be cheap: it runs on every pair).
+"""
+
+from repro.classify.partition import partition_subscripts
+from repro.classify.subscript import SubscriptKind, classify
+from repro.classify.pairs import PairContext
+from repro.graph.depgraph import iter_candidate_pairs
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites
+
+
+PAPER_EXAMPLE = """
+do i = 1, 50
+ do j = 1, 50
+  do k = 1, 50
+    a(5, i+1, j) = a(n, i, k) + c(1)
+  enddo
+ enddo
+enddo
+"""
+
+
+def test_paper_classification_example():
+    sites = [
+        s
+        for s in collect_access_sites(parse_fragment(PAPER_EXAMPLE))
+        if s.ref.array == "a"
+    ]
+    context = PairContext(sites[0], sites[1])
+    kinds = [classify(pair, context) for pair in context.subscripts]
+    print()
+    for pair, kind in zip(context.subscripts, kinds):
+        print(f"  {str(pair):35s} -> {kind}")
+    assert kinds[0] is SubscriptKind.ZIV
+    assert kinds[1] is SubscriptKind.SIV_STRONG
+    assert kinds[2] is SubscriptKind.RDIV
+    partitions = partition_subscripts(context.subscripts, context)
+    assert len(partitions) == 3  # j and k live in one position each
+
+
+def _classify_corpus(corpus, symbols):
+    count = 0
+    for programs in corpus.values():
+        for program in programs:
+            for routine in program.routines:
+                sites = routine.access_sites()
+                for src, sink in iter_candidate_pairs(sites):
+                    context = PairContext(src, sink, symbols)
+                    if context.rank_mismatch:
+                        continue
+                    for pair in context.subscripts:
+                        classify(pair, context)
+                        count += 1
+                    partition_subscripts(context.subscripts, context)
+    return count
+
+
+def test_classification_throughput(benchmark, corpus, symbols):
+    count = benchmark(_classify_corpus, corpus, symbols)
+    assert count > 500

@@ -1,0 +1,33 @@
+"""Experiment T1 — Table 1: complexity of array subscripts.
+
+Regenerates the paper's per-program subscript-shape statistics (lines,
+routines, dimensionality histogram of tested reference pairs, separable /
+coupled / nonlinear counts) over the corpus, and checks the paper's
+headline shape claims:
+
+* tested reference pairs are overwhelmingly one- or two-dimensional;
+* coupled and nonlinear subscripts are a small minority.
+"""
+
+from repro.study.stats import suite_totals
+from repro.study.tables import corpus_stats, render_table1, table1
+
+
+def _compute():
+    return corpus_stats()
+
+
+def test_table1(benchmark):
+    stats = benchmark(_compute)
+    rows = table1(stats)
+    print()
+    print(render_table1(rows))
+
+    everything = suite_totals([s for group in stats.values() for s in group], "all")
+    low_dim = everything.dimension_histogram[1] + everything.dimension_histogram[2]
+    assert low_dim >= 0.9 * everything.pairs_tested, "paper: refs are 1-D/2-D"
+    total = everything.total_subscripts
+    assert everything.nonlinear <= 0.15 * total, "paper: nonlinear subscripts rare"
+    assert everything.separable >= everything.coupled, (
+        "paper: separable subscripts outnumber coupled ones"
+    )

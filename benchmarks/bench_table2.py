@@ -1,0 +1,45 @@
+"""Experiment T2 — Table 2: classification of subscripts.
+
+Regenerates the per-suite ZIV / SIV-variant / RDIV / MIV / nonlinear
+counts (plus the coupled-only breakdown) and checks the paper's central
+empirical observation: most subscripts are simple — ZIV and strong SIV
+dominate, general weak SIV and MIV subscripts are rare, and the subscripts
+inside coupled groups are almost all SIV or RDIV shapes the Delta test can
+consume.
+"""
+
+from repro.classify.subscript import SubscriptKind
+from repro.study.stats import suite_totals
+from repro.study.tables import corpus_stats, render_table2, table2
+
+
+def test_table2(benchmark):
+    stats = benchmark(corpus_stats)
+    rows = table2(stats)
+    print()
+    print(render_table2(rows))
+
+    totals = suite_totals([s for group in stats.values() for s in group], "all")
+    counts = totals.kind_counts
+    simple = counts[SubscriptKind.ZIV] + counts[SubscriptKind.SIV_STRONG]
+    assert simple >= 0.5 * totals.total_subscripts, (
+        "paper: ZIV + strong SIV dominate"
+    )
+    assert counts[SubscriptKind.SIV_WEAK] <= 0.05 * totals.total_subscripts, (
+        "paper: general weak SIV subscripts are rare"
+    )
+    coupled = totals.coupled_kind_counts
+    deltable = sum(
+        coupled[k]
+        for k in (
+            SubscriptKind.ZIV,
+            SubscriptKind.SIV_STRONG,
+            SubscriptKind.SIV_WEAK_ZERO,
+            SubscriptKind.SIV_WEAK_CROSSING,
+            SubscriptKind.SIV_WEAK,
+            SubscriptKind.RDIV,
+        )
+    )
+    assert deltable >= 0.8 * sum(coupled.values()), (
+        "paper: coupled subscripts are almost all SIV/RDIV"
+    )

@@ -1,0 +1,50 @@
+"""Experiment T3 — Table 3: dependence tests applied / independences proved.
+
+Runs the instrumented partition-based driver over the corpus, printing the
+per-suite, per-test application and independence counts, and checks the
+paper's shape:
+
+* the cheap tests (ZIV + the SIV suite) account for the overwhelming
+  majority of test applications;
+* the expensive MIV machinery (Banerjee-GCD) is applied rarely;
+* the Delta test fires on the coupled groups (notably eispack's) and some
+  of the proved independences come from it.
+"""
+
+from repro.study.tables import render_table3, table3
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3)
+    print()
+    print(render_table3(rows))
+
+    applications = {}
+    independences = {}
+    for row in rows:
+        for name, count in row.recorder.applications.items():
+            applications[name] = applications.get(name, 0) + count
+        for name, count in row.recorder.independences.items():
+            independences[name] = independences.get(name, 0) + count
+
+    cheap = sum(
+        applications.get(name, 0)
+        for name in (
+            "ziv",
+            "strong-siv",
+            "weak-zero-siv",
+            "weak-crossing-siv",
+            "exact-siv",
+            "rdiv",
+        )
+    )
+    total = sum(applications.values())
+    assert cheap >= 0.75 * total, "paper: cheap tests dominate applications"
+    assert applications.get("banerjee-gcd", 0) <= 0.2 * total, (
+        "paper: the general MIV test is rarely needed"
+    )
+    assert applications.get("delta", 0) > 0, "coupled groups exercise the Delta test"
+    eispack = next(row for row in rows if row.suite == "eispack")
+    assert eispack.recorder.independences.get("delta", 0) > 0, (
+        "paper: the Delta test proves coupled independences on eispack"
+    )

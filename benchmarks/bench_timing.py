@@ -1,0 +1,86 @@
+"""Experiment E1 — efficiency: Delta test vs the expensive baselines.
+
+The paper's cost claims:
+
+* the Delta test is linear in the number of subscripts of a coupled group
+  (Section 5.4) and cheap enough to run on every pair;
+* Fourier-Motzkin-based testing (the Power test here) costs an order of
+  magnitude more — Triolet measured 22-28x over conventional tests [47].
+
+This bench times all four drivers on identical coupled-group workloads,
+prints the ratio matrix, and asserts the *shape*: the partition+Delta
+driver is the fastest multiple-subscript-precise strategy, and the Power
+test is several times slower.
+"""
+
+import time
+
+from repro.baselines.subscript_by_subscript import (
+    test_dependence_lambda,
+    test_dependence_power,
+    test_dependence_subscript_by_subscript,
+)
+from repro.core.driver import test_dependence
+from repro.corpus.generator import coupled_group_nest
+from repro.ir.loop import collect_access_sites
+
+STRATEGIES = (
+    ("partition+delta", test_dependence),
+    ("sxs-banerjee", test_dependence_subscript_by_subscript),
+    ("lambda", test_dependence_lambda),
+    ("power", test_dependence_power),
+)
+
+
+def _sites(size):
+    nodes = coupled_group_nest(size)
+    sites = [s for s in collect_access_sites(nodes) if s.ref.array == "a"]
+    return sites[0], sites[1]
+
+
+def _time_strategy(tester, pair, repeats=30):
+    src, sink = pair
+    start = time.perf_counter()
+    for _ in range(repeats):
+        tester(src, sink)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_delta_linear_in_group_size():
+    """Delta test wall time grows roughly linearly with group size."""
+    times = {}
+    for size in (2, 4, 8):
+        pair = _sites(size)
+        times[size] = _time_strategy(test_dependence, pair)
+    print()
+    for size, elapsed in times.items():
+        print(f"  group size {size}: {elapsed * 1e6:8.1f} us")
+    # quadratic growth would give times[8]/times[2] ~ 16; linear ~ 4.
+    assert times[8] / times[2] < 10
+
+
+def test_power_test_cost_ratio():
+    """The FME-based Power test costs several times the Delta test."""
+    pair = _sites(4)
+    measured = {
+        name: _time_strategy(tester, pair) for name, tester in STRATEGIES
+    }
+    print()
+    base = measured["partition+delta"]
+    for name, elapsed in measured.items():
+        print(f"  {name:18s} {elapsed * 1e6:9.1f} us   {elapsed / base:5.1f}x")
+    assert measured["power"] > 2 * measured["partition+delta"], (
+        "paper (via Triolet [47]): FME-based testing is far costlier"
+    )
+
+
+def test_driver_throughput(benchmark):
+    pair = _sites(3)
+    result = benchmark(lambda: test_dependence(*pair))
+    assert not result.independent
+
+
+def test_power_throughput(benchmark):
+    pair = _sites(3)
+    result = benchmark(lambda: test_dependence_power(*pair))
+    assert result is not None

@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table, figure, or claim from the
+paper (see DESIGN.md section 4 for the experiment index).  Benchmarks both
+*time* the relevant computation via pytest-benchmark and *print* the
+regenerated artifact so ``pytest benchmarks/ --benchmark-only`` output can
+be diffed against the paper (captured output is shown with ``-s`` or on
+failure; the EXPERIMENTS.md tables were produced from these runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.loader import default_symbols, load_corpus
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full kernel corpus, parsed and normalized once per session."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def symbols():
+    """Default symbol assumptions (size symbols >= 1)."""
+    return default_symbols()

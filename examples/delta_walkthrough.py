@@ -1,0 +1,98 @@
+"""A step-by-step walkthrough of the Delta test (paper Section 5).
+
+Shows, for three coupled-subscript examples, how SIV tests produce
+constraints, how constraints intersect, and how propagation reduces MIV
+subscripts — printing each intermediate artifact.
+
+Run:  python examples/delta_walkthrough.py
+"""
+
+from repro.classify.pairs import PairContext
+from repro.classify.partition import coupled_groups, partition_subscripts
+from repro.classify.subscript import classify, siv_shape
+from repro.delta.delta import constraint_from_siv, delta_test
+from repro.delta.normalize import substitute_in_pair
+from repro.delta.propagate import substitutions_from_constraint
+from repro.fortran.parser import parse_fragment
+from repro.instrument import TestRecorder
+from repro.ir.loop import collect_access_sites
+
+
+def coupled_context(source: str):
+    sites = [
+        s
+        for s in collect_access_sites(parse_fragment(source))
+        if s.ref.array == "a"
+    ]
+    context = PairContext(sites[0], sites[1])
+    groups = coupled_groups(partition_subscripts(context.subscripts, context))
+    return context, groups[0].pairs
+
+
+def walkthrough_propagation() -> None:
+    source = "do i=1,100\n do j=1,100\n a(i+1, i+j) = a(i, i+j-1)\n enddo\nenddo"
+    print("Example 1 — constraint propagation")
+    print(source)
+    context, pairs = coupled_context(source)
+    for pair in pairs:
+        print(f"  subscript {pair}: {classify(pair, context)}")
+
+    # Step 1: the strong SIV subscript <i, i'+1> yields a distance constraint.
+    siv_pair = pairs[0]
+    base = next(iter(context.subscript_bases(siv_pair)))
+    shape = siv_shape(siv_pair, context, base)
+    constraint = constraint_from_siv(shape)
+    print(f"  SIV subscript gives constraint on {base}: {constraint}")
+
+    # Step 2: propagate it into the MIV subscript.
+    substitutions = substitutions_from_constraint(base, constraint, context)
+    print(f"  substitutions: { {k: str(v) for k, v in substitutions.items()} }")
+    reduced = substitute_in_pair(pairs[1], context, substitutions)
+    print(f"  MIV subscript reduces to: {reduced.src} = {reduced.sink}"
+          f"  ({classify(reduced, context)})")
+
+    # Step 3: the whole algorithm.
+    outcome = delta_test(pairs, context)
+    print(f"  Delta result: {outcome}")
+    print()
+
+
+def walkthrough_intersection() -> None:
+    source = "do i=1,100\n a(i+1, i+2) = a(i, i)\nenddo"
+    print("Example 2 — constraint intersection proves independence")
+    print(source)
+    context, pairs = coupled_context(source)
+    recorder = TestRecorder()
+    outcome = delta_test(pairs, context, recorder=recorder)
+    print(f"  subscript 1 distance: 1; subscript 2 distance: 2 -> conflict")
+    print(f"  Delta result: {outcome}")
+    print(f"  tests applied:\n{recorder}")
+    print()
+
+
+def walkthrough_rdiv_link() -> None:
+    source = "do i=1,100\n do j=1,100\n a(i, j) = a(j, i)\n enddo\nenddo"
+    print("Example 3 — linked RDIV subscripts (the transpose pattern)")
+    print(source)
+    context, pairs = coupled_context(source)
+    outcome = delta_test(pairs, context)
+    for indices, vectors in outcome.couplings:
+        rendered = sorted(
+            "(" + ", ".join(str(d) for d in vector) + ")" for vector in vectors
+        )
+        print(f"  joint direction vectors over {indices}: {rendered}")
+    print(
+        "  exactly the paper's result: dependences swap across the diagonal\n"
+        "  ((<, >) and its reverse) or stay on it ((=, =)); the inner loop\n"
+        "  can run in parallel once the outer carries the dependence."
+    )
+
+
+def main() -> None:
+    walkthrough_propagation()
+    walkthrough_intersection()
+    walkthrough_rdiv_link()
+
+
+if __name__ == "__main__":
+    main()

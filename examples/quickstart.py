@@ -1,0 +1,46 @@
+"""Quickstart: analyze a loop nest for data dependences.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze_fragment
+from repro.fortran.parser import parse_fragment
+from repro.transform.parallel import find_parallel_loops
+
+SOURCE = """
+c     the paper's simplified Livermore wavefront kernel
+      do 10 i = 2, 100
+         do 10 j = 2, 100
+            a(i, j) = a(i-1, j) + a(i, j-1)
+   10 continue
+"""
+
+
+def main() -> None:
+    print("Analyzing:")
+    print(SOURCE)
+
+    # One call: parse + build the dependence graph.
+    graph = analyze_fragment(SOURCE)
+    print("Dependences found:")
+    for edge in graph.edges:
+        distances = edge.distance_vector()
+        print(f"  {edge}")
+        print(f"    distance vector: {distances}")
+        print(f"    carried at levels: {sorted(edge.carried_levels())}")
+    print()
+
+    # Which loops could run in parallel?
+    print("Parallelism report:")
+    for verdict in find_parallel_loops(parse_fragment(SOURCE)):
+        print(f"  {verdict}")
+    print()
+    print(
+        "Both loops carry a dependence (distance vectors (1,0) and (0,1)),\n"
+        "so neither is a DOALL — the classic wavefront pattern the paper\n"
+        "uses to motivate exact distance vectors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Regenerate the paper's empirical study (Tables 1-3 + the comparison).
+
+Equivalent to ``python -m repro study`` but shows the library API.
+
+Run:  python examples/study_report.py
+"""
+
+from repro.study.report import full_report
+
+
+def main() -> None:
+    print(full_report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Vectorize kernels with Allen-Kennedy codegen over the dependence graph.
+
+PFC — the compiler the paper's tests were built for — used exactly this
+pipeline: dependence test every reference pair, then serialize recurrences
+and vectorize everything acyclic, level by level.  This example vectorizes
+three classic shapes and a corpus kernel.
+
+Run:  python examples/vectorizer.py
+"""
+
+from repro.corpus.loader import default_symbols, load_program
+from repro.fortran.parser import parse_fragment
+from repro.transform.vectorize import vectorize
+
+CASES = {
+    "saxpy (fully vector)": """
+do i = 1, n
+  y(i) = y(i) + a*x(i)
+enddo
+""",
+    "first-order recurrence (serial)": """
+do i = 2, n
+  x(i) = z(i)*(y(i) - x(i-1))
+enddo
+""",
+    "outer recurrence, inner vector": """
+do i = 2, n
+  do j = 1, m
+    a(i, j) = a(i-1, j) + b(i, j)
+  enddo
+enddo
+""",
+    "loop distribution": """
+do i = 2, n
+  a(i) = b(i) + c(i)
+  d(i) = a(i-1) * 2.0
+enddo
+""",
+}
+
+
+def main() -> None:
+    for title, source in CASES.items():
+        print(f"== {title} ==")
+        print(source.strip())
+        report = vectorize(parse_fragment(source), symbols=default_symbols())
+        print("  --- vectorized ---")
+        for line in report.lines:
+            print(f"  {line}")
+        print()
+
+    print("== corpus: linpack daxpy ==")
+    program = load_program("linpack", "daxpy")
+    report = vectorize(program.routines[0].body, symbols=default_symbols())
+    for line in report.lines:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

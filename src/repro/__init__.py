@@ -1,0 +1,51 @@
+"""repro — a reproduction of "Practical Dependence Testing" (PLDI 1991).
+
+Goff, Kennedy & Tseng's partition-based suite of data dependence tests for
+array references in Fortran loop nests: subscript classification (ZIV / SIV
+/ MIV), exact special-case SIV tests, MIV tests (GCD, Banerjee with a
+direction-vector hierarchy), and the Delta test for coupled subscript
+groups — plus the baselines the paper compares against (subscript-by-
+subscript Banerjee-GCD, multidimensional GCD, the Power test, the λ-test)
+and the empirical study harness that regenerates the paper's tables.
+
+Quick start::
+
+    from repro import analyze_fragment
+
+    report = analyze_fragment('''
+        do i = 1, n
+           a(i+1) = a(i) + b(i)
+        enddo
+    ''')
+    for dep in report.edges:
+        print(dep)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.driver import DependenceResult, test_dependence
+from repro.ir.context import SymbolEnv
+from repro.instrument import TestRecorder
+
+
+def analyze_fragment(source: str, symbols=None):
+    """Parse a Fortran fragment and build its dependence graph.
+
+    Convenience one-call entry point; see :mod:`repro.graph` for the full
+    API.
+    """
+    from repro.fortran.parser import parse_fragment
+    from repro.graph.depgraph import build_dependence_graph
+
+    nodes = parse_fragment(source)
+    return build_dependence_graph(nodes, symbols=symbols)
+
+
+__all__ = [
+    "DependenceResult",
+    "test_dependence",
+    "SymbolEnv",
+    "TestRecorder",
+    "analyze_fragment",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Baseline dependence tests the paper compares against (Section 7)."""
+
+from repro.baselines.fme import FMSystem, Inequality, box_system
+from repro.baselines.itest import (
+    BoundedTerm,
+    ITestResult,
+    i_test,
+    interval_equation_test,
+)
+from repro.baselines.lam import lambda_combinations, lambda_test
+from repro.baselines.mdgcd import (
+    ParametricSolution,
+    solve_integer_system,
+    system_from_pairs,
+)
+from repro.baselines.power import mdgcd_test, power_test
+from repro.baselines.subscript_by_subscript import (
+    test_dependence_lambda,
+    test_dependence_power,
+    test_dependence_subscript_by_subscript,
+)
+
+__all__ = [
+    "FMSystem",
+    "Inequality",
+    "box_system",
+    "BoundedTerm",
+    "ITestResult",
+    "i_test",
+    "interval_equation_test",
+    "lambda_combinations",
+    "lambda_test",
+    "ParametricSolution",
+    "solve_integer_system",
+    "system_from_pairs",
+    "mdgcd_test",
+    "power_test",
+    "test_dependence_lambda",
+    "test_dependence_power",
+    "test_dependence_subscript_by_subscript",
+]

@@ -1,0 +1,59 @@
+"""The λ-test (Li, Yew & Zhu [38], paper Section 7.3).
+
+A multiple-subscript baseline for coupled groups: form linear combinations
+of the subscript equations that *eliminate* occurrences of an index, then
+apply Banerjee-style bounds to each combination.  Simultaneous real-valued
+solutions exist iff every combination admits one, so any combination whose
+bounds exclude zero proves independence.
+
+This implementation generates, for every pair of equations in the group and
+every shared occurrence variable, the combination that cancels it — the
+core λ-plane set for two-dimensional coupled groups, which the paper notes
+is where the λ-test is strongest (it is exact for two coupled dimensions
+with coefficients in {-1, 0, 1}).  The original equations are also tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.ir.context import eval_interval
+from repro.single.outcome import TestOutcome
+from repro.symbolic.linexpr import LinearExpr
+
+TEST_NAME = "lambda"
+
+
+def lambda_test(
+    pairs: Sequence[SubscriptPair], context: PairContext
+) -> TestOutcome:
+    """Apply the λ-test to a coupled group of linear subscript pairs."""
+    equations = [pair.difference() for pair in pairs if pair.is_linear]
+    if not equations:
+        return TestOutcome.not_applicable(TEST_NAME)
+    for combination in lambda_combinations(equations):
+        if _excludes_zero(combination, context):
+            return TestOutcome.proves_independence(TEST_NAME, exact=False)
+    return TestOutcome(TEST_NAME, exact=False)
+
+
+def lambda_combinations(equations: Sequence[LinearExpr]) -> Iterable[LinearExpr]:
+    """The original equations plus pairwise cancelling combinations."""
+    for equation in equations:
+        yield equation
+    for i in range(len(equations)):
+        for j in range(i + 1, len(equations)):
+            first, second = equations[i], equations[j]
+            shared = first.variables() & second.variables()
+            for name in sorted(shared):
+                a = first.coeff(name)
+                b = second.coeff(name)
+                # b*first - a*second cancels `name`.
+                yield first.scale(b) - second.scale(a)
+
+
+def _excludes_zero(combination: LinearExpr, context: PairContext) -> bool:
+    """Banerjee-style real bounds of a combination over the variable box."""
+    interval = eval_interval(combination, context.variable_env())
+    return not interval.contains(0)

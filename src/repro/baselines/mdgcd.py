@@ -1,0 +1,158 @@
+"""The multidimensional GCD test (Banerjee [8], paper Section 7.3).
+
+Checks for *simultaneous unconstrained* integer solutions of the coupled
+dependence system by integer Gaussian elimination with unimodular column
+operations: the system ``A x = c`` is reduced to echelon form ``A U = H``
+so every integer point of the reduced system maps to an integer solution of
+the original.  The elimination also yields the *parametric solution*
+``x = x0 + B t`` over free integer parameters ``t``, which the Power test
+feeds into Fourier-Motzkin elimination.
+
+Symbolic loop-invariant terms are treated as additional unconstrained
+integer unknowns — sound for proving independence (if no solution exists
+with the symbols free, none exists for any fixed symbol values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.symbolic.linexpr import LinearExpr
+
+
+@dataclass
+class ParametricSolution:
+    """All integer solutions of ``A x = c``: ``x = x0 + B t``, ``t`` free.
+
+    ``variables`` names the solution components; ``basis`` holds one column
+    per free parameter.
+    """
+
+    variables: Tuple[str, ...]
+    x0: Tuple[int, ...]
+    basis: Tuple[Tuple[int, ...], ...]  # basis[k][i]: coefficient of t_k in x_i
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.basis)
+
+    def component(self, name: str) -> Tuple[int, Tuple[int, ...]]:
+        """``(constant, parameter coefficients)`` of one variable."""
+        index = self.variables.index(name)
+        return self.x0[index], tuple(column[index] for column in self.basis)
+
+
+def solve_integer_system(
+    equations: Sequence[Dict[str, int]],
+    constants: Sequence[int],
+    variables: Sequence[str],
+) -> Optional[ParametricSolution]:
+    """Solve ``A x = c`` over the integers.
+
+    ``equations[r][v]`` is the coefficient of variable ``v`` in row ``r``;
+    ``constants[r]`` the right-hand side.  Returns None when no integer
+    solution exists (independence), else the full parametric solution.
+    """
+    names = list(variables)
+    n = len(names)
+    m = len(equations)
+    matrix = [[equations[r].get(name, 0) for name in names] for r in range(m)]
+    rhs = list(constants)
+    unimodular = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+
+    def column_axpy(target: int, source: int, factor: int) -> None:
+        """column[target] -= factor * column[source] in both matrices."""
+        for r in range(m):
+            matrix[r][target] -= factor * matrix[r][source]
+        for r in range(n):
+            unimodular[r][target] -= factor * unimodular[r][source]
+
+    def column_swap(a: int, b: int) -> None:
+        for r in range(m):
+            matrix[r][a], matrix[r][b] = matrix[r][b], matrix[r][a]
+        for r in range(n):
+            unimodular[r][a], unimodular[r][b] = unimodular[r][b], unimodular[r][a]
+
+    pivot_cols: List[Optional[int]] = []
+    col = 0
+    for row in range(m):
+        # Reduce columns col..n-1 of this row to a single nonzero entry
+        # (their GCD) using Euclid's algorithm as column operations.
+        while True:
+            nonzero = [j for j in range(col, n) if matrix[row][j] != 0]
+            if len(nonzero) <= 1:
+                break
+            nonzero.sort(key=lambda j: abs(matrix[row][j]))
+            smallest = nonzero[0]
+            for other in nonzero[1:]:
+                factor = matrix[row][other] // matrix[row][smallest]
+                column_axpy(other, smallest, factor)
+        nonzero = [j for j in range(col, n) if matrix[row][j] != 0]
+        if nonzero:
+            if nonzero[0] != col:
+                column_swap(nonzero[0], col)
+            pivot_cols.append(col)
+            col += 1
+        else:
+            pivot_cols.append(None)
+
+    # Forward-substitute H y = c with divisibility checks.
+    y: List[Optional[int]] = [None] * n
+    for row in range(m):
+        residual = rhs[row]
+        pivot = pivot_cols[row]
+        for j in range(n):
+            if j == pivot:
+                continue
+            coeff = matrix[row][j]
+            if coeff and y[j] is not None:
+                residual -= coeff * y[j]
+            elif coeff:
+                # Entries left of the pivot sit in earlier pivot columns,
+                # whose y is already determined; anything else is zero.
+                raise AssertionError("echelon invariant violated")
+        if pivot is None:
+            if residual != 0:
+                return None
+            continue
+        pivot_value = matrix[row][pivot]
+        if residual % pivot_value != 0:
+            return None
+        y[pivot] = residual // pivot_value
+
+    free_cols = [j for j in range(n) if y[j] is None]
+    y_fixed = [value if value is not None else 0 for value in y]
+    x0 = tuple(
+        sum(unimodular[i][j] * y_fixed[j] for j in range(n)) for i in range(n)
+    )
+    basis = tuple(
+        tuple(unimodular[i][j] for i in range(n)) for j in free_cols
+    )
+    return ParametricSolution(tuple(names), x0, basis)
+
+
+def system_from_pairs(pairs, context):
+    """Build ``(equations, constants, variables)`` from linear subscript pairs.
+
+    Each pair contributes ``h = src - sink = 0``; occurrence variables and
+    symbols become system unknowns (symbols unconstrained — see module
+    docstring).  Nonlinear pairs are skipped (callers account for the
+    precision loss).
+    """
+    equations: List[Dict[str, int]] = []
+    constants: List[int] = []
+    names: List[str] = []
+    seen = set()
+    for pair in pairs:
+        if not pair.is_linear:
+            continue
+        h = pair.difference()
+        row = {name: coeff for name, coeff in h.terms}
+        equations.append(row)
+        constants.append(-h.const)
+        for name in row:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    return equations, constants, names

@@ -1,0 +1,189 @@
+"""The Power test (Wolfe & Tseng [56], paper Section 7.3).
+
+A high-precision, high-cost multiple-subscript baseline: the
+multidimensional GCD test produces the parametric integer solution
+``x = x0 + B t`` of the whole dependence system; loop-bound inequalities on
+``x`` become rational inequalities on ``t`` that Fourier-Motzkin
+elimination checks for feasibility.  Direction vectors are produced by
+re-running the feasibility check with ordering constraints per common loop
+(the same hierarchy the Banerjee MIV test uses).
+
+The test is *exact* for unconstrained integer solutions (MD-GCD) and
+conservative-but-tight for the bounded system (rational FME); the paper
+positions it as what you fall back to when coupled MIV subscripts survive
+the Delta test — and as the expensive alternative the Delta test avoids
+(FME costs 22-28x more than conventional tests [47]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.fme import FMSystem
+from repro.baselines.mdgcd import ParametricSolution, solve_integer_system, system_from_pairs
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.dirvec.direction import Direction, IndexConstraint
+from repro.instrument import TestRecorder, maybe_record
+from repro.single.outcome import TestOutcome
+from repro.symbolic.ranges import is_finite
+
+TEST_NAME = "power"
+MDGCD_TEST = "mdgcd"
+
+
+def mdgcd_test(
+    pairs: Sequence[SubscriptPair], context: PairContext
+) -> TestOutcome:
+    """The multidimensional GCD test alone (unconstrained solutions)."""
+    equations, constants, names = system_from_pairs(pairs, context)
+    if not equations:
+        return TestOutcome.not_applicable(MDGCD_TEST)
+    solution = solve_integer_system(equations, constants, names)
+    if solution is None:
+        return TestOutcome.proves_independence(MDGCD_TEST)
+    return TestOutcome(MDGCD_TEST, exact=False)
+
+
+def power_test(
+    pairs: Sequence[SubscriptPair],
+    context: PairContext,
+    refine_directions: bool = True,
+) -> TestOutcome:
+    """The full Power test on a subscript group (or a whole reference pair)."""
+    equations, constants, names = system_from_pairs(pairs, context)
+    if not equations:
+        return TestOutcome.not_applicable(TEST_NAME)
+    solution = solve_integer_system(equations, constants, names)
+    if solution is None:
+        return TestOutcome.proves_independence(TEST_NAME)
+    base_system = _bound_system(solution, context)
+    operations = 0
+    feasible, operations = _feasible(base_system, operations)
+    if not feasible:
+        return TestOutcome.proves_independence(TEST_NAME, exact=False)
+    outcome = TestOutcome(TEST_NAME, exact=False)
+    if refine_directions:
+        refine = [
+            base
+            for base in context.common_indices
+            if _occurs(base, names, context)
+        ]
+        if refine:
+            vectors, operations = _direction_search(
+                solution, context, refine, operations
+            )
+            if not vectors:
+                return TestOutcome.proves_independence(TEST_NAME, exact=False)
+            outcome.couplings.append((tuple(refine), frozenset(vectors)))
+            for position, base in enumerate(refine):
+                directions = frozenset(vec[position] for vec in vectors)
+                outcome.constraints[base] = IndexConstraint(directions)
+    outcome.notes["fme_operations"] = operations
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+
+
+def _occurs(base: str, names: Sequence[str], context: PairContext) -> bool:
+    src_name, sink_name = context.occurrence_names(base)
+    src_occurs = src_name is not None and src_name in names
+    sink_occurs = sink_name is not None and sink_name in names
+    return src_occurs or sink_occurs
+
+
+def _bound_system(solution: ParametricSolution, context: PairContext) -> FMSystem:
+    """Loop-bound inequalities on x, rewritten over the free parameters t."""
+    system = FMSystem()
+    for name in solution.variables:
+        bound = context.range_of(name)
+        constant, coeffs = solution.component(name)
+        terms = {f"t{k}": c for k, c in enumerate(coeffs) if c}
+        if is_finite(bound.hi):
+            system.add(dict(terms), bound.hi - constant)
+        if is_finite(bound.lo):
+            system.add_ge(dict(terms), bound.lo - constant)
+    return system
+
+
+def _ordering_inequality(
+    solution: ParametricSolution,
+    context: PairContext,
+    base: str,
+    direction: Direction,
+) -> Optional[List[Tuple[Dict[str, int], int, str]]]:
+    """Inequalities over t encoding ``i <dir> i'`` for one common index.
+
+    Returns a list of ``(coeffs, bound, kind)`` with kind in {"le", "ge",
+    "eq"}; None when an occurrence is absent from the system (direction
+    unconstrained).
+    """
+    src_name, sink_name = context.occurrence_names(base)
+    if src_name is None or sink_name is None:
+        return None
+    if src_name not in solution.variables or sink_name not in solution.variables:
+        return None
+    c_src, k_src = solution.component(src_name)
+    c_sink, k_sink = solution.component(sink_name)
+    # delta = i - i' = (c_src - c_sink) + sum (k_src - k_sink) t
+    coeffs = {
+        f"t{k}": k_src[k] - k_sink[k]
+        for k in range(solution.num_parameters)
+        if k_src[k] - k_sink[k]
+    }
+    constant = c_src - c_sink
+    if direction is Direction.LT:  # i <= i' - 1  ->  delta <= -1
+        return [(coeffs, -1 - constant, "le")]
+    if direction is Direction.GT:  # delta >= 1
+        return [(coeffs, 1 - constant, "ge")]
+    return [(coeffs, -constant, "eq")]
+
+
+def _apply(system: FMSystem, entry: Tuple[Dict[str, int], int, str]) -> None:
+    coeffs, bound, kind = entry
+    if kind == "le":
+        system.add(dict(coeffs), bound)
+    elif kind == "ge":
+        system.add_ge(dict(coeffs), bound)
+    else:
+        system.add_eq(dict(coeffs), bound)
+
+
+def _feasible(system: FMSystem, operations: int) -> Tuple[bool, int]:
+    feasible = system.is_rationally_feasible()
+    return feasible, operations + system.operations
+
+
+def _direction_search(
+    solution: ParametricSolution,
+    context: PairContext,
+    refine: Sequence[str],
+    operations: int,
+):
+    legal: List[Tuple[Direction, ...]] = []
+    assignment: List[Direction] = []
+
+    def descend(position: int) -> None:
+        nonlocal operations
+        system = _bound_system(solution, context)
+        unconstrained = True
+        for pos, direction in enumerate(assignment):
+            entries = _ordering_inequality(solution, context, refine[pos], direction)
+            if entries is None:
+                continue
+            unconstrained = False
+            for entry in entries:
+                _apply(system, entry)
+        feasible, operations = _feasible(system, operations)
+        if not feasible:
+            return
+        if position == len(refine):
+            legal.append(tuple(assignment))
+            return
+        for direction in (Direction.LT, Direction.EQ, Direction.GT):
+            assignment.append(direction)
+            descend(position + 1)
+            assignment.pop()
+
+    descend(0)
+    return frozenset(legal), operations

@@ -1,0 +1,39 @@
+"""Subscript classification and partitioning (Sections 2-3 of the paper)."""
+
+from repro.classify.pairs import (
+    PairContext,
+    SubscriptPair,
+    PRIME_SUFFIX,
+    prime,
+    unprime,
+)
+from repro.classify.subscript import (
+    SIVShape,
+    SubscriptKind,
+    classify,
+    rdiv_shape,
+    siv_shape,
+)
+from repro.classify.partition import (
+    Partition,
+    coupled_groups,
+    partition_subscripts,
+    separable_positions,
+)
+
+__all__ = [
+    "PairContext",
+    "SubscriptPair",
+    "PRIME_SUFFIX",
+    "prime",
+    "unprime",
+    "SIVShape",
+    "SubscriptKind",
+    "classify",
+    "rdiv_shape",
+    "siv_shape",
+    "Partition",
+    "coupled_groups",
+    "partition_subscripts",
+    "separable_positions",
+]

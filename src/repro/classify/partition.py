@@ -1,0 +1,110 @@
+"""Partitioning subscripts into separable positions and minimal coupled groups.
+
+Section 2.2 of the paper: a subscript position is *separable* when its
+indices occur in no other position; positions sharing an index are
+*coupled*.  A coupled group is *minimal* when it cannot be split into two
+non-empty subgroups with disjoint index sets — i.e. the groups are the
+connected components of the "shares an index" relation.
+
+Separable subscripts are tested independently and the results intersected
+exactly (systems in distinct variables solve independently); coupled groups
+go to the Delta test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.classify.pairs import PairContext, SubscriptPair
+
+
+@dataclass
+class Partition:
+    """One element of the partition: a set of subscript positions.
+
+    ``indices`` is the union of base loop indices over the group's
+    positions.  A partition with a single position is *separable*; larger
+    partitions are minimal coupled groups.
+    """
+
+    pairs: List[SubscriptPair]
+    indices: FrozenSet[str]
+
+    @property
+    def is_separable(self) -> bool:
+        """True for singleton partitions (including all ZIV positions)."""
+        return len(self.pairs) == 1
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        """The subscript positions in this partition, sorted."""
+        return tuple(sorted(p.position for p in self.pairs))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(p) for p in self.pairs)
+        return f"{{{inner}}}"
+
+
+class _UnionFind:
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+
+    def find(self, item: int) -> int:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def partition_subscripts(
+    subscripts: Sequence[SubscriptPair], context: PairContext
+) -> List[Partition]:
+    """Partition subscript positions into separable/minimal-coupled groups.
+
+    ZIV positions mention no index, so each forms its own (separable)
+    partition.  The result is ordered by the lowest position in each group,
+    which keeps output deterministic for the study tables.
+    """
+    count = len(subscripts)
+    bases_per_position: List[FrozenSet[str]] = [
+        context.subscript_bases(pair) for pair in subscripts
+    ]
+    uf = _UnionFind(count)
+    owner: Dict[str, int] = {}
+    for position, bases in enumerate(bases_per_position):
+        for base in bases:
+            if base in owner:
+                uf.union(owner[base], position)
+            else:
+                owner[base] = position
+    groups: Dict[int, List[int]] = {}
+    for position in range(count):
+        groups.setdefault(uf.find(position), []).append(position)
+    partitions: List[Partition] = []
+    for root in sorted(groups, key=lambda r: min(groups[r])):
+        members = sorted(groups[root])
+        indices: FrozenSet[str] = frozenset().union(
+            *(bases_per_position[m] for m in members)
+        ) if members else frozenset()
+        partitions.append(
+            Partition([subscripts[m] for m in members], indices)
+        )
+    return partitions
+
+
+def coupled_groups(partitions: Sequence[Partition]) -> List[Partition]:
+    """The non-separable partitions (minimal coupled groups)."""
+    return [p for p in partitions if not p.is_separable]
+
+
+def separable_positions(partitions: Sequence[Partition]) -> List[Partition]:
+    """The separable (singleton) partitions."""
+    return [p for p in partitions if p.is_separable]

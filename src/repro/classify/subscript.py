@@ -1,0 +1,161 @@
+"""Subscript classification: ZIV / SIV / MIV and the SIV special cases.
+
+Section 3 of the paper classifies each subscript pair by the number of
+distinct loop indices it mentions:
+
+* **ZIV** (zero index variables): both sides loop-invariant.
+* **SIV** (single index variable), further split (Section 4.2):
+
+  - *strong*:        ``a*i + c1  vs  a*i' + c2`` (equal nonzero coefficients)
+  - *weak-zero*:     one coefficient zero (``a*i + c1  vs  c2``)
+  - *weak-crossing*: opposite coefficients (``a*i + c1  vs  -a*i' + c2``)
+  - *weak* (general): any other linear SIV shape
+
+* **RDIV** (restricted double index variable): ``a1*i + c1  vs  a2*j + c2``
+  with distinct indices — an MIV special case amenable to SIV machinery.
+* **MIV** (multiple index variables): everything else linear.
+* **nonlinear**: a side that does not normalize to an affine form.
+
+Classification drives both test selection (Section 4) and the empirical
+study's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.classify.pairs import PairContext, SubscriptPair, prime
+from repro.symbolic.linexpr import LinearExpr
+
+
+class SubscriptKind(Enum):
+    """The paper's subscript taxonomy."""
+
+    ZIV = "ziv"
+    SIV_STRONG = "strong-siv"
+    SIV_WEAK_ZERO = "weak-zero-siv"
+    SIV_WEAK_CROSSING = "weak-crossing-siv"
+    SIV_WEAK = "weak-siv"
+    RDIV = "rdiv"
+    MIV = "miv"
+    NONLINEAR = "nonlinear"
+
+    @property
+    def is_siv(self) -> bool:
+        """True for the four SIV variants."""
+        return self in (
+            SubscriptKind.SIV_STRONG,
+            SubscriptKind.SIV_WEAK_ZERO,
+            SubscriptKind.SIV_WEAK_CROSSING,
+            SubscriptKind.SIV_WEAK,
+        )
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SIVShape:
+    """The coefficients of an SIV (or single-index RDIV side) subscript.
+
+    Represents the dependence equation ``a1*x + c1 = a2*y + c2`` where ``x``
+    is the source occurrence and ``y`` the sink occurrence of the index (for
+    SIV they are instances ``i`` and ``i'`` of the same loop; for RDIV they
+    are distinct loops).  ``c1``/``c2`` are the loop-invariant parts and may
+    be symbolic.
+    """
+
+    index: str
+    a1: int
+    a2: int
+    c1: LinearExpr
+    c2: LinearExpr
+    src_name: Optional[str]
+    sink_name: Optional[str]
+
+    @property
+    def constant_difference(self) -> LinearExpr:
+        """``c2 - c1``: the right-hand side of ``a1*x - a2*y = c2 - c1``."""
+        return self.c2 - self.c1
+
+
+def classify(pair: SubscriptPair, context: PairContext) -> SubscriptKind:
+    """Classify one subscript pair per the paper's taxonomy."""
+    if not pair.is_linear:
+        return SubscriptKind.NONLINEAR
+    bases = context.subscript_bases(pair)
+    if not bases:
+        return SubscriptKind.ZIV
+    if len(bases) == 1:
+        shape = siv_shape(pair, context, next(iter(bases)))
+        return _classify_siv(shape)
+    if len(bases) == 2:
+        src_bases = context.base_indices_of(pair.src) if pair.src else set()
+        sink_bases = context.base_indices_of(pair.sink) if pair.sink else set()
+        if len(src_bases) == 1 and len(sink_bases) == 1 and src_bases != sink_bases:
+            return SubscriptKind.RDIV
+    return SubscriptKind.MIV
+
+
+def _classify_siv(shape: SIVShape) -> SubscriptKind:
+    if shape.a1 == shape.a2:
+        # Both nonzero (else the pair would be ZIV).
+        return SubscriptKind.SIV_STRONG
+    if shape.a1 == 0 or shape.a2 == 0:
+        return SubscriptKind.SIV_WEAK_ZERO
+    if shape.a1 == -shape.a2:
+        return SubscriptKind.SIV_WEAK_CROSSING
+    return SubscriptKind.SIV_WEAK
+
+
+def siv_shape(pair: SubscriptPair, context: PairContext, base: str) -> SIVShape:
+    """Extract the SIV coefficients of index ``base`` from a subscript pair.
+
+    Works for any linear pair; terms over *other* indices stay inside
+    ``c1``/``c2`` (callers ensure ``base`` is the only index for true SIV
+    use; the Delta test reuses this to peel one index out of an MIV
+    subscript after propagation).
+    """
+    if not pair.is_linear:
+        raise ValueError("cannot take the SIV shape of a nonlinear subscript")
+    assert pair.src is not None and pair.sink is not None
+    src_name, sink_name = context.occurrence_names(base)
+    a1 = pair.src.coeff(src_name) if src_name else 0
+    a2 = pair.sink.coeff(sink_name) if sink_name else 0
+    c1 = pair.src - (
+        LinearExpr.var(src_name, a1) if src_name and a1 else LinearExpr.ZERO
+    )
+    c2 = pair.sink - (
+        LinearExpr.var(sink_name, a2) if sink_name and a2 else LinearExpr.ZERO
+    )
+    return SIVShape(base, a1, a2, c1, c2, src_name, sink_name)
+
+
+def rdiv_shape(pair: SubscriptPair, context: PairContext) -> SIVShape:
+    """Extract the RDIV coefficients ``<a1*i + c1, a2*j + c2>``.
+
+    ``x`` is the source's index occurrence, ``y`` the sink's; their loops
+    (and so their ranges) differ, which is exactly what distinguishes the
+    RDIV test from the SIV tests (Section 4.4).
+    """
+    if not pair.is_linear:
+        raise ValueError("cannot take the RDIV shape of a nonlinear subscript")
+    assert pair.src is not None and pair.sink is not None
+    src_bases = sorted(context.base_indices_of(pair.src))
+    sink_bases = sorted(context.base_indices_of(pair.sink))
+    if len(src_bases) != 1 or len(sink_bases) != 1:
+        raise ValueError(f"{pair} is not an RDIV subscript")
+    src_base = src_bases[0]
+    sink_base = sink_bases[0]
+    if src_base == sink_base:
+        raise ValueError(f"{pair} is SIV, not RDIV (both sides use {src_base})")
+    src_name = src_base
+    sink_name = prime(sink_base)
+    a1 = pair.src.coeff(src_name)
+    a2 = pair.sink.coeff(sink_name)
+    c1 = pair.src - LinearExpr.var(src_name, a1)
+    c2 = pair.sink - LinearExpr.var(sink_name, a2)
+    # ``index`` records the source index; callers query each side's name.
+    return SIVShape(src_base, a1, a2, c1, c2, src_name, sink_name)

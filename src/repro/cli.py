@@ -1,0 +1,139 @@
+"""Command-line interface: ``repro-deps`` / ``python -m repro``.
+
+Subcommands:
+
+* ``analyze FILE`` — parse a Fortran file and print its dependence graph,
+  parallel-loop verdicts, and transformation suggestions.
+* ``study`` — regenerate the paper's tables over the corpus
+  (``--table 1|2|3`` for a single table, default all).
+* ``corpus`` — list the corpus suites and programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.corpus.loader import (
+    available_programs,
+    available_suites,
+    default_symbols,
+)
+from repro.fortran.parser import parse_program
+from repro.graph.depgraph import build_dependence_graph
+from repro.instrument import TestRecorder
+from repro.ir.normalize import normalize_program
+from repro.transform.parallel import find_parallel_loops
+from repro.transform.peel import find_peeling_opportunities
+from repro.transform.split import find_splitting_opportunities
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-deps",
+        description="Practical Dependence Testing (PLDI 1991) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze a Fortran file")
+    analyze.add_argument("file", type=Path)
+    analyze.add_argument(
+        "--transforms", action="store_true",
+        help="also report peeling/splitting suggestions",
+    )
+    analyze.add_argument(
+        "--counts", action="store_true", help="print per-test application counts"
+    )
+
+    study = sub.add_parser("study", help="regenerate the paper's tables")
+    study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
+    study.add_argument("--suite", action="append", default=None)
+
+    vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
+    vector.add_argument("file", type=Path)
+
+    sub.add_parser("corpus", help="list corpus suites and programs")
+
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return _analyze(args)
+    if args.command == "study":
+        return _study(args)
+    if args.command == "vectorize":
+        return _vectorize(args)
+    if args.command == "corpus":
+        return _corpus()
+    return 2
+
+
+def _vectorize(args: argparse.Namespace) -> int:
+    from repro.transform.vectorize import vectorize
+
+    source = args.file.read_text()
+    program = normalize_program(parse_program(source, name=args.file.stem))
+    symbols = default_symbols()
+    for routine in program.routines:
+        print(f"== routine {routine.name} ==")
+        report = vectorize(routine.body, symbols=symbols)
+        for line in report.lines:
+            print(line)
+        print()
+    return 0
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    source = args.file.read_text()
+    program = normalize_program(parse_program(source, name=args.file.stem))
+    symbols = default_symbols()
+    recorder = TestRecorder()
+    for routine in program.routines:
+        print(f"== routine {routine.name} ==")
+        graph = build_dependence_graph(
+            routine.body, symbols=symbols, recorder=recorder
+        )
+        print(graph)
+        for verdict in find_parallel_loops(routine.body, symbols, graph):
+            print(verdict)
+        if args.transforms:
+            for suggestion in find_peeling_opportunities(
+                routine.body, symbols, graph
+            ):
+                print(suggestion)
+            for suggestion in find_splitting_opportunities(
+                routine.body, symbols, graph
+            ):
+                print(suggestion)
+        print()
+    if args.counts:
+        print("test applications:")
+        print(recorder)
+    return 0
+
+
+def _study(args: argparse.Namespace) -> int:
+    from repro.study.report import full_report
+    from repro.study.tables import render_table1, render_table2, render_table3
+
+    if args.table == 1:
+        print(render_table1())
+    elif args.table == 2:
+        print(render_table2())
+    elif args.table == 3:
+        print(render_table3())
+    else:
+        print(full_report(args.suite))
+    return 0
+
+
+def _corpus() -> int:
+    for suite in available_suites():
+        programs = ", ".join(available_programs(suite))
+        print(f"{suite}: {programs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

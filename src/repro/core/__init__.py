@@ -1,0 +1,5 @@
+"""The paper's primary contribution: the partition-based testing driver."""
+
+from repro.core.driver import DependenceResult, test_dependence
+
+__all__ = ["DependenceResult", "test_dependence"]

@@ -1,0 +1,29 @@
+"""Benchmark corpus: Fortran-subset kernels and synthetic generators."""
+
+from repro.corpus.loader import (
+    SUITES,
+    available_programs,
+    available_suites,
+    default_symbols,
+    load_corpus,
+    load_program,
+    load_suite,
+)
+from repro.corpus.generator import (
+    coupled_group_nest,
+    random_nest,
+    siv_family,
+)
+
+__all__ = [
+    "SUITES",
+    "available_programs",
+    "available_suites",
+    "default_symbols",
+    "load_corpus",
+    "load_program",
+    "load_suite",
+    "coupled_group_nest",
+    "random_nest",
+    "siv_family",
+]

@@ -1,0 +1,179 @@
+"""Synthetic loop-nest generators for benchmarks and property tests.
+
+Provides deterministic, seedable generators for:
+
+* random affine loop nests with a configurable mix of subscript classes
+  (used to stress the classifier and the driver);
+* *coupled-group* nests of a chosen size (the Delta-vs-Power timing sweep
+  of the efficiency benchmark E1);
+* SIV shape families for the special-case-vs-exact ablation (A2).
+
+Generators build IR directly (no parsing) so timing benchmarks measure the
+tests, not the front end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.expr import Add, Const, Expr, Mul, Var
+from repro.ir.loop import ArrayRef, Assign, Loop, Node
+
+
+def _affine(
+    rng: random.Random,
+    indices: Sequence[str],
+    max_coeff: int,
+    max_const: int,
+    num_terms: int,
+) -> Expr:
+    """A random affine expression over a subset of the indices."""
+    chosen = rng.sample(list(indices), k=min(num_terms, len(indices)))
+    expr: Expr = Const(rng.randint(-max_const, max_const))
+    for index in chosen:
+        coeff = rng.choice([c for c in range(-max_coeff, max_coeff + 1) if c])
+        term: Expr = Var(index) if coeff == 1 else Mul(Const(coeff), Var(index))
+        expr = Add(expr, term)
+    return expr
+
+
+def random_nest(
+    seed: int,
+    depth: int = 2,
+    statements: int = 4,
+    arrays: int = 3,
+    ndim: int = 2,
+    extent: int = 100,
+    max_coeff: int = 2,
+    max_const: int = 5,
+    miv_fraction: float = 0.2,
+) -> List[Node]:
+    """A random perfect nest of assignments with mixed subscript classes.
+
+    ``miv_fraction`` controls how often a subscript mentions two indices
+    (matching the paper's observation that MIV subscripts are rare).
+    """
+    rng = random.Random(seed)
+    indices = [f"i{k}" for k in range(depth)]
+    array_names = [f"a{k}" for k in range(arrays)]
+
+    def subscript() -> Expr:
+        if rng.random() < miv_fraction and depth >= 2:
+            return _affine(rng, indices, max_coeff, max_const, 2)
+        if rng.random() < 0.15:
+            return Const(rng.randint(1, extent))  # ZIV
+        return _affine(rng, indices, max_coeff, max_const, 1)
+
+    def ref() -> ArrayRef:
+        return ArrayRef(
+            rng.choice(array_names), tuple(subscript() for _ in range(ndim))
+        )
+
+    body: List[Node] = []
+    for _ in range(statements):
+        lhs = ref()
+        rhs_refs = [ref() for _ in range(rng.randint(1, 2))]
+        rhs: Expr = _loads(rhs_refs)
+        body.append(Assign(lhs, rhs))
+    return _wrap(body, indices, extent)
+
+
+def coupled_group_nest(
+    subscripts: int,
+    extent: int = 100,
+    offset: int = 1,
+) -> List[Node]:
+    """A nest with one reference pair forming a coupled group of a given size.
+
+    All dimensions share index ``i`` (plus a private index each), making one
+    minimal coupled group with ``subscripts`` positions — the workload for
+    the linear-complexity claim of Section 5.4.
+    """
+    indices = ["i"] + [f"j{k}" for k in range(subscripts - 1)]
+    src_subs: List[Expr] = []
+    sink_subs: List[Expr] = []
+    src_subs.append(Add(Var("i"), Const(offset)))
+    sink_subs.append(Var("i"))
+    for k in range(subscripts - 1):
+        src_subs.append(Add(Var("i"), Var(f"j{k}")))
+        sink_subs.append(Add(Var("i"), Add(Var(f"j{k}"), Const(-offset))))
+    write = ArrayRef("a", tuple(src_subs))
+    read = ArrayRef("a", tuple(sink_subs))
+    body: List[Node] = [Assign(write, _loads([read]))]
+    return _wrap(body, indices, extent)
+
+
+def siv_family(
+    kind: str, count: int, extent: int = 100
+) -> List[Tuple[Expr, Expr]]:
+    """``count`` source/sink SIV subscript expression pairs of one shape.
+
+    ``kind``: ``strong`` (``i+c`` vs ``i``), ``weak-zero`` (``i`` vs ``c``),
+    ``weak-crossing`` (``i`` vs ``-i+c``), or ``general`` (``2i+c`` vs
+    ``3i``).
+    """
+    pairs: List[Tuple[Expr, Expr]] = []
+    for c in range(count):
+        if kind == "strong":
+            pairs.append((Add(Var("i"), Const(c % 7)), Var("i")))
+        elif kind == "weak-zero":
+            pairs.append((Var("i"), Const(1 + c % extent)))
+        elif kind == "weak-crossing":
+            pairs.append((Var("i"), Add(Mul(Const(-1), Var("i")), Const(c))))
+        elif kind == "general":
+            pairs.append((Add(Mul(Const(2), Var("i")), Const(c % 5)),
+                          Mul(Const(3), Var("i"))))
+        else:
+            raise ValueError(f"unknown SIV family {kind!r}")
+    return pairs
+
+
+def random_program(
+    seed: int,
+    routines: int = 3,
+    nests_per_routine: int = 2,
+):
+    """A random multi-routine program for robustness/fuzz testing.
+
+    Mixes nest depths, dimensionalities, and subscript-class fractions so
+    the full pipeline (classification, partitioning, all tests, the graph
+    builder) is exercised on shapes no hand-written kernel covers.
+    """
+    from repro.ir.program import Program, Routine
+
+    rng = random.Random(seed)
+    built: List = []
+    for r in range(routines):
+        body: List[Node] = []
+        for n in range(nests_per_routine):
+            nest_seed = rng.randint(0, 2**31)
+            body.extend(
+                random_nest(
+                    nest_seed,
+                    depth=rng.randint(1, 3),
+                    statements=rng.randint(1, 4),
+                    arrays=rng.randint(1, 3),
+                    ndim=rng.randint(1, 3),
+                    extent=rng.choice([8, 50, 100]),
+                    miv_fraction=rng.choice([0.0, 0.2, 0.5]),
+                )
+            )
+        built.append(Routine(f"r{r}", body, source_lines=len(body) * 3))
+    return Program(f"fuzz{seed}", built, suite="fuzz")
+
+
+def _loads(refs: Sequence[ArrayRef]) -> Expr:
+    from repro.ir.expr import IndexedLoad
+
+    expr: Expr = IndexedLoad(refs[0].array, refs[0].subscripts)
+    for ref in refs[1:]:
+        expr = Add(expr, IndexedLoad(ref.array, ref.subscripts))
+    return expr
+
+
+def _wrap(body: List[Node], indices: Sequence[str], extent: int) -> List[Node]:
+    nodes = body
+    for index in reversed(list(indices)):
+        nodes = [Loop(index, Const(1), Const(extent), 1, nodes)]
+    return nodes

@@ -1,0 +1,49 @@
+      subroutine s131(n, a, b)
+      integer n, i, m
+      real a(n), b(n)
+c     statement reordering: forward loop-independent flow
+      m = 1
+      do 10 i = 1, n - 1
+         a(i) = a(i + m) + b(i)
+   10 continue
+      end
+      subroutine s132(n, a, b, c)
+      integer n, i, j, k, m
+      real a(n,n), b(n), c(n)
+c     global forward substitution of loop-invariant scalars
+      m = 1
+      j = m
+      k = m + 1
+      do 20 i = 2, n
+         a(i, j) = a(i-1, k) + b(i)*c(1)
+   20 continue
+      end
+      subroutine s141(n, a, flat)
+      integer n, i, j, k
+      real a(n,n), flat(1)
+c     nonlinear (linearized triangular) storage through an IV
+      do 40 i = 1, n
+         k = i*(i - 1)/2 + i
+         do 30 j = i, n
+            flat(k) = a(i, j)
+            k = k + j
+   30    continue
+   40 continue
+      end
+      subroutine s151(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     passing distance 1 through a scalar (node splitting target)
+      do 50 i = 1, n - 1
+         a(i) = a(i+1) + b(i)
+   50 continue
+      end
+      subroutine s152(n, a, b, c)
+      integer n, i
+      real a(n), b(n), c(n)
+c     flow then anti on the same array
+      do 60 i = 2, n - 1
+         b(i) = a(i+1)*c(i)
+         a(i) = b(i) + c(i-1)
+   60 continue
+      end

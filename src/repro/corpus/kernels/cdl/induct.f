@@ -1,0 +1,44 @@
+      subroutine s121(n, a, b)
+      integer n, i, j
+      real a(n), b(n)
+c     induction variable in subscript (removed by the prepass)
+      j = 1
+      do 10 i = 1, n - 1
+         j = i + 1
+         a(i) = a(j) + b(i)
+   10 continue
+      end
+      subroutine s122(n, a, b, k)
+      integer n, i, j, k
+      real a(n), b(n)
+c     running backward offset
+      j = 1
+      do 20 i = n, 1, -1
+         a(i) = a(i) + b(j)
+         j = j + k
+   20 continue
+      end
+      subroutine s124(n, a, b, c)
+      integer n, i, j
+      real a(n), b(n), c(n)
+c     conditional induction (not recognized: assigned in a branch)
+      j = 0
+      do 40 i = 1, n
+         if (b(i) .gt. 0.0) then
+            j = j + 1
+            a(j) = b(i) + c(i)
+         endif
+   40 continue
+      end
+      subroutine s126(n, a, flat)
+      integer n, i, j, k
+      real a(n,n), flat(1)
+c     2-D work array accessed through a running linear offset
+      k = 1
+      do 60 i = 1, n
+         do 50 j = 1, n
+            flat(k) = a(i, j)
+            k = k + 1
+   50    continue
+   60 continue
+      end

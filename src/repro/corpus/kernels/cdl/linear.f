@@ -1,0 +1,76 @@
+      subroutine s111(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     linear dependence testing: stride-2 anti pattern
+      do 10 i = 2, n, 2
+         a(i) = a(i-1) + b(i)
+   10 continue
+      end
+      subroutine s112(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     reversed loop with forward reference
+      do 20 i = n - 1, 1, -1
+         a(i+1) = a(i) + b(i)
+   20 continue
+      end
+      subroutine s113(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     a(i) = a(1): weak-zero across the whole loop
+      do 30 i = 2, n
+         a(i) = a(1) + b(i)
+   30 continue
+      end
+      subroutine s114(n, a)
+      integer n, i, j
+      real a(n,n)
+c     transposition below the diagonal: triangular coupled RDIV
+      do 50 i = 1, n
+         do 40 j = 1, i - 1
+            a(i, j) = a(j, i) + 1.0
+   40    continue
+   50 continue
+      end
+      subroutine s115(n, a, b)
+      integer n, i, j
+      real a(n), b(n,n)
+c     triangular saxpy: carried on the outer loop only
+      do 70 j = 1, n
+         do 60 i = j + 1, n
+            a(i) = a(i) - b(i, j)*a(j)
+   60    continue
+   70 continue
+      end
+      subroutine s116(n, a)
+      integer n, i
+      real a(n)
+c     five-point unrolled copy chain (loop-independent only)
+      do 80 i = 1, n - 5, 5
+         a(i) = a(i+1)
+         a(i+1) = a(i+2)
+         a(i+2) = a(i+3)
+         a(i+3) = a(i+4)
+         a(i+4) = a(i+5)
+   80 continue
+      end
+      subroutine s118(n, a, b)
+      integer n, i, j
+      real a(n), b(n,n)
+c     potential dependence cycle through two arrays
+      do 100 i = 2, n
+         do 90 j = 1, i - 1
+            a(i) = a(i) + b(i, j)*a(i-j)
+   90    continue
+  100 continue
+      end
+      subroutine s119(n, a, b)
+      integer n, i, j
+      real a(n,n), b(n,n)
+c     diagonal wavefront: carried on both loops
+      do 120 i = 2, n
+         do 110 j = 2, n
+            a(i, j) = a(i-1, j-1) + b(i, j)
+  110    continue
+  120 continue
+      end

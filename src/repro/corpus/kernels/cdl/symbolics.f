@@ -1,0 +1,52 @@
+      subroutine s171(n, inc, a, b)
+      integer n, inc, i
+      real a(n), b(n)
+c     symbolic stride (nonlinear after normalization of i*inc)
+      do 10 i = 1, n
+         a(i*inc) = a(i*inc) + b(i)
+   10 continue
+      end
+      subroutine s172(n, m, a, b)
+      integer n, m, i
+      real a(n), b(n)
+c     symbolic lower bound and stride via offset
+      do 20 i = m, n
+         a(i) = a(i - m) + b(i)
+   20 continue
+      end
+      subroutine s173(n, a, b)
+      integer n, i, k
+      real a(n), b(n)
+c     crossing threshold at the midpoint: a(i+n/2) never collides
+      k = n/2
+      do 30 i = 1, n/2
+         a(i + k) = a(i) + b(i)
+   30 continue
+      end
+      subroutine s174(n, m, a, b)
+      integer n, m, i
+      real a(n), b(n)
+c     symbolic offset independence when 2*m > loop span
+      do 40 i = 1, m
+         a(i + 2*m) = a(i) + b(i)
+   40 continue
+      end
+      subroutine s175(n, inc, a, b)
+      integer n, inc, i
+      real a(n), b(n)
+c     symbolic-stride DO loop (rejected stride stays a symbol)
+      do 50 i = 1, n - 1
+         a(i) = a(i + inc) + b(i)
+   50 continue
+      end
+      subroutine s176(n, a, b, c)
+      integer n, m, i, j
+      real a(n), b(n), c(n)
+c     convolution with symbolic midpoint
+      m = n/2
+      do 70 j = 1, m
+         do 60 i = 1, m
+            a(i) = a(i) + b(i + m - j)*c(j)
+   60    continue
+   70 continue
+      end

@@ -1,0 +1,69 @@
+      subroutine cdl01(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     CDL vector suite: the paper's weak-crossing example
+      do 10 i = 1, n
+         a(i) = a(n - i + 1) + b(i)
+   10 continue
+      end
+      subroutine cdl02(n, a, b, c)
+      integer n, i
+      real a(n), b(n), c(n)
+c     statement reordering candidates: crossing and non-crossing mixes
+      do 20 i = 1, n
+         a(i) = b(i) + c(i)
+         b(i+1) = a(i) * c(i)
+   20 continue
+      end
+      subroutine cdl03(n, a)
+      integer n, i
+      real a(n)
+c     stride-2 independence: even vs odd elements
+      do 30 i = 1, n/2
+         a(2*i) = a(2*i - 1) + 1.0
+   30 continue
+      end
+      subroutine cdl04(n, m, a)
+      integer n, m, i
+      real a(n)
+c     symbolic-offset independence (ZIV/symbolic strong SIV)
+      do 40 i = 1, m
+         a(i) = a(i + m) + a(i + 2*m)
+   40 continue
+      end
+      subroutine cdl05(n, a, b, ind)
+      integer n, i
+      real a(n), b(n)
+      integer ind(n)
+c     index-array (nonlinear) subscripts
+      do 50 i = 1, n
+         a(ind(i)) = b(i)
+   50 continue
+      end
+      subroutine cdl06(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     loop peeling candidate: first-iteration weak-zero dependence
+      do 60 i = 1, n
+         b(i) = a(1) + a(i)
+         a(i) = a(i) + 1.0
+   60 continue
+      end
+      subroutine cdl07(n, a)
+      integer n, i
+      real a(2*n)
+c     stride-2 overlap: GCD passes, Banerjee must decide
+      do 70 i = 1, n
+         a(2*i) = a(i) + 1.0
+   70 continue
+      end
+      subroutine cdl08(n, a, b)
+      integer n, i
+      real a(n), b(n)
+c     coupled distance conflict in a 2-D temporary (Delta-provable)
+      real t(100, 100)
+      do 80 i = 1, n
+         t(i+1, i+2) = t(i, i) + a(i)
+         b(i) = t(i+1, i+1)
+   80 continue
+      end

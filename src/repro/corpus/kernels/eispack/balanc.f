@@ -1,0 +1,17 @@
+      subroutine balanc(nm, n, a, low, igh, scale)
+      integer nm, n, low, igh, i, j
+      real a(nm,n), scale(n), c, f, g, r, s
+c     balancing kernels from EISPACK balanc: row/column scaling
+      do 200 i = 1, n
+         c = 0.0
+         do 100 j = 1, n
+            c = c + a(j, i)*a(j, i)
+  100    continue
+         do 150 j = 1, n
+            a(i, j) = a(i, j)*g
+  150    continue
+         do 180 j = 1, n
+            a(j, i) = a(j, i)*f
+  180    continue
+  200 continue
+      end

@@ -1,0 +1,31 @@
+      subroutine bandut(n, h, e)
+      integer n, i, j
+      real h(n,n), e(n)
+c     band-matrix shifted-diagonal updates: coupled subscripts whose
+c     dependence distances conflict (the Delta test proves independence,
+c     subscript-by-subscript Banerjee does not)
+      do 10 i = 1, n - 2
+         h(i+2, i) = h(i, i-1) + e(i)
+   10 continue
+c     super/sub-diagonal swap within a band
+      do 20 i = 2, n - 1
+         h(i+1, i) = h(i, i+1)*e(i)
+   20 continue
+c     diagonal vs off-diagonal: coupled strong SIV, consistent distances
+      do 30 i = 2, n
+         h(i, i) = h(i-1, i-1) + e(i)
+   30 continue
+      end
+      subroutine elmhes(n, a)
+      integer n, i, j, m
+      real a(n,n), x, y
+c     elimination similarity transform (EISPACK elmhes flavor)
+      do 60 m = 2, n - 1
+         do 40 j = m, n
+            a(m, j) = a(m+1, j)
+   40    continue
+         do 50 i = 1, n
+            a(i, m) = a(i, m) + a(i, m+1)
+   50    continue
+   60 continue
+      end

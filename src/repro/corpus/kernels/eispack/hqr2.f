@@ -1,0 +1,34 @@
+      subroutine hqr2(nm, n, low, igh, h, wr, wi, z)
+      integer nm, n, low, igh, i, j, k, m, na, en
+      real h(nm,n), wr(n), wi(n), z(nm,n), p, q, r, s, t, w, x, y
+c     QR step kernels from EISPACK hqr2 (coupled h accesses)
+      do 260 m = 2, n - 1
+         do 200 k = m, m + 1
+            h(k, m-1) = 0.0
+  200    continue
+  260 continue
+c     row modification
+      do 500 i = 1, n
+         do 490 j = i, n
+            h(i, j) = h(i, j) - p*h(i-1, j) - q*h(i+1, j)
+  490    continue
+  500 continue
+c     column modification with coupled transposed shape
+      do 600 j = 1, n
+         do 590 i = 1, j
+            h(i, j) = h(i, j) - p*h(i, j-1)
+            z(i, j) = z(i, j) - p*z(i, j-1)
+  590    continue
+  600 continue
+c     back substitution triangular nest
+      do 800 en = 2, n
+         do 780 i = 1, en - 1
+            w = h(i, i) - p
+            r = 0.0
+            do 760 j = i, en
+               r = r + h(i, j)*h(j, en)
+  760       continue
+            h(i, en) = -r / w
+  780    continue
+  800 continue
+      end

@@ -1,0 +1,42 @@
+      subroutine rs(nm, n, a, w, matz, z, fv1, fv2, ierr)
+      integer nm, n, matz, ierr, i, j
+      real a(nm,n), w(n), z(nm,n), fv1(n), fv2(n)
+c     EISPACK rs driver shape: copy + chained reductions
+      do 20 j = 1, n
+         do 10 i = 1, n
+            z(i, j) = a(i, j)
+   10    continue
+   20 continue
+      end
+      subroutine tqlrat(n, d, e2, ierr)
+      integer n, i, j, l, m, ierr
+      real d(n), e2(n), b, c, f, g, h, p, r, s
+c     rational QL: shifted recurrences over the diagonal arrays
+      do 100 i = 2, n
+         e2(i-1) = e2(i)
+  100 continue
+      e2(n) = 0.0
+      do 300 l = 1, n
+         do 200 i = l, n - 1
+            d(i) = d(i+1)
+  200    continue
+  300 continue
+      end
+      subroutine trbak1(nm, n, a, e, m, z)
+      integer nm, n, m, i, j, k, l
+      real a(nm,n), e(n), z(nm,m), s
+c     back-transformation: coupled a/z accesses over a triangular region
+      do 140 i = 2, n
+         l = i - 1
+         do 130 j = 1, m
+            s = 0.0
+            do 110 k = 1, l
+               s = s + a(i, k)*z(k, j)
+  110       continue
+            s = (s / a(i, l)) / e(l)
+            do 120 k = 1, l
+               z(k, j) = z(k, j) + s*a(i, k)
+  120       continue
+  130    continue
+  140 continue
+      end

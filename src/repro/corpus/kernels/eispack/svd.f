@@ -1,0 +1,34 @@
+      subroutine svd(m, n, a, w, u, v)
+      integer m, n, i, j, k, l
+      real a(m,n), w(n), u(m,n), v(n,n), c, f, g, h, s, scale, x, y, z
+c     SVD householder kernels (EISPACK svd): coupled u/v accesses
+      do 300 i = 1, n
+         l = i + 1
+         do 110 k = i, m
+            scale = scale + u(k, i)
+  110    continue
+         do 150 j = l, n
+            s = 0.0
+            do 120 k = i, m
+               s = s + u(k, i)*u(k, j)
+  120       continue
+            f = s / h
+            do 130 k = i, m
+               u(k, j) = u(k, j) + f*u(k, i)
+  130       continue
+  150    continue
+c        accumulate right transformations: v(j,i) and v(i,j) coupled
+         do 200 j = l, n
+            v(j, i) = u(i, j) / h
+  200    continue
+         do 250 j = l, n
+            s = 0.0
+            do 220 k = l, n
+               s = s + u(i, k)*v(k, j)
+  220       continue
+            do 240 k = l, n
+               v(k, j) = v(k, j) + s*v(k, i)
+  240       continue
+  250    continue
+  300 continue
+      end

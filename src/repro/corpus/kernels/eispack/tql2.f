@@ -1,0 +1,31 @@
+      subroutine tql2(nm, n, d, e, z, ierr)
+      integer nm, n, i, j, k, l, ierr
+      real d(n), e(n), z(nm,n), c, f, g, h, p, r, s
+c     QL iteration kernels from EISPACK tql2
+      do 100 i = 2, n
+         e(i-1) = e(i)
+  100 continue
+      e(n) = 0.0
+c     eigenvector accumulation: coupled z accesses across columns
+      do 200 l = 2, n
+         do 180 k = 1, n
+            h = z(k, l-1)
+            z(k, l-1) = c*z(k, l-1) + s*z(k, l)
+            z(k, l) = c*z(k, l) - s*h
+  180    continue
+  200 continue
+c     ordering pass: swap columns i and k
+      do 300 i = 1, n - 1
+         k = i
+         p = d(i)
+         do 260 j = i+1, n
+            d(j) = d(j)
+  260    continue
+         d(k) = d(i)
+         do 280 j = 1, n
+            p = z(j, i)
+            z(j, i) = z(j, k)
+            z(j, k) = p
+  280    continue
+  300 continue
+      end

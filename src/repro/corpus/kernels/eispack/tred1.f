@@ -1,0 +1,33 @@
+      subroutine tred1(nm, n, a, d, e, e2)
+      integer nm, n, i, j, k, l
+      real a(nm,n), d(n), e(n), e2(n), f, g, h, scale
+c     EISPACK tred1: householder reduction, coupled a(i,j)/a(j,i)
+      do 100 i = 1, n
+         d(i) = a(n, i)
+         a(n, i) = a(i, i)
+  100 continue
+      do 300 i = n, 2, -1
+         l = i - 1
+         h = 0.0
+         do 120 k = 1, l
+            scale = scale + d(k)
+  120    continue
+         do 240 j = 1, l
+            g = 0.0
+            do 180 k = 1, j
+               g = g + a(j, k)*d(k)
+  180       continue
+            do 200 k = j+1, l
+               g = g + a(k, j)*d(k)
+  200       continue
+            e(j) = g / h
+  240    continue
+         do 280 j = 1, l
+            f = d(j)
+            g = e(j)
+            do 260 k = j, l
+               a(k, j) = a(k, j) - f*e(k) - g*d(k)
+  260       continue
+  280    continue
+  300 continue
+      end

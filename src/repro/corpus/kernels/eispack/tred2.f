@@ -1,0 +1,36 @@
+      subroutine tred2(nm, n, a, d, e, z)
+      integer nm, n, i, j, k, l
+      real a(nm,n), d(n), e(n), z(nm,n), f, g, h, hh, scale
+c     householder reduction kernels from EISPACK tred2
+      do 100 i = 1, n
+         do 80 j = 1, i
+            z(i, j) = a(i, j)
+   80    continue
+         d(i) = a(n, i)
+  100 continue
+c     coupled transposed accesses: z(i,j) and z(j,i)
+      do 300 i = 2, n
+         l = i - 1
+         do 240 j = 1, l
+            g = 0.0
+            do 180 k = 1, l
+               g = g + z(j, k)*d(k)
+  180       continue
+            e(j) = g
+  240    continue
+         do 280 j = 1, l
+            f = d(j)
+            g = e(j)
+            do 260 k = j, l
+               z(k, j) = z(k, j) - f*e(k) - g*d(k)
+  260       continue
+            d(j) = z(l, j)
+            z(i, j) = 0.0
+  280    continue
+  300 continue
+      do 500 i = 1, n
+         do 480 j = 1, n
+            z(j, i) = z(i, j)
+  480    continue
+  500 continue
+      end

@@ -1,0 +1,8 @@
+      subroutine daxpy(n, da, dx, incx, dy, incy)
+      integer n, incx, incy, i
+      real da, dx(1), dy(1)
+c     constant increment case of the BLAS daxpy kernel
+      do 10 i = 1, n
+         dy(i) = dy(i) + da*dx(i)
+   10 continue
+      end

@@ -1,0 +1,23 @@
+      subroutine dgefa(a, lda, n, ipvt, info)
+      integer lda, n, ipvt(1), info
+      real a(lda,1), t
+      integer j, k, kp1, nm1
+c     gaussian elimination inner kernel of LINPACK dgefa, with the
+c     original kp1 = k + 1 scalar subscripting (removed by the
+c     forward-substitution prepass)
+      nm1 = n - 1
+      do 60 k = 1, n - 1
+         kp1 = k + 1
+c        compute multipliers (column scale)
+         do 30 i = kp1, n
+            a(i, k) = -a(i, k) / a(k, k)
+   30    continue
+c        row elimination with column indexing
+         do 50 j = kp1, n
+            t = a(k, j)
+            do 40 i = kp1, n
+               a(i, j) = a(i, j) + t*a(i, k)
+   40       continue
+   50    continue
+   60 continue
+      end

@@ -1,0 +1,21 @@
+      subroutine dgesl(a, lda, n, ipvt, b, job)
+      integer lda, n, ipvt(1), job
+      real a(lda,1), b(1), t
+      integer k, kb, nm1
+c     back substitution kernels of LINPACK dgesl
+      nm1 = n - 1
+      do 20 k = 1, n - 1
+         t = b(k)
+         do 10 i = k+1, n
+            b(i) = b(i) + t*a(i, k)
+   10    continue
+   20 continue
+      do 40 kb = 1, n
+         k = n + 1 - kb
+         b(k) = b(k) / a(k, k)
+         t = -b(k)
+         do 30 i = 1, k-1
+            b(i) = b(i) + t*a(i, k)
+   30    continue
+   40 continue
+      end

@@ -1,0 +1,16 @@
+      subroutine dmxpy(n1, y, n2, ldm, x, m)
+      integer n1, n2, ldm, i, j
+      real y(1), x(1), m(ldm,1)
+c     cleanup-unrolled matrix-vector product from LINPACK dmxpy
+      do 20 j = 1, n2
+         do 10 i = 1, n1
+            y(i) = y(i) + x(j)*m(i, j)
+   10    continue
+   20 continue
+c     unrolled-by-two variant exercises 2*j style subscripts
+      do 40 j = 1, n2/2
+         do 30 i = 1, n1
+            y(i) = y(i) + x(2*j-1)*m(i, 2*j-1) + x(2*j)*m(i, 2*j)
+   30    continue
+   40 continue
+      end

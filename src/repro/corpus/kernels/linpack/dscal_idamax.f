@@ -1,0 +1,18 @@
+      subroutine dscal(n, da, dx)
+      integer n, i
+      real da, dx(1)
+      do 10 i = 1, n
+         dx(i) = da*dx(i)
+   10 continue
+      end
+      subroutine dtrsl(t, ldt, n, b)
+      integer ldt, n, j, jj
+      real t(ldt,1), b(1)
+c     triangular solve: upper-triangular loop shapes
+      do 20 j = 2, n
+         do 10 i = 1, j-1
+            b(j) = b(j) - t(i, j)*b(i)
+   10    continue
+         b(j) = b(j) / t(j, j)
+   20 continue
+      end

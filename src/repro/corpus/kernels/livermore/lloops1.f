@@ -1,0 +1,24 @@
+      subroutine lloop1(n, x, y, z, q, r, t)
+      integer n, k
+      real x(n), y(n), z(n), q, r, t
+c     Livermore kernel 1: hydro fragment
+      do 10 k = 1, n
+         x(k) = q + y(k)*(r*z(k+10) + t*z(k+11))
+   10 continue
+      end
+      subroutine lloop5(n, x, y, z)
+      integer n, i
+      real x(n), y(n), z(n)
+c     Livermore kernel 5: tridiagonal elimination (carried recurrence)
+      do 20 i = 2, n
+         x(i) = z(i)*(y(i) - x(i-1))
+   20 continue
+      end
+      subroutine lloop7(n, x, y, u, z)
+      integer n, k
+      real x(n), y(n), u(n), z(n)
+c     Livermore kernel 7: equation of state fragment
+      do 30 k = 1, n
+         x(k) = u(k) + y(k)*(z(k+3) + z(k+2)) + u(k+6)*(u(k+3) + u(k+2))
+   30 continue
+      end

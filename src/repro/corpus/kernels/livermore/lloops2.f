@@ -1,0 +1,30 @@
+      subroutine lloop18(n, jn, kn, za, zb, zm, zp, zq, zr, zu, zv, zz)
+      integer jn, kn, j, k, n
+      real za(n,n), zb(n,n), zm(n,n), zp(n,n), zq(n,n)
+      real zr(n,n), zu(n,n), zv(n,n), zz(n,n)
+c     Livermore kernel 18: 2-D explicit hydrodynamics fragment
+      do 20 k = 2, kn
+         do 10 j = 2, jn
+            za(j, k) = (zp(j-1, k+1) + zq(j-1, k+1) - zp(j-1, k))
+     &               * (zr(j, k) + zr(j-1, k))
+            zb(j, k) = (zp(j-1, k) + zq(j-1, k) - zp(j, k))
+     &               * (zr(j, k) + zr(j, k-1))
+   10    continue
+   20 continue
+      do 40 k = 2, kn
+         do 30 j = 2, jn
+            zu(j, k) = zu(j, k) + za(j, k)*(zz(j, k) - zz(j+1, k))
+            zv(j, k) = zv(j, k) + zb(j, k)*(zz(j, k) - zz(j, k-1))
+   30    continue
+   40 continue
+      end
+      subroutine wavefront(n, a)
+      integer n, i, j
+      real a(n,n)
+c     the paper's simplified Livermore kernel: skewed-loop wavefront
+      do 60 i = 2, n
+         do 50 j = 2, n
+            a(i, j) = a(i-1, j) + a(i, j-1)
+   50    continue
+   60 continue
+      end

@@ -1,0 +1,37 @@
+      subroutine lloop2(n, x, v)
+      integer n, k, ipntp, ipnt, i, ii
+      real x(n), v(n)
+c     Livermore kernel 2: ICCG excerpt (strided gather after normalization)
+      do 10 k = 1, n/2
+         x(k) = x(2*k) - v(2*k-1)*x(2*k-1)
+   10 continue
+      end
+      subroutine lloop11(n, x, y)
+      integer n, k
+      real x(n), y(n)
+c     Livermore kernel 11: first sum (prefix recurrence)
+      x(1) = y(1)
+      do 20 k = 2, n
+         x(k) = x(k-1) + y(k)
+   20 continue
+      end
+      subroutine lloop12(n, x, y)
+      integer n, k
+      real x(n), y(n)
+c     Livermore kernel 12: first difference (fully parallel)
+      do 30 k = 1, n
+         x(k) = y(k+1) - y(k)
+   30 continue
+      end
+      subroutine lloop21(n, px, vy, cx)
+      integer n, i, j, k
+      real px(n,n), vy(n,n), cx(n,n)
+c     Livermore kernel 21: matrix product
+      do 60 k = 1, n
+         do 50 i = 1, n
+            do 40 j = 1, n
+               px(i, j) = px(i, j) + vy(i, k)*cx(k, j)
+   40       continue
+   50    continue
+   60 continue
+      end

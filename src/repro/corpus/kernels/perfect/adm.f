@@ -1,0 +1,32 @@
+      subroutine advec(n, m, q, qn, u, v, dx, dt)
+      integer n, m, i, j
+      real q(n,m), qn(n,m), u(n,m), v(n,m), dx, dt
+c     ADM-flavor advection with upwind differences
+      do 20 j = 2, m - 1
+         do 10 i = 2, n - 1
+            qn(i, j) = q(i, j) - dt*(u(i, j)*(q(i, j) - q(i-1, j))
+     &               + v(i, j)*(q(i, j) - q(i, j-1)))/dx
+   10    continue
+   20 continue
+      end
+      subroutine transp(n, a, b)
+      integer n, i, j
+      real a(n,n), b(n,n)
+c     transposition: the classic coupled RDIV pattern
+      do 40 j = 1, n
+         do 30 i = 1, n
+            b(i, j) = a(j, i)
+   30    continue
+   40 continue
+      end
+      subroutine symupd(n, a, x, y)
+      integer n, i, j
+      real a(n,n), x(n), y(n)
+c     symmetric rank-2 update: a(i,j) and a(j,i) in one nest
+      do 60 j = 1, n
+         do 50 i = 1, j
+            a(i, j) = a(i, j) + x(i)*y(j)
+            a(j, i) = a(i, j)
+   50    continue
+   60 continue
+      end

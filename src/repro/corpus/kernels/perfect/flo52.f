@@ -1,0 +1,30 @@
+      subroutine eflux(il, jl, w, p, fs)
+      integer il, jl, i, j
+      real w(il,jl), p(il,jl), fs(il,jl)
+c     FLO52-flavor flux sweeps on a staggered mesh
+      do 20 j = 2, jl
+         do 10 i = 1, il
+            fs(i, j) = w(i, j) - w(i, j-1) + p(i, j)
+   10    continue
+   20 continue
+      do 40 j = 2, jl - 1
+         do 30 i = 2, il
+            w(i, j) = w(i, j) + fs(i-1, j) - fs(i, j)
+   30    continue
+   40 continue
+      end
+      subroutine psmoo(il, jl, w, eps)
+      integer il, jl, i, j
+      real w(il,jl), eps
+c     implicit residual smoothing: carried recurrences both directions
+      do 60 j = 1, jl
+         do 50 i = 2, il
+            w(i, j) = w(i, j) + eps*w(i-1, j)
+   50    continue
+   60 continue
+      do 80 j = 2, jl
+         do 70 i = 1, il
+            w(i, j) = w(i, j) + eps*w(i, j-1)
+   70    continue
+   80 continue
+      end

@@ -1,0 +1,20 @@
+      subroutine interf(n, x, f, cut)
+      integer n, i, j
+      real x(n), f(n), cut, r, t
+c     MDG-flavor molecular dynamics pair interactions (RDIV-heavy)
+      do 20 i = 1, n - 1
+         do 10 j = i+1, n
+            f(i) = f(i) + x(j)
+            f(j) = f(j) - x(i)
+   10    continue
+   20 continue
+      end
+      subroutine predic(n, x, v, a, dt)
+      integer n, i
+      real x(n), v(n), a(n), dt
+c     predictor sweep: fully parallel strong SIV
+      do 30 i = 1, n
+         x(i) = x(i) + dt*v(i) + 0.5*dt*dt*a(i)
+         v(i) = v(i) + dt*a(i)
+   30 continue
+      end

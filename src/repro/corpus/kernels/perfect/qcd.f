@@ -1,0 +1,21 @@
+      subroutine sweep(n, u, v, w)
+      integer n, i, j, k
+      real u(n,n,n), v(n,n,n), w(n,n,n)
+c     QCD-flavor 3-D lattice sweeps (3-dim reference pairs)
+      do 30 k = 2, n - 1
+         do 20 j = 2, n - 1
+            do 10 i = 2, n - 1
+               u(i, j, k) = v(i, j, k) + w(i-1, j, k) + w(i+1, j, k)
+     &                    + w(i, j-1, k) + w(i, j+1, k)
+     &                    + w(i, j, k-1) + w(i, j, k+1)
+   10       continue
+   20    continue
+   30 continue
+      do 60 k = 1, n
+         do 50 j = 1, n
+            do 40 i = 1, n
+               w(i, j, k) = u(i, j, k)
+   40       continue
+   50    continue
+   60 continue
+      end

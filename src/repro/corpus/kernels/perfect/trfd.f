@@ -1,0 +1,18 @@
+      subroutine trfint(n, m, x, xij, v)
+      integer n, m, i, j, k, l, ij
+      real x(n,n), xij(n), v(n)
+c     TRFD-flavor triangular integral transformation nests
+      do 30 i = 1, n
+         do 20 j = 1, i
+            do 10 k = 1, n
+               x(i, j) = x(i, j) + v(k)*x(k, j)
+   10       continue
+   20    continue
+   30 continue
+c     linearized triangular index: nonlinear subscript i*(i-1)/2 + j
+      do 50 i = 1, n
+         do 40 j = 1, i
+            xij(i*(i-1)/2 + j) = x(i, j)
+   40    continue
+   50 continue
+      end

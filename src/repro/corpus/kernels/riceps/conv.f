@@ -1,0 +1,30 @@
+      subroutine conv(n, m, a, b, c)
+      integer n, m, i, j
+      real a(n), b(m), c(n)
+c     convolution: true MIV subscripts i+j
+      do 20 i = 1, n
+         do 10 j = 1, m
+            c(i + j - 1) = c(i + j - 1) + a(i)*b(j)
+   10    continue
+   20 continue
+      end
+      subroutine corr(n, m, a, b, c)
+      integer n, m, i, j
+      real a(n), b(m), c(n)
+c     correlation: MIV subscript i-j with symbolic shift
+      do 40 i = 1, n
+         do 30 j = 1, m
+            c(i) = c(i) + a(i - j + m)*b(j)
+   30    continue
+   40 continue
+      end
+      subroutine outer(n, a, x, y)
+      integer n, i, j
+      real a(n), x(n), y(n)
+c     skewed wavefront: MIV on a 1-D array (paper's GCD example shape)
+      do 60 i = 1, n
+         do 50 j = 1, n
+            a(2*i + 2*j) = a(2*i + 2*j - 1) + x(i)*y(j)
+   50    continue
+   60 continue
+      end

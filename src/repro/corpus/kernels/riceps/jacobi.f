@@ -1,0 +1,37 @@
+      subroutine jacobi(n, m, u, unew, f, h)
+      integer n, m, i, j
+      real u(n,m), unew(n,m), f(n,m), h
+c     five-point Jacobi relaxation sweep
+      do 20 j = 2, m - 1
+         do 10 i = 2, n - 1
+            unew(i, j) = 0.25*(u(i-1, j) + u(i+1, j) + u(i, j-1)
+     &                 + u(i, j+1) - h*h*f(i, j))
+   10    continue
+   20 continue
+      do 40 j = 2, m - 1
+         do 30 i = 2, n - 1
+            u(i, j) = unew(i, j)
+   30    continue
+   40 continue
+      end
+      subroutine seidel(n, m, u, f, h)
+      integer n, m, i, j
+      real u(n,m), f(n,m), h
+c     Gauss-Seidel: true carried dependences in both loops
+      do 60 j = 2, m - 1
+         do 50 i = 2, n - 1
+            u(i, j) = 0.25*(u(i-1, j) + u(i+1, j) + u(i, j-1)
+     &              + u(i, j+1) - h*h*f(i, j))
+   50    continue
+   60 continue
+      end
+      subroutine redblk(n, m, u, f, h)
+      integer n, m, i, j
+      real u(n,m), f(n,m), h
+c     red-black ordering: stride-2 subscripts after normalization
+      do 80 j = 2, m - 1
+         do 70 i = 2, n - 1, 2
+            u(i, j) = 0.25*(u(i-1, j) + u(i+1, j) + u(i, j-1) + u(i, j+1))
+   70    continue
+   80 continue
+      end

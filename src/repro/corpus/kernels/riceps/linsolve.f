@@ -1,0 +1,58 @@
+      program linsolve
+      integer n
+      real a(100,100), b(100), x(100)
+      end
+      subroutine factor(n, a, lda)
+      integer n, lda, i, j, k, kp1
+      real a(lda,n), pivot
+c     in-place LU factorization without pivoting
+      do 30 k = 1, n - 1
+         kp1 = k + 1
+         pivot = a(k, k)
+         do 10 i = kp1, n
+            a(i, k) = a(i, k) / pivot
+   10    continue
+         do 20 j = kp1, n
+            do 20 i = kp1, n
+               a(i, j) = a(i, j) - a(i, k)*a(k, j)
+   20    continue
+   30 continue
+      end
+      subroutine fwdslv(n, a, lda, b)
+      integer n, lda, i, j
+      real a(lda,n), b(n)
+c     forward substitution (unit lower triangle)
+      do 50 j = 1, n - 1
+         do 40 i = j + 1, n
+            b(i) = b(i) - a(i, j)*b(j)
+   40    continue
+   50 continue
+      end
+      subroutine bckslv(n, a, lda, b, x)
+      integer n, lda, i, j, jb
+      real a(lda,n), b(n), x(n)
+c     back substitution (upper triangle), reversed loop
+      do 60 i = 1, n
+         x(i) = b(i)
+   60 continue
+      do 80 jb = 1, n
+         j = n + 1 - jb
+         x(j) = x(j) / a(j, j)
+         do 70 i = 1, j - 1
+            x(i) = x(i) - a(i, j)*x(j)
+   70    continue
+   80 continue
+      end
+      subroutine resid(n, a, lda, b, x, r)
+      integer n, lda, i, j
+      real a(lda,n), b(n), x(n), r(n)
+c     residual: r = b - A x
+      do 90 i = 1, n
+         r(i) = b(i)
+   90 continue
+      do 110 j = 1, n
+         do 100 i = 1, n
+            r(i) = r(i) - a(i, j)*x(j)
+  100    continue
+  110 continue
+      end

@@ -1,0 +1,30 @@
+      subroutine calc1(n, m, u, v, p, cu, cv, z, h)
+      integer n, m, i, j
+      real u(n,m), v(n,m), p(n,m), cu(n,m), cv(n,m), z(n,m), h(n,m)
+c     shallow-water model first sweep (RiCEPS flavor)
+      do 20 j = 1, m - 1
+         do 10 i = 1, n - 1
+            cu(i+1, j) = 0.5*(p(i+1, j) + p(i, j))*u(i+1, j)
+            cv(i, j+1) = 0.5*(p(i, j+1) + p(i, j))*v(i, j+1)
+            z(i+1, j+1) = (v(i+1, j+1) - v(i, j+1) - u(i+1, j+1)
+     &                  + u(i+1, j)) / (p(i, j) + p(i+1, j))
+            h(i, j) = p(i, j) + 0.25*(u(i+1, j)*u(i+1, j)
+     &              + u(i, j)*u(i, j))
+   10    continue
+   20 continue
+      end
+      subroutine calc2(n, m, u, v, unew, vnew, cu, cv, z, h, dt)
+      integer n, m, i, j
+      real u(n,m), v(n,m), unew(n,m), vnew(n,m)
+      real cu(n,m), cv(n,m), z(n,m), h(n,m), dt
+      do 40 j = 1, m - 1
+         do 30 i = 1, n - 1
+            unew(i+1, j) = u(i+1, j) + dt*(z(i+1, j+1) + z(i+1, j))
+     &                   * (cv(i+1, j+1) + cv(i, j+1)) - dt*(h(i+1, j)
+     &                   - h(i, j))
+            vnew(i, j+1) = v(i, j+1) - dt*(z(i+1, j+1) + z(i, j+1))
+     &                   * (cu(i+1, j+1) + cu(i, j)) - dt*(h(i, j+1)
+     &                   - h(i, j))
+   30    continue
+   40 continue
+      end

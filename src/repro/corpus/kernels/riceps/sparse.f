@@ -1,0 +1,27 @@
+      subroutine spmv(n, nnz, val, colidx, rowptr, x, y)
+      integer n, nnz, i, k
+      real val(nnz), x(n), y(n)
+      integer colidx(nnz), rowptr(n)
+c     sparse matrix-vector product: index-array (nonlinear) subscripts
+      do 20 i = 1, n
+         do 10 k = rowptr(i), rowptr(i+1) - 1
+            y(i) = y(i) + val(k)*x(colidx(k))
+   10    continue
+   20 continue
+      end
+      subroutine gather(n, a, b, ind)
+      integer n, i
+      real a(n), b(n)
+      integer ind(n)
+      do 30 i = 1, n
+         a(i) = b(ind(i))
+   30 continue
+      end
+      subroutine scatter(n, a, b, ind)
+      integer n, i
+      real a(n), b(n)
+      integer ind(n)
+      do 40 i = 1, n
+         a(ind(i)) = b(i)
+   40 continue
+      end

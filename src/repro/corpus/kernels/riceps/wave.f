@@ -1,0 +1,30 @@
+      subroutine wave1d(n, nt, u, uold, unew, c)
+      integer n, nt, i, t
+      real u(n), uold(n), unew(n), c
+c     1-D wave equation leapfrog
+      do 20 t = 1, nt
+         do 10 i = 2, n - 1
+            unew(i) = 2.0*u(i) - uold(i) + c*(u(i+1) - 2.0*u(i) + u(i-1))
+   10    continue
+   20 continue
+      end
+      subroutine smooth(n, a, b, w)
+      integer n, i
+      real a(n), b(n), w(n)
+c     weighted smoothing with symbolic-constant shifts
+      do 30 i = 2, n - 1
+         b(i) = w(1)*a(i-1) + w(2)*a(i) + w(3)*a(i+1)
+   30 continue
+      do 40 i = 1, n
+         a(i) = b(i)
+   40 continue
+      end
+      subroutine histog(n, m, x, count, ix)
+      integer n, m, i
+      real x(n)
+      integer count(m), ix(n)
+c     histogram: nonlinear (index-array) subscripts
+      do 50 i = 1, n
+         count(ix(i)) = count(ix(i)) + 1
+   50 continue
+      end

@@ -1,0 +1,20 @@
+      subroutine ddflux(n, m, u, v, flux, p)
+      integer n, m, i, j
+      real u(n,m), v(n,m), flux(n,m), p(n,m)
+c     doduc-flavored physics sweeps: ZIV + strong SIV mixtures
+      do 20 j = 1, m
+         do 10 i = 2, n
+            flux(i, j) = u(i, j) - u(i-1, j) + v(i, j)*p(i, j)
+   10    continue
+   20 continue
+c     scalar-subscript (ZIV) boundary updates
+      do 30 j = 1, m
+         u(1, j) = u(2, j)
+         u(n, j) = u(n-1, j)
+         v(1, j) = 0.0
+   30 continue
+c     symbolic-constant offsets
+      do 40 i = 1, n
+         p(i, m) = p(i, m-1)
+   40 continue
+      end

@@ -1,0 +1,22 @@
+      subroutine twoel(n, x, g, f)
+      integer n, i, j
+      real x(n), g(n), f(n)
+c     fpppp-flavor integral accumulation with symbolic offsets
+      do 20 i = 1, n
+         do 10 j = 1, n
+            g(i) = g(i) + x(j)*f(j)
+   10    continue
+         g(i + n) = g(i)
+   20 continue
+      end
+      subroutine fmtgen(m, t, w)
+      integer m, i
+      real t(m), w(m)
+c     table generation: ZIV boundary cells + recurrence
+      t(1) = 1.0
+      w(1) = t(1)
+      do 30 i = 2, m
+         t(i) = t(i-1) * 0.5
+         w(i) = t(i) + w(i-1)
+   30 continue
+      end

@@ -1,0 +1,21 @@
+      subroutine sgemm(n, a, b, c)
+      integer n, i, j, k
+      real a(n,n), b(n,n), c(n,n)
+c     matrix multiply kernels in the three loop orders (SPEC matrix300)
+      do 30 j = 1, n
+         do 20 k = 1, n
+            do 10 i = 1, n
+               c(i, j) = c(i, j) + a(i, k)*b(k, j)
+   10       continue
+   20    continue
+   30 continue
+      end
+      subroutine sgemv(n, a, x, y)
+      integer n, i, j
+      real a(n,n), x(n), y(n)
+      do 50 j = 1, n
+         do 40 i = 1, n
+            y(i) = y(i) + a(i, j)*x(j)
+   40    continue
+   50 continue
+      end

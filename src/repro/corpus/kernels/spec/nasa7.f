@@ -1,0 +1,36 @@
+      subroutine fftker(n, m, x, y)
+      integer n, m, i, j, k
+      real x(n), y(n)
+c     FFT butterfly-style strided subscripts (NASA7 kernel flavor)
+      do 20 k = 1, m
+         do 10 i = 1, n/2
+            y(2*i-1) = x(i) + x(i + n/2)
+            y(2*i) = x(i) - x(i + n/2)
+   10    continue
+   20 continue
+      end
+      subroutine cholky(n, a)
+      integer n, i, j, k
+      real a(n,n)
+c     cholesky factorization triangular nest
+      do 60 j = 1, n
+         do 40 k = 1, j - 1
+            do 30 i = j, n
+               a(i, j) = a(i, j) - a(i, k)*a(j, k)
+   30       continue
+   40    continue
+         do 50 i = j+1, n
+            a(i, j) = a(i, j) / a(j, j)
+   50    continue
+   60 continue
+      end
+      subroutine vpenta(n, a, b, c, d, e, f)
+      integer n, i, j
+      real a(n,n), b(n,n), c(n,n), d(n,n), e(n,n), f(n,n)
+c     pentadiagonal inversion sweep
+      do 80 j = 3, n
+         do 70 i = 1, n
+            f(i, j) = f(i, j) - a(i, j)*f(i, j-2) - b(i, j)*f(i, j-1)
+   70    continue
+   80 continue
+      end

@@ -1,0 +1,27 @@
+      subroutine redblk2(n, m, u)
+      integer n, m, i, j
+      real u(n,m)
+c     red-black 2-D sweep on interleaved storage: GCD-provable strides
+      do 20 j = 1, m/2
+         do 10 i = 1, n/2
+            u(2*i, 2*j) = u(2*i - 1, 2*j - 1) + u(2*i - 1, 2*j + 1)
+   10    continue
+   20 continue
+      end
+      subroutine bound(n, m, u, edge)
+      integer n, m, i, j
+      real u(n,m), edge(n)
+c     boundary updates: many ZIV subscripts
+      do 30 j = 1, m
+         u(1, j) = u(2, j)
+         u(n, j) = u(n - 1, j)
+   30 continue
+      do 40 i = 2, n - 1
+         u(i, 1) = edge(i)
+         u(i, m) = edge(i)
+   40 continue
+      u(1, 1) = 0.5*(u(1, 2) + u(2, 1))
+      u(n, 1) = 0.5*(u(n, 2) + u(n - 1, 1))
+      u(1, m) = 0.5*(u(1, m - 1) + u(2, m))
+      u(n, m) = 0.5*(u(n, m - 1) + u(n - 1, m))
+      end

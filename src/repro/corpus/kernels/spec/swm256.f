@@ -1,0 +1,79 @@
+      program swm256
+      integer n, m, itmax, ncycle
+      real u(257,257), v(257,257), p(257,257)
+      real unew(257,257), vnew(257,257), pnew(257,257)
+      real uold(257,257), vold(257,257), pold(257,257)
+      real cu(257,257), cv(257,257), z(257,257), h(257,257)
+      real dt, tdt, dx, dy, alpha, tdts8, tdtsdx, tdtsdy
+      end
+      subroutine calc1(n, m, u, v, p, cu, cv, z, h, fsdx, fsdy)
+      integer n, m, i, j
+      real u(n,m), v(n,m), p(n,m), cu(n,m), cv(n,m), z(n,m), h(n,m)
+      real fsdx, fsdy
+c     SPEC swm256 first sweep: staggered-grid fluxes
+      do 100 j = 1, m - 1
+         do 100 i = 1, n - 1
+            cu(i+1, j) = 0.5*(p(i+1, j) + p(i, j))*u(i+1, j)
+            cv(i, j+1) = 0.5*(p(i, j+1) + p(i, j))*v(i, j+1)
+            z(i+1, j+1) = (fsdx*(v(i+1, j+1) - v(i, j+1)) - fsdy*(u(i+1, j+1)
+     &                  - u(i+1, j))) / (p(i, j) + p(i+1, j) + p(i+1, j+1)
+     &                  + p(i, j+1))
+            h(i, j) = p(i, j) + 0.25*(u(i+1, j)*u(i+1, j) + u(i, j)*u(i, j)
+     &              + v(i, j+1)*v(i, j+1) + v(i, j)*v(i, j))
+  100 continue
+      end
+      subroutine calc2(n, m, tdts8, tdtsdx, tdtsdy, u, v, p,
+     &                 unew, vnew, pnew, uold, vold, pold, cu, cv, z, h)
+      integer n, m, i, j
+      real tdts8, tdtsdx, tdtsdy
+      real u(n,m), v(n,m), p(n,m), unew(n,m), vnew(n,m), pnew(n,m)
+      real uold(n,m), vold(n,m), pold(n,m), cu(n,m), cv(n,m), z(n,m), h(n,m)
+c     second sweep: leapfrog update
+      do 200 j = 1, m - 1
+         do 200 i = 1, n - 1
+            unew(i+1, j) = uold(i+1, j) + tdts8*(z(i+1, j+1) + z(i+1, j))
+     &                   * (cv(i+1, j+1) + cv(i, j+1) + cv(i, j)
+     &                   + cv(i+1, j)) - tdtsdx*(h(i+1, j) - h(i, j))
+            vnew(i, j+1) = vold(i, j+1) - tdts8*(z(i+1, j+1) + z(i, j+1))
+     &                   * (cu(i+1, j+1) + cu(i, j+1) + cu(i, j)
+     &                   + cu(i+1, j)) - tdtsdy*(h(i, j+1) - h(i, j))
+            pnew(i, j) = pold(i, j) - tdtsdx*(cu(i+1, j) - cu(i, j))
+     &                 - tdtsdy*(cv(i, j+1) - cv(i, j))
+  200 continue
+      end
+      subroutine calc3(n, m, alpha, u, v, p, unew, vnew, pnew,
+     &                 uold, vold, pold)
+      integer n, m, i, j
+      real alpha
+      real u(n,m), v(n,m), p(n,m), unew(n,m), vnew(n,m), pnew(n,m)
+      real uold(n,m), vold(n,m), pold(n,m)
+c     third sweep: time smoothing (Robert filter)
+      do 300 j = 1, m
+         do 300 i = 1, n
+            uold(i, j) = u(i, j) + alpha*(unew(i, j) - 2.0*u(i, j)
+     &                 + uold(i, j))
+            vold(i, j) = v(i, j) + alpha*(vnew(i, j) - 2.0*v(i, j)
+     &                 + vold(i, j))
+            pold(i, j) = p(i, j) + alpha*(pnew(i, j) - 2.0*p(i, j)
+     &                 + pold(i, j))
+            u(i, j) = unew(i, j)
+            v(i, j) = vnew(i, j)
+            p(i, j) = pnew(i, j)
+  300 continue
+      end
+      subroutine bndry(n, m, u, v, p)
+      integer n, m, i, j
+      real u(n,m), v(n,m), p(n,m)
+c     periodic boundary conditions: many ZIV / weak-zero subscripts
+      do 400 j = 1, m
+         u(1, j) = u(n - 1, j)
+         v(1, j) = v(n - 1, j)
+         p(1, j) = p(n - 1, j)
+         u(n, j) = u(2, j)
+  400 continue
+      do 500 i = 1, n
+         u(i, 1) = u(i, m - 1)
+         v(i, 1) = v(i, m - 1)
+         p(i, m) = p(i, 2)
+  500 continue
+      end

@@ -1,0 +1,31 @@
+      subroutine tomcatv(n, x, y, rx, ry, aa, dd)
+      integer n, i, j
+      real x(n,n), y(n,n), rx(n,n), ry(n,n), aa(n,n), dd(n,n)
+      real xx, yx, xy, yy, a, b, c, d
+c     mesh generation sweeps from SPEC tomcatv (simplified)
+      do 60 j = 2, n - 1
+         do 50 i = 2, n - 1
+            xx = x(i+1, j) - x(i-1, j)
+            yx = y(i+1, j) - y(i-1, j)
+            xy = x(i, j+1) - x(i, j-1)
+            yy = y(i, j+1) - y(i, j-1)
+            a = 0.25 * (xy*xy + yy*yy)
+            b = 0.25 * (xx*xx + yx*yx)
+            c = 0.125 * (xx*xy + yx*yy)
+            rx(i, j) = a*x(i+1, j) + b*x(i, j+1) - c*x(i+1, j+1)
+            ry(i, j) = a*y(i+1, j) + b*y(i, j+1) - c*y(i+1, j+1)
+   50    continue
+   60 continue
+c     the paper's weak-zero example: use of first row y(1, j)
+      do 80 i = 1, n
+         aa(i, 1) = y(1, i)
+         dd(i, 1) = y(i, 1) + y(1, 1)
+   80 continue
+c     tridiagonal forward sweep (loop-carried recurrence)
+      do 100 j = 2, n
+         do 90 i = 2, n - 1
+            aa(i, j) = aa(i, j-1)*rx(i, j) + dd(i, j-1)
+            dd(i, j) = dd(i, j-1) + rx(i, j)
+   90    continue
+  100 continue
+      end

@@ -1,0 +1,43 @@
+"""The Delta test (Section 5 of the paper)."""
+
+from repro.delta.constraints import (
+    BOTTOM,
+    Constraint,
+    DistanceConstraint,
+    EmptyConstraint,
+    LineConstraint,
+    NoConstraint,
+    PointConstraint,
+    TOP,
+)
+from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions, constraint_from_siv, delta_test
+from repro.delta.normalize import normalize_pair, substitute_in_pair
+from repro.delta.propagate import (
+    RDIVLink,
+    match_rdiv_link,
+    rdiv_link_vectors,
+    rdiv_substitution,
+    substitutions_from_constraint,
+)
+
+__all__ = [
+    "BOTTOM",
+    "Constraint",
+    "DistanceConstraint",
+    "EmptyConstraint",
+    "LineConstraint",
+    "NoConstraint",
+    "PointConstraint",
+    "TOP",
+    "DEFAULT_OPTIONS",
+    "DeltaOptions",
+    "constraint_from_siv",
+    "delta_test",
+    "normalize_pair",
+    "substitute_in_pair",
+    "RDIVLink",
+    "match_rdiv_link",
+    "rdiv_link_vectors",
+    "rdiv_substitution",
+    "substitutions_from_constraint",
+]

@@ -1,0 +1,285 @@
+"""The Delta test's constraint lattice (Section 5.1-5.2).
+
+Cheap SIV tests on the subscripts of a coupled group yield *constraints* on
+each index's pair of iteration instances ``(i, i')``:
+
+* :class:`NoConstraint` — ⊤, nothing known yet;
+* :class:`DistanceConstraint` — ``i' - i = d`` (strong SIV; ``d`` possibly
+  symbolic);
+* :class:`LineConstraint` — ``a*i + b*i' = c`` (general/weak SIV; weak-zero
+  is the ``b == 0`` case);
+* :class:`PointConstraint` — ``i = x, i' = y`` (intersection of lines);
+* :class:`EmptyConstraint` — ⊥, the constraints are inconsistent and the
+  whole reference pair is independent.
+
+Constraint *intersection* (Section 5.2) is closed-form on every pair of
+shapes.  When symbolic terms keep an intersection from being decided, the
+lattice keeps one operand — a sound over-approximation (the true solution
+set is a subset of either operand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.classify.pairs import PairContext
+from repro.dirvec.direction import (
+    ALL_DIRECTIONS,
+    Direction,
+    IndexConstraint,
+    REFUTED,
+    UNCONSTRAINED,
+    constraint_from_distance,
+)
+from repro.symbolic.diophantine import has_solution_with_conditions
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import NEG_INF, POS_INF
+
+
+class Constraint:
+    """Base class of the Delta constraint lattice."""
+
+    __slots__ = ()
+
+    def intersect(self, other: "Constraint") -> "Constraint":
+        """Lattice meet — dispatches on both shapes."""
+        raise NotImplementedError
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        """Direction/distance summary of this constraint for the merge step."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NoConstraint(Constraint):
+    """⊤: the index is unconstrained."""
+
+    def intersect(self, other: Constraint) -> Constraint:
+        return other
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        return UNCONSTRAINED
+
+    def __str__(self) -> str:
+        return "<none>"
+
+
+@dataclass(frozen=True)
+class EmptyConstraint(Constraint):
+    """⊥: inconsistent constraints — independence proven."""
+
+    def intersect(self, other: Constraint) -> Constraint:
+        return self
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        return REFUTED
+
+    def __str__(self) -> str:
+        return "<empty>"
+
+
+TOP = NoConstraint()
+BOTTOM = EmptyConstraint()
+
+
+@dataclass(frozen=True)
+class DistanceConstraint(Constraint):
+    """``i' - i = d`` with ``d`` a (possibly symbolic) invariant expression."""
+
+    distance: LinearExpr
+
+    def intersect(self, other: Constraint) -> Constraint:
+        if isinstance(other, (NoConstraint, EmptyConstraint)):
+            return other.intersect(self)
+        if isinstance(other, DistanceConstraint):
+            difference = self.distance - other.distance
+            if difference == LinearExpr.ZERO:
+                return self
+            if difference.is_constant():
+                return BOTTOM
+            # Undecidable symbolically: keeping either operand soundly
+            # over-approximates the intersection; prefer a constant
+            # distance (it yields exact directions downstream).
+            if other.distance.is_constant():
+                return other
+            return self
+        if isinstance(other, LineConstraint):
+            return _intersect_distance_line(self, other)
+        if isinstance(other, PointConstraint):
+            return _check_point_against(other, self)
+        raise TypeError(f"cannot intersect with {other!r}")
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        if self.distance.is_constant():
+            return constraint_from_distance(self.distance.constant_value())
+        return constraint_from_distance(self.distance)
+
+    def __str__(self) -> str:
+        return f"<distance {self.distance}>"
+
+
+@dataclass(frozen=True)
+class LineConstraint(Constraint):
+    """``a*i + b*i' = c`` — a line in the (i, i') dependence plane."""
+
+    a: int
+    b: int
+    c: LinearExpr
+
+    def __post_init__(self) -> None:
+        if self.a == 0 and self.b == 0:
+            raise ValueError("a line constraint needs a nonzero coefficient")
+
+    def intersect(self, other: Constraint) -> Constraint:
+        if isinstance(other, (NoConstraint, EmptyConstraint)):
+            return other.intersect(self)
+        if isinstance(other, DistanceConstraint):
+            return _intersect_distance_line(other, self)
+        if isinstance(other, LineConstraint):
+            return _intersect_lines(self, other)
+        if isinstance(other, PointConstraint):
+            return _check_point_against(other, self)
+        raise TypeError(f"cannot intersect with {other!r}")
+
+    def pinned_source(self) -> Optional[LinearExpr]:
+        """``i = c/a`` when the line pins the source occurrence (``b == 0``)."""
+        if self.b == 0 and self.a != 0:
+            try:
+                return self.c.exact_div(self.a)
+            except ValueError:
+                return None
+        return None
+
+    def pinned_sink(self) -> Optional[LinearExpr]:
+        """``i' = c/b`` when the line pins the sink occurrence (``a == 0``)."""
+        if self.a == 0 and self.b != 0:
+            try:
+                return self.c.exact_div(self.b)
+            except ValueError:
+                return None
+        return None
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        from repro.classify.pairs import prime
+
+        if not self.c.is_constant():
+            return UNCONSTRAINED
+        c = self.c.constant_value()
+        src_range = context.range_of(index)
+        sink_range = context.range_of(prime(index))
+        box = [
+            (1, 0, src_range.lo, src_range.hi),
+            (0, 1, sink_range.lo, sink_range.hi),
+        ]
+        if not has_solution_with_conditions(self.a, self.b, c, box):
+            return REFUTED
+        directions = set()
+        if has_solution_with_conditions(self.a, self.b, c, box + [(1, -1, NEG_INF, -1)]):
+            directions.add(Direction.LT)
+        if has_solution_with_conditions(self.a, self.b, c, box + [(1, -1, 0, 0)]):
+            directions.add(Direction.EQ)
+        if has_solution_with_conditions(self.a, self.b, c, box + [(1, -1, 1, POS_INF)]):
+            directions.add(Direction.GT)
+        return IndexConstraint(frozenset(directions))
+
+    def __str__(self) -> str:
+        return f"<line {self.a}*i + {self.b}*i' = {self.c}>"
+
+
+@dataclass(frozen=True)
+class PointConstraint(Constraint):
+    """``i = x`` and ``i' = y`` with invariant expressions ``x``, ``y``."""
+
+    x: LinearExpr
+    y: LinearExpr
+
+    def intersect(self, other: Constraint) -> Constraint:
+        if isinstance(other, (NoConstraint, EmptyConstraint)):
+            return other.intersect(self)
+        if isinstance(other, PointConstraint):
+            if self.x == other.x and self.y == other.y:
+                return self
+            dx = self.x - other.x
+            dy = self.y - other.y
+            if (dx.is_constant() and dx.constant_value() != 0) or (
+                dy.is_constant() and dy.constant_value() != 0
+            ):
+                return BOTTOM
+            return self
+        return _check_point_against(self, other)
+
+    def to_index_constraint(self, index: str, context: PairContext) -> IndexConstraint:
+        distance = self.y - self.x
+        if distance.is_constant():
+            return constraint_from_distance(distance.constant_value())
+        return constraint_from_distance(distance)
+
+    def __str__(self) -> str:
+        return f"<point i={self.x}, i'={self.y}>"
+
+
+# ---------------------------------------------------------------------------
+# Intersection helpers
+# ---------------------------------------------------------------------------
+
+
+def _intersect_distance_line(
+    distance: DistanceConstraint, line: LineConstraint
+) -> Constraint:
+    """Substitute ``i' = i + d`` into ``a*i + b*i' = c``."""
+    coeff = line.a + line.b
+    rhs = line.c - distance.distance.scale(line.b)
+    if coeff == 0:
+        if rhs == LinearExpr.ZERO:
+            return distance  # the line contains the whole distance family
+        if rhs.is_constant():
+            return BOTTOM
+        return distance
+    try:
+        x = rhs.exact_div(coeff)
+    except ValueError:
+        if rhs.is_constant():
+            return BOTTOM  # non-integer intersection point
+        return distance
+    return PointConstraint(x, x + distance.distance)
+
+
+def _intersect_lines(first: LineConstraint, second: LineConstraint) -> Constraint:
+    """Solve the 2x2 system of two line constraints."""
+    det = first.a * second.b - second.a * first.b
+    if det == 0:
+        # Parallel lines: same line or no intersection.
+        scaled_diff = first.c.scale(second.a or second.b) - second.c.scale(
+            first.a or first.b
+        )
+        if scaled_diff == LinearExpr.ZERO:
+            return first
+        if scaled_diff.is_constant():
+            return BOTTOM
+        return first
+    x_num = first.c.scale(second.b) - second.c.scale(first.b)
+    y_num = second.c.scale(first.a) - first.c.scale(second.a)
+    try:
+        x = x_num.exact_div(det)
+        y = y_num.exact_div(det)
+    except ValueError:
+        if x_num.is_constant() and y_num.is_constant():
+            return BOTTOM  # rational but non-integer intersection
+        return first
+    return PointConstraint(x, y)
+
+
+def _check_point_against(point: PointConstraint, other: Constraint) -> Constraint:
+    """Verify a point against a distance or line constraint."""
+    if isinstance(other, DistanceConstraint):
+        residue = (point.y - point.x) - other.distance
+    elif isinstance(other, LineConstraint):
+        residue = point.x.scale(other.a) + point.y.scale(other.b) - other.c
+    else:
+        raise TypeError(f"cannot check point against {other!r}")
+    if residue == LinearExpr.ZERO:
+        return point
+    if residue.is_constant():
+        return BOTTOM
+    return point  # undecidable: keep the tighter operand

@@ -1,0 +1,63 @@
+"""Normalization of subscript pairs for the Delta test.
+
+The Delta test rewrites subscripts as constraints are propagated into them
+(e.g. substituting ``i' := i + 1`` can make the *same* unprimed index
+appear on both sides of a pair).  Classification and shape extraction
+assume source subscripts mention only unprimed occurrences and sink
+subscripts only primed ones, so after every substitution the pair is
+re-normalized around the dependence difference ``h = src - sink``:
+
+    src' = (unprimed index terms of h) + (invariant terms of h)
+    sink' = -(primed index terms of h)
+
+``src' - sink' == h`` always holds, identical occurrences cancel, and the
+pair's classification reflects the *reduced* equation — exactly the
+reduction step of the paper's Figure 3 examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.classify.pairs import PairContext, SubscriptPair, unprime, PRIME_SUFFIX
+from repro.symbolic.linexpr import LinearExpr
+
+
+def normalize_pair(pair: SubscriptPair, context: PairContext) -> SubscriptPair:
+    """Re-normalize a (linear) pair around its dependence difference."""
+    if not pair.is_linear:
+        return pair
+    h = pair.difference()
+    src_terms: Dict[str, int] = {}
+    sink_terms: Dict[str, int] = {}
+    for name, coeff in h.terms:
+        if name.endswith(PRIME_SUFFIX) and context.is_index(unprime(name)):
+            sink_terms[name] = -coeff
+        else:
+            src_terms[name] = coeff
+    src = LinearExpr(src_terms, h.const)
+    sink = LinearExpr(sink_terms, 0)
+    return SubscriptPair(pair.position, pair.src_raw, pair.sink_raw, src, sink)
+
+
+def substitute_in_pair(
+    pair: SubscriptPair,
+    context: PairContext,
+    substitutions: Dict[str, LinearExpr],
+) -> SubscriptPair:
+    """Apply variable substitutions to both sides and re-normalize.
+
+    Returns the original pair object unchanged when no substituted variable
+    occurs in it (so callers can detect progress by identity).
+    """
+    if not pair.is_linear:
+        return pair
+    assert pair.src is not None and pair.sink is not None
+    mentioned = pair.src.variables() | pair.sink.variables()
+    relevant = {name: expr for name, expr in substitutions.items() if name in mentioned}
+    if not relevant:
+        return pair
+    src = pair.src.substitute_all(relevant)
+    sink = pair.sink.substitute_all(relevant)
+    updated = SubscriptPair(pair.position, pair.src_raw, pair.sink_raw, src, sink)
+    return normalize_pair(updated, context)

@@ -1,0 +1,192 @@
+"""Constraint propagation for the Delta test (Section 5.3).
+
+Two propagation mechanisms:
+
+* **SIV constraint propagation** (5.3.1): a distance, point, or pinning
+  line constraint on index ``i`` is turned into variable substitutions
+  (``i' := i + d``; ``i := x, i' := y``; ``i := c/a`` / ``i' := c/b``) that
+  are applied to the remaining MIV subscripts of the coupled group,
+  typically reducing them to SIV or ZIV subscripts that can be retested.
+
+* **RDIV constraint propagation** (5.3.2): a pair of coupled RDIV
+  subscripts in opposite orientation (the classic ``A(i, j)`` vs
+  ``A(j, i)`` shape) yields *linked* dependence distances
+  ``d_u + d_v = s``; the legal joint direction vectors are derived exactly
+  by integer feasibility over the loop spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.classify.pairs import PairContext, prime
+from repro.classify.subscript import SIVShape
+from repro.delta.constraints import (
+    Constraint,
+    DistanceConstraint,
+    LineConstraint,
+    PointConstraint,
+)
+from repro.dirvec.direction import Direction
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import Interval, is_finite
+
+
+def substitutions_from_constraint(
+    base: str, constraint: Constraint, context: PairContext
+) -> Dict[str, LinearExpr]:
+    """Variable substitutions implied by an index constraint.
+
+    Only constraints that *pin* an occurrence (or tie the primed occurrence
+    to the unprimed one) propagate; a general line constraint relates the
+    occurrences without eliminating either, and the paper's algorithm does
+    not propagate it.
+    """
+    src_name, sink_name = context.occurrence_names(base)
+    substitutions: Dict[str, LinearExpr] = {}
+    if isinstance(constraint, DistanceConstraint) and src_name and sink_name:
+        substitutions[sink_name] = LinearExpr.var(src_name) + constraint.distance
+    elif isinstance(constraint, PointConstraint):
+        if src_name:
+            substitutions[src_name] = constraint.x
+        if sink_name:
+            substitutions[sink_name] = constraint.y
+    elif isinstance(constraint, LineConstraint):
+        pinned_src = constraint.pinned_source()
+        if pinned_src is not None and src_name:
+            substitutions[src_name] = pinned_src
+        pinned_sink = constraint.pinned_sink()
+        if pinned_sink is not None and sink_name:
+            substitutions[sink_name] = pinned_sink
+    return substitutions
+
+
+def rdiv_substitution(
+    shape: SIVShape, context: PairContext
+) -> Optional[Dict[str, LinearExpr]]:
+    """Express one occurrence of an RDIV equation in terms of the other.
+
+    ``a1*x + c1 = a2*y + c2`` gives ``y := (a1*x + c1 - c2)/a2`` when the
+    division is exact, else ``x := (a2*y + c2 - c1)/a1``.  Returns None when
+    neither direction divides evenly (the equation then only participates
+    through the RDIV independence test).
+    """
+    if shape.src_name is None or shape.sink_name is None:
+        return None
+    x = LinearExpr.var(shape.src_name)
+    y = LinearExpr.var(shape.sink_name)
+    if shape.a2 != 0:
+        numerator = x.scale(shape.a1) + shape.c1 - shape.c2
+        try:
+            return {shape.sink_name: numerator.exact_div(shape.a2)}
+        except ValueError:
+            pass
+    if shape.a1 != 0:
+        numerator = y.scale(shape.a2) + shape.c2 - shape.c1
+        try:
+            return {shape.src_name: numerator.exact_div(shape.a1)}
+        except ValueError:
+            pass
+    return None
+
+
+# ---------------------------------------------------------------------------
+# RDIV coupling (Section 5.3.2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RDIVLink:
+    """Two opposite-orientation RDIV subscripts linking indices ``u`` and ``v``.
+
+    Derived relation: ``u' = v + k2`` and ``v' = u + k1``, hence the
+    dependence distances satisfy ``d_u + d_v = k1 + k2``.
+    """
+
+    u: str
+    v: str
+    k1: int  # v' = u + k1
+    k2: int  # u' = v + k2
+
+    @property
+    def distance_sum(self) -> int:
+        return self.k1 + self.k2
+
+
+def match_rdiv_link(
+    first: SIVShape, second: SIVShape, context: PairContext
+) -> Optional[RDIVLink]:
+    """Detect the linked-RDIV pattern between two RDIV shapes.
+
+    ``first`` must relate source index ``u`` to sink index ``v``; ``second``
+    the reverse.  Both equations must have equal coefficients on their two
+    occurrences (the swap pattern ``A(a*i + c, a*j + e)`` vs
+    ``A(a*j + c', a*i + e')``) and integral offsets.
+    """
+    if first.src_name is None or first.sink_name is None:
+        return None
+    if second.src_name is None or second.sink_name is None:
+        return None
+    u = first.src_name
+    v_primed = first.sink_name
+    if second.src_name != _unprime(v_primed) or second.sink_name != prime(u):
+        return None
+    if first.a1 != first.a2 or first.a1 == 0:
+        return None
+    if second.a1 != second.a2 or second.a1 == 0:
+        return None
+    # first: a*u + c1 = a*v' + c2  ->  v' = u + (c1 - c2)/a
+    k1_expr = first.c1 - first.c2
+    k2_expr = second.c1 - second.c2
+    if not (k1_expr.is_constant() and k2_expr.is_constant()):
+        return None
+    if k1_expr.constant_value() % first.a1 != 0:
+        return None
+    if k2_expr.constant_value() % second.a1 != 0:
+        return None
+    k1 = k1_expr.constant_value() // first.a1
+    k2 = k2_expr.constant_value() // second.a1
+    return RDIVLink(u=u, v=_unprime(v_primed), k1=k1, k2=k2)
+
+
+def rdiv_link_vectors(
+    link: RDIVLink, context: PairContext
+) -> FrozenSet[Tuple[Direction, Direction]]:
+    """Joint direction vectors over ``(u, v)`` consistent with the link.
+
+    Distances satisfy ``d_u = t`` and ``d_v = s - t`` with ``|t|`` bounded
+    by the ``u`` loop span and ``|s - t|`` by the ``v`` loop span; each
+    joint direction pair is kept iff an integer ``t`` realizes it.
+    """
+    s = link.distance_sum
+    span_u = context.trip_span(link.u)
+    span_v = context.trip_span(link.v)
+    legal: List[Tuple[Direction, Direction]] = []
+    for du, dv in itertools.product(
+        (Direction.LT, Direction.EQ, Direction.GT), repeat=2
+    ):
+        t_range = _direction_interval(du, span_u)
+        # d_v = s - t  ->  t = s - d_v
+        dv_range = _direction_interval(dv, span_v)
+        t_from_v = Interval(s, s) - dv_range
+        if not t_range.intersect(t_from_v).is_empty():
+            legal.append((du, dv))
+    return frozenset(legal)
+
+
+def _direction_interval(direction: Direction, span: Interval) -> Interval:
+    """Integer distances compatible with a direction, bounded by the span."""
+    hi = span.hi if is_finite(span.hi) else float("inf")
+    if direction is Direction.LT:
+        return Interval(1, hi)
+    if direction is Direction.GT:
+        return Interval(-hi, -1)
+    return Interval(0, 0)
+
+
+def _unprime(name: str) -> str:
+    from repro.classify.pairs import unprime
+
+    return unprime(name)

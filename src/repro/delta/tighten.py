@@ -1,0 +1,114 @@
+"""FME-style range reduction inside the Delta test (Section 5.3 remark).
+
+"If desired, additional precision may be gained by utilizing the
+constraint to reduce the range of the remaining index, as in
+Fourier-Motzkin Elimination [44]."
+
+Each per-index constraint relates the two occurrences ``i`` and ``i'`` of
+an index, so it projects each occurrence's range through the other's:
+
+* ``i' = i + d``            →  ``R(i') ∩= R(i) + d`` and symmetrically;
+* ``a*i + b*i' = c``        →  ``R(i) ∩= (c - b*R(i')) / a`` (etc.);
+* ``i = x, i' = y``          →  point ranges.
+
+Resulting rational bounds are rounded inward (variables are integers), so
+ranges only ever shrink and remain integral.  The tightened ranges feed the
+SIV/RDIV/Banerjee tests of the group's remaining subscripts, buying extra
+refutations the constraint lattice alone cannot see.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Optional
+
+from repro.classify.pairs import PairContext
+from repro.delta.constraints import (
+    Constraint,
+    DistanceConstraint,
+    LineConstraint,
+    PointConstraint,
+)
+from repro.symbolic.ranges import Interval, ceil_frac, floor_frac, is_finite
+
+
+def integerize(interval: Interval) -> Interval:
+    """Round an interval inward to integer endpoints."""
+    lo = interval.lo
+    hi = interval.hi
+    if is_finite(lo):
+        lo = ceil_frac(lo if isinstance(lo, (int, Fraction)) else Fraction(lo))
+    if is_finite(hi):
+        hi = floor_frac(hi if isinstance(hi, (int, Fraction)) else Fraction(hi))
+    return Interval(lo, hi)
+
+
+def ranges_from_constraint(
+    base: str,
+    constraint: Constraint,
+    context: PairContext,
+    current: Dict[str, Interval],
+) -> Dict[str, Interval]:
+    """Range overrides implied by one index's constraint.
+
+    ``current`` holds overrides accumulated so far (consulted so chains of
+    constraints compose); returns only the *new* entries to merge.
+    """
+    src_name, sink_name = context.occurrence_names(base)
+    if src_name is None or sink_name is None:
+        return {}
+
+    def range_of(name: str) -> Interval:
+        return current.get(name, context.range_of(name))
+
+    overrides: Dict[str, Interval] = {}
+    if isinstance(constraint, DistanceConstraint):
+        if not constraint.distance.is_constant():
+            return {}
+        d = constraint.distance.constant_value()
+        overrides[sink_name] = integerize(range_of(src_name).shift(d))
+        overrides[src_name] = integerize(range_of(sink_name).shift(-d))
+    elif isinstance(constraint, PointConstraint):
+        if constraint.x.is_constant():
+            overrides[src_name] = Interval.point(constraint.x.constant_value())
+        if constraint.y.is_constant():
+            overrides[sink_name] = Interval.point(constraint.y.constant_value())
+    elif isinstance(constraint, LineConstraint):
+        if not constraint.c.is_constant():
+            return {}
+        c = constraint.c.constant_value()
+        a, b = constraint.a, constraint.b
+        if a != 0:
+            projected = (
+                Interval.point(c) - range_of(sink_name).scale(b)
+            ).scale(Fraction(1, a))
+            overrides[src_name] = integerize(projected)
+        if b != 0:
+            projected = (
+                Interval.point(c) - range_of(src_name).scale(a)
+            ).scale(Fraction(1, b))
+            overrides[sink_name] = integerize(projected)
+    return overrides
+
+
+def tighten_ranges(
+    constraints: Dict[str, Constraint],
+    context: PairContext,
+    rounds: int = 3,
+) -> Dict[str, Interval]:
+    """Fixpoint-ish range reduction over all current index constraints."""
+    overrides: Dict[str, Interval] = {}
+    for _ in range(rounds):
+        changed = False
+        for base, constraint in constraints.items():
+            for name, interval in ranges_from_constraint(
+                base, constraint, context, overrides
+            ).items():
+                previous = overrides.get(name, context.range_of(name))
+                merged = previous.intersect(interval)
+                if merged != previous:
+                    overrides[name] = merged
+                    changed = True
+        if not changed:
+            break
+    return overrides

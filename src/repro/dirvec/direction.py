@@ -1,0 +1,146 @@
+"""Dependence directions and distances (Section 2.1 of the paper).
+
+A *direction* relates the source and sink iterations of one common loop:
+``<`` means the source iteration precedes the sink (``i < i'``), ``=``
+equal, ``>`` follows.  ``*`` is the unconstrained top of the lattice.  A
+*distance* is the exact value ``d = i' - i`` when known; integer distances
+refine to a single direction, symbolic distances (difference of symbolic
+additive constants) keep direction ``*``.
+
+The module also defines the merge (intersection) operations used when
+combining per-subscript results: directions intersect as sets, distances
+must agree exactly or the dependence is refuted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import FrozenSet, Optional, Union
+
+from repro.symbolic.linexpr import LinearExpr
+
+Distance = Union[int, LinearExpr]
+
+
+class Direction(Enum):
+    """One component of a direction vector."""
+
+    LT = "<"
+    EQ = "="
+    GT = ">"
+
+    def __str__(self) -> str:
+        return self.value
+
+    def reverse(self) -> "Direction":
+        """The direction of the reversed dependence (``<`` ↔ ``>``)."""
+        if self is Direction.LT:
+            return Direction.GT
+        if self is Direction.GT:
+            return Direction.LT
+        return Direction.EQ
+
+
+#: Convenient direction sets; a set of basic directions plays the role of
+#: the classic {<, =, >, <=, >=, !=, *} lattice (e.g. {LT, EQ} is "<=").
+ALL_DIRECTIONS: FrozenSet[Direction] = frozenset(
+    (Direction.LT, Direction.EQ, Direction.GT)
+)
+LT_ONLY: FrozenSet[Direction] = frozenset((Direction.LT,))
+EQ_ONLY: FrozenSet[Direction] = frozenset((Direction.EQ,))
+GT_ONLY: FrozenSet[Direction] = frozenset((Direction.GT,))
+
+
+def direction_of_distance(distance: Distance) -> FrozenSet[Direction]:
+    """Directions consistent with an exact distance ``d = i' - i``."""
+    if isinstance(distance, LinearExpr):
+        if distance.is_constant():
+            distance = distance.constant_value()
+        else:
+            return ALL_DIRECTIONS
+    if distance > 0:
+        return LT_ONLY
+    if distance < 0:
+        return GT_ONLY
+    return EQ_ONLY
+
+
+def format_directions(directions: FrozenSet[Direction]) -> str:
+    """Render a direction set in the classic notation.
+
+    ``{<}`` → ``<``; ``{<, =}`` → ``<=``; ``{<, >}`` → ``!=``;
+    ``{<, =, >}`` → ``*``; the empty set → ``0`` (refuted).
+    """
+    if not directions:
+        return "0"
+    if directions == ALL_DIRECTIONS:
+        return "*"
+    if directions == frozenset((Direction.LT, Direction.EQ)):
+        return "<="
+    if directions == frozenset((Direction.GT, Direction.EQ)):
+        return ">="
+    if directions == frozenset((Direction.LT, Direction.GT)):
+        return "!="
+    return "".join(sorted(d.value for d in directions))
+
+
+@dataclass(frozen=True)
+class IndexConstraint:
+    """What is known about one common-loop index of a dependence.
+
+    ``directions`` is the set of still-possible directions (empty set means
+    the dependence is refuted on this index); ``distance`` is the exact
+    dependence distance when some test established one.  Constraints merge
+    by intersection: this is exactly the paper's "merge all the direction
+    vectors computed in the previous steps" for separable subscripts.
+    """
+
+    directions: FrozenSet[Direction] = ALL_DIRECTIONS
+    distance: Optional[Distance] = None
+
+    @property
+    def refuted(self) -> bool:
+        """True when no direction survives — independence on this index."""
+        return not self.directions
+
+    def merge(self, other: "IndexConstraint") -> "IndexConstraint":
+        """Intersect two constraints on the same index.
+
+        Conflicting exact distances refute the dependence (the constraint
+        intersection rule of Section 5.2: "if all distances are not equal,
+        then no dependences exist").
+        """
+        directions = self.directions & other.directions
+        distance = self.distance
+        if other.distance is not None:
+            if distance is None:
+                distance = other.distance
+            elif not _distances_equal(distance, other.distance):
+                return IndexConstraint(frozenset(), None)
+        if distance is not None:
+            directions = directions & direction_of_distance(distance)
+        return IndexConstraint(directions, distance)
+
+    def __str__(self) -> str:
+        text = format_directions(self.directions)
+        if self.distance is not None:
+            text += f" (d={self.distance})"
+        return text
+
+
+UNCONSTRAINED = IndexConstraint()
+REFUTED = IndexConstraint(frozenset(), None)
+
+
+def constraint_from_distance(distance: Distance) -> IndexConstraint:
+    """An :class:`IndexConstraint` carrying an exact distance."""
+    if isinstance(distance, LinearExpr) and distance.is_constant():
+        distance = distance.constant_value()
+    return IndexConstraint(direction_of_distance(distance), distance)
+
+
+def _distances_equal(a: Distance, b: Distance) -> bool:
+    a_expr = a if isinstance(a, LinearExpr) else LinearExpr.constant(a)
+    b_expr = b if isinstance(b, LinearExpr) else LinearExpr.constant(b)
+    return a_expr == b_expr

@@ -1,0 +1,208 @@
+"""Direction and distance vectors over a common loop nest.
+
+A :class:`DependenceInfo` summarizes everything the tests proved about a
+candidate dependence between two references: per-common-index
+:class:`~repro.dirvec.direction.IndexConstraint` entries.  It expands into
+the minimal complete set of direction vectors (the paper's output format),
+computes the carried level, and supports the merge used by the driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dirvec.direction import (
+    ALL_DIRECTIONS,
+    Direction,
+    Distance,
+    IndexConstraint,
+    UNCONSTRAINED,
+    format_directions,
+)
+
+DirectionVector = Tuple[Direction, ...]
+DistanceVector = Tuple[Optional[Distance], ...]
+
+#: A coupling: an explicit set of joint direction assignments over a subset
+#: of indices (produced by the MIV direction hierarchy, where the legal
+#: vectors need not form a cartesian product).
+Coupling = Tuple[Tuple[str, ...], FrozenSet[Tuple[Direction, ...]]]
+
+
+@dataclass
+class DependenceInfo:
+    """Per-index dependence knowledge over a common loop nest.
+
+    ``indices`` lists the common loop indices outermost-first; every index
+    has a constraint (defaulting to unconstrained).  The dependence as a
+    whole is *refuted* when any index's constraint is refuted — separable
+    subscript systems solve independently, so one independent position
+    kills the whole dependence (Section 2.2).
+
+    ``couplings`` carry non-rectangular joint constraints from MIV
+    subscripts: each entry restricts the directions of several indices
+    *simultaneously* to an explicit vector set, as PFC's Banerjee hierarchy
+    produces.  :meth:`direction_vectors` intersects the cartesian product of
+    the per-index sets with every coupling.
+    """
+
+    indices: Tuple[str, ...]
+    constraints: Dict[str, IndexConstraint] = field(default_factory=dict)
+    couplings: List[Coupling] = field(default_factory=list)
+
+    def constraint(self, index: str) -> IndexConstraint:
+        """The constraint on ``index`` (unconstrained when never tested)."""
+        return self.constraints.get(index, UNCONSTRAINED)
+
+    @property
+    def refuted(self) -> bool:
+        """True when some index has no surviving direction."""
+        return any(self.constraint(i).refuted for i in self.indices)
+
+    def merge_index(self, index: str, constraint: IndexConstraint) -> None:
+        """Intersect new knowledge about one index into the summary."""
+        self.constraints[index] = self.constraint(index).merge(constraint)
+
+    def merge(self, other: "DependenceInfo") -> None:
+        """Intersect all of another summary's constraints into this one."""
+        for index, constraint in other.constraints.items():
+            if index in self.indices:
+                self.merge_index(index, constraint)
+        for coupling in other.couplings:
+            self.add_coupling(*coupling)
+
+    def add_coupling(
+        self,
+        coupled_indices: Tuple[str, ...],
+        vectors: FrozenSet[Tuple[Direction, ...]],
+    ) -> None:
+        """Record a joint direction constraint over several indices.
+
+        Also folds the per-index projections into the rectangular
+        constraints so simple queries stay precise, and refutes the
+        dependence when the vector set is empty.
+        """
+        kept = tuple(i for i in coupled_indices if i in self.indices)
+        if len(kept) != len(coupled_indices):
+            positions = [
+                pos for pos, i in enumerate(coupled_indices) if i in self.indices
+            ]
+            vectors = frozenset(
+                tuple(vec[pos] for pos in positions) for vec in vectors
+            )
+            coupled_indices = kept
+        if not coupled_indices:
+            return
+        self.couplings.append((coupled_indices, vectors))
+        for position, index in enumerate(coupled_indices):
+            projected = frozenset(vec[position] for vec in vectors)
+            self.merge_index(index, IndexConstraint(projected))
+
+    # ------------------------------------------------------------------
+
+    def direction_vectors(self) -> FrozenSet[DirectionVector]:
+        """The complete set of possible direction vectors.
+
+        The cartesian product of the per-index direction sets, intersected
+        with every recorded coupling.  Empty when refuted.  Callers that
+        care about legality (the all-``=`` vector is only a real dependence
+        when the source lexically precedes the sink) filter afterwards —
+        see :mod:`repro.graph`.
+        """
+        if self.refuted:
+            return frozenset()
+        choices: List[Iterable[Direction]] = []
+        for index in self.indices:
+            directions = self.constraint(index).directions
+            choices.append(sorted(directions, key=lambda d: d.value))
+        candidates = itertools.product(*choices)
+        if not self.couplings:
+            return frozenset(candidates)
+        position_of = {index: pos for pos, index in enumerate(self.indices)}
+        survivors = []
+        for vector in candidates:
+            if all(
+                tuple(vector[position_of[i]] for i in coupled) in allowed
+                for coupled, allowed in self.couplings
+            ):
+                survivors.append(vector)
+        return frozenset(survivors)
+
+    def distance_vector(self) -> DistanceVector:
+        """Per-index exact distances (None where unknown)."""
+        return tuple(self.constraint(i).distance for i in self.indices)
+
+    def has_full_distance_vector(self) -> bool:
+        """True when every index has an exact distance."""
+        return all(self.constraint(i).distance is not None for i in self.indices)
+
+    def carried_levels(self) -> FrozenSet[int]:
+        """Levels (1-based) at which some direction vector is carried.
+
+        A dependence is carried by the outermost loop whose direction is not
+        ``=``; vectors that are all ``=`` are loop-independent (level 0 by
+        convention here).
+        """
+        levels = set()
+        for vector in self.direction_vectors():
+            levels.add(carrier_level(vector))
+        return frozenset(levels)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{index}: {self.constraint(index)}" for index in self.indices
+        )
+        return f"DependenceInfo({inner})"
+
+
+def carrier_level(vector: DirectionVector) -> int:
+    """The 1-based carrying level of a direction vector (0 = loop independent)."""
+    for level, direction in enumerate(vector, start=1):
+        if direction is not Direction.EQ:
+            return level
+    return 0
+
+
+def is_plausible(vector: DirectionVector) -> bool:
+    """True when the leading non-``=`` direction is ``<``.
+
+    Vectors whose leading non-``=`` is ``>`` denote the *reversed*
+    dependence (sink to source); per the paper (citing Burke & Cytron) they
+    are reported as the reverse edge with the vector element-wise reversed.
+    The all-``=`` vector is plausible (loop-independent).
+    """
+    for direction in vector:
+        if direction is Direction.LT:
+            return True
+        if direction is Direction.GT:
+            return False
+    return True
+
+
+def reverse_vector(vector: DirectionVector) -> DirectionVector:
+    """Element-wise reversal (``<`` ↔ ``>``) for the reversed dependence."""
+    return tuple(d.reverse() for d in vector)
+
+
+def format_vector(vector: DirectionVector) -> str:
+    """Render ``(<, =, >)`` style."""
+    return "(" + ", ".join(str(d) for d in vector) + ")"
+
+
+def format_vector_set(vectors: Iterable[DirectionVector]) -> str:
+    """Render a set of vectors sorted lexicographically."""
+    rendered = sorted(format_vector(v) for v in vectors)
+    return "{" + ", ".join(rendered) + "}"
+
+
+def summarize_directions(
+    vectors: Iterable[DirectionVector], depth: int
+) -> Tuple[FrozenSet[Direction], ...]:
+    """Per-position union of directions over a vector set (for compact display)."""
+    union: List[set] = [set() for _ in range(depth)]
+    for vector in vectors:
+        for position, direction in enumerate(vector):
+            union[position].add(direction)
+    return tuple(frozenset(s) for s in union)

@@ -1,0 +1,32 @@
+"""Fortran DO-loop subset front end (lexer + parser).
+
+Substitutes for PFC's Fortran front end: it parses exactly the fragment
+class the paper's dependence tests consume — DO loops (labeled or
+ENDDO-closed) with affine bounds, assignments over scalar/array references,
+and IF regions — and skips declarations and I/O.
+"""
+
+from repro.fortran.errors import FortranSyntaxError
+from repro.fortran.lexer import LogicalLine, Token, preprocess, tokenize
+from repro.fortran.parser import (
+    INTRINSICS,
+    parse_expression,
+    parse_fragment,
+    parse_program,
+    parse_reference,
+    parse_routine,
+)
+
+__all__ = [
+    "FortranSyntaxError",
+    "LogicalLine",
+    "Token",
+    "preprocess",
+    "tokenize",
+    "INTRINSICS",
+    "parse_expression",
+    "parse_fragment",
+    "parse_program",
+    "parse_reference",
+    "parse_routine",
+]

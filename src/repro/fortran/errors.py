@@ -1,0 +1,17 @@
+"""Diagnostics for the Fortran-subset front end."""
+
+from __future__ import annotations
+
+
+class FortranSyntaxError(SyntaxError):
+    """A parse error in the Fortran-subset front end.
+
+    Carries the (1-based) source line number and the offending text so the
+    corpus loader can report exactly which kernel line failed.
+    """
+
+    def __init__(self, message: str, line_number: int = 0, line_text: str = ""):
+        location = f" (line {line_number}: {line_text.strip()!r})" if line_number else ""
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line_text = line_text

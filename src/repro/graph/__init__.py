@@ -1,0 +1,21 @@
+"""Dependence graph construction over loop nests."""
+
+from repro.graph.depgraph import (
+    DependenceEdge,
+    DependenceGraph,
+    DependenceType,
+    build_dependence_graph,
+    iter_candidate_pairs,
+    dependence_type,
+    loop_key,
+)
+
+__all__ = [
+    "DependenceEdge",
+    "DependenceGraph",
+    "DependenceType",
+    "build_dependence_graph",
+    "iter_candidate_pairs",
+    "dependence_type",
+    "loop_key",
+]

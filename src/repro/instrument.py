@@ -1,0 +1,58 @@
+"""Test-application instrumentation.
+
+The paper's empirical study (its Table 3) counts, for every dependence
+test, how many times PFC applied it and how many independences it proved.
+A :class:`TestRecorder` threads through the driver and the Delta test to
+collect exactly those counters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.single.outcome import TestOutcome
+
+
+@dataclass
+class TestRecorder:
+    """Counts test applications and proved independences by test name."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    applications: Counter = field(default_factory=Counter)
+    independences: Counter = field(default_factory=Counter)
+
+    def record(self, outcome: TestOutcome) -> TestOutcome:
+        """Record one test application; returns the outcome for chaining."""
+        if outcome.applicable:
+            self.applications[outcome.test] += 1
+            if outcome.independent:
+                self.independences[outcome.test] += 1
+        return outcome
+
+    def merge(self, other: "TestRecorder") -> None:
+        """Fold another recorder's counters into this one."""
+        self.applications.update(other.applications)
+        self.independences.update(other.independences)
+
+    def rows(self) -> List[Tuple[str, int, int]]:
+        """``(test, applications, independences)`` rows, sorted by name."""
+        names = sorted(set(self.applications) | set(self.independences))
+        return [
+            (name, self.applications[name], self.independences[name])
+            for name in names
+        ]
+
+    def __str__(self) -> str:
+        lines = [f"{name}: {apps} applied, {inds} independent"
+                 for name, apps, inds in self.rows()]
+        return "\n".join(lines) or "<no tests recorded>"
+
+
+def maybe_record(recorder: Optional[TestRecorder], outcome: TestOutcome) -> TestOutcome:
+    """Record when a recorder is present; always returns the outcome."""
+    if recorder is not None:
+        recorder.record(outcome)
+    return outcome

@@ -1,0 +1,86 @@
+"""Loop-nest intermediate representation.
+
+The IR is deliberately small: ``DO`` loops with affine bounds, assignments
+over scalar and array references, and opaque conditionals.  This is exactly
+the program fragment class the paper's dependence tests read — everything
+else in a real Fortran program is irrelevant to subscript analysis.
+"""
+
+from repro.ir.expr import (
+    Add,
+    Call,
+    Const,
+    Div,
+    Expr,
+    IndexedLoad,
+    Mul,
+    Neg,
+    Sub,
+    Var,
+    as_expr,
+    from_linear,
+    to_linear,
+)
+from repro.ir.loop import (
+    AccessSite,
+    ArrayRef,
+    Assign,
+    Conditional,
+    Loop,
+    Node,
+    Ref,
+    ScalarRef,
+    Stmt,
+    collect_access_sites,
+    common_loops,
+    format_body,
+    loops_in,
+    walk_nodes,
+)
+from repro.ir.context import LoopContext, SymbolEnv, cached_loop_context, eval_interval
+from repro.ir.program import Program, Routine
+from repro.ir.builder import NestBuilder, single_nest
+from repro.ir.normalize import normalize_program, normalize_steps
+from repro.ir.scalars import substitute_scalars, substitute_scalars_program
+
+__all__ = [
+    "Add",
+    "Call",
+    "Const",
+    "Div",
+    "Expr",
+    "IndexedLoad",
+    "Mul",
+    "Neg",
+    "Sub",
+    "Var",
+    "as_expr",
+    "from_linear",
+    "to_linear",
+    "AccessSite",
+    "ArrayRef",
+    "Assign",
+    "Conditional",
+    "Loop",
+    "Node",
+    "Ref",
+    "ScalarRef",
+    "Stmt",
+    "collect_access_sites",
+    "common_loops",
+    "format_body",
+    "loops_in",
+    "walk_nodes",
+    "LoopContext",
+    "SymbolEnv",
+    "cached_loop_context",
+    "eval_interval",
+    "Program",
+    "Routine",
+    "NestBuilder",
+    "single_nest",
+    "normalize_program",
+    "normalize_steps",
+    "substitute_scalars",
+    "substitute_scalars_program",
+]

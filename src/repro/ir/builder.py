@@ -1,0 +1,135 @@
+"""A small Python DSL for building loop nests in tests and examples.
+
+Expressions and references may be given as strings in Fortran syntax (parsed
+by the :mod:`repro.fortran` front end) or as :mod:`repro.ir.expr` objects::
+
+    b = NestBuilder()
+    with b.loop("i", 1, "n"):
+        with b.loop("j", 1, "i"):
+            b.assign("a(i, j)", "a(i-1, j) + a(i, j-1)")
+    nest = b.build()
+
+The builder exists so that unit tests and worked paper examples do not have
+to round-trip through full source files.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Union
+
+from repro.ir.expr import Expr, as_expr
+from repro.ir.loop import ArrayRef, Assign, Conditional, Loop, Node, ScalarRef, Ref
+from repro.ir.program import Program, Routine
+
+ExprInput = Union[Expr, int, str]
+RefInput = Union[ArrayRef, ScalarRef, str]
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a Fortran-syntax expression string."""
+    from repro.fortran.parser import parse_expression
+
+    return parse_expression(text)
+
+
+def parse_ref(text: str) -> Ref:
+    """Parse a Fortran-syntax reference such as ``a(i, j+1)`` or ``x``."""
+    from repro.fortran.parser import parse_reference
+
+    return parse_reference(text)
+
+
+def _coerce_expr(value: ExprInput) -> Expr:
+    if isinstance(value, str) and not value.isidentifier():
+        return parse_expr(value)
+    return as_expr(value)
+
+
+def _coerce_ref(value: RefInput) -> Ref:
+    if isinstance(value, (ArrayRef, ScalarRef)):
+        return value
+    if isinstance(value, str):
+        if "(" in value:
+            return parse_ref(value)
+        return ScalarRef(value.strip().lower())
+    raise TypeError(f"cannot interpret {value!r} as a reference")
+
+
+class NestBuilder:
+    """Accumulates loops and statements through nested ``with`` blocks."""
+
+    def __init__(self) -> None:
+        self._root: List[Node] = []
+        self._stack: List[List[Node]] = [self._root]
+
+    @contextmanager
+    def loop(
+        self,
+        index: str,
+        lower: ExprInput,
+        upper: ExprInput,
+        step: int = 1,
+        label: Optional[str] = None,
+    ) -> Iterator[Loop]:
+        """Open a ``DO index = lower, upper [, step]`` region."""
+        node = Loop(
+            index.lower(),
+            _coerce_expr(lower),
+            _coerce_expr(upper),
+            step,
+            [],
+            label,
+        )
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def conditional(self, condition: str) -> Iterator[Conditional]:
+        """Open an ``IF (condition) THEN`` region."""
+        node = Conditional(condition, [])
+        self._stack[-1].append(node)
+        self._stack.append(node.body)
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    def assign(self, lhs: RefInput, rhs: ExprInput, label: Optional[str] = None) -> Assign:
+        """Append an assignment to the current region."""
+        if isinstance(rhs, str):
+            rhs_expr = parse_expr(rhs)
+        else:
+            rhs_expr = as_expr(rhs)
+        stmt = Assign(_coerce_ref(lhs), rhs_expr, label)
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def build(self) -> List[Node]:
+        """The accumulated top-level node list."""
+        if len(self._stack) != 1:
+            raise RuntimeError("build() called with unclosed loop regions")
+        return self._root
+
+    def build_routine(self, name: str = "main") -> Routine:
+        """Wrap the accumulated nodes in a routine."""
+        return Routine(name, self.build())
+
+    def build_program(self, name: str = "main", suite: Optional[str] = None) -> Program:
+        """Wrap the accumulated nodes in a single-routine program."""
+        return Program(name, [self.build_routine(name)], suite)
+
+
+def single_nest(source: str) -> List[Node]:
+    """Parse a source fragment (one or more statements) into IR nodes.
+
+    Convenience wrapper around the Fortran parser for doctests and unit
+    tests.
+    """
+    from repro.fortran.parser import parse_fragment
+
+    return parse_fragment(source)

@@ -1,0 +1,275 @@
+"""Surface expression trees for subscript and bound expressions.
+
+The Fortran front end parses subscripts into these trees *before* linearity
+is known: the paper's Table 1 counts nonlinear subscripts (e.g. ``A(I*J)`` or
+index arrays), so the IR must be able to represent them even though no
+dependence test applies.  :func:`to_linear` normalizes a tree into a
+:class:`~repro.symbolic.linexpr.LinearExpr`, raising
+:class:`~repro.symbolic.linexpr.NonlinearExpressionError` when the tree is
+not affine in its variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Set, Tuple, Union
+
+from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError
+
+
+class Expr:
+    """Base class for surface expressions."""
+
+    __slots__ = ()
+
+    def variables(self) -> Set[str]:
+        """All variable names mentioned in the tree."""
+        return {node.name for node in self.walk() if isinstance(node, Var)}
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the tree."""
+        yield self
+
+    def is_linear(self) -> bool:
+        """True when :func:`to_linear` would succeed."""
+        try:
+            to_linear(self)
+        except NonlinearExpressionError:
+            return False
+        return True
+
+    # Operator sugar so tests and examples can compose expressions naturally.
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return Add(self, as_expr(other))
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return Add(as_expr(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return Sub(self, as_expr(other))
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return Sub(as_expr(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return Mul(self, as_expr(other))
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return Mul(as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+
+ExprLike = Union[Expr, int, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce ints to :class:`Const` and strings to :class:`Var`."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"cannot interpret {value!r} as an expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable: a loop index or a loop-invariant symbol."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class RealConst(Expr):
+    """A floating-point literal.
+
+    Real constants are legal in right-hand sides (where only array
+    references matter for dependence testing) but make a subscript
+    nonlinear — Fortran would not allow one there anyway.
+    """
+
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class _BinOp(Expr):
+    left: Expr
+    right: Expr
+
+    OP = "?"
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.OP} {self.right})"
+
+
+class Add(_BinOp):
+    """``left + right``."""
+
+    OP = "+"
+
+
+class Sub(_BinOp):
+    """``left - right``."""
+
+    OP = "-"
+
+
+class Mul(_BinOp):
+    """``left * right``."""
+
+    OP = "*"
+
+
+class Div(_BinOp):
+    """``left / right`` — integer division; linear only when exact and by a constant."""
+
+    OP = "/"
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary minus."""
+
+    operand: Expr
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.operand.walk()
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+@dataclass(frozen=True)
+class IndexedLoad(Expr):
+    """An array element used *inside an expression*, e.g. ``B(K(I))``.
+
+    Subscripted loads appearing within a subscript make that subscript
+    nonlinear (index arrays); as a right-hand-side value they are simply a
+    read reference, collected by the IR walker.
+    """
+
+    array: str
+    subscripts: Tuple[Expr, ...]
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for sub in self.subscripts:
+            yield from sub.walk()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.array}({inner})"
+
+
+@dataclass(frozen=True)
+class Opaque(Expr):
+    """A value the analyses must not reason about.
+
+    The scalar-substitution prepass wraps loop-variant scalars that survive
+    into array subscripts: treating such a scalar as an ordinary symbol
+    would let the ZIV/SIV tests assume it is loop-invariant, which is
+    unsound.  ``to_linear`` rejects the node, so classification lands on
+    NONLINEAR and the driver stays conservative.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.name}?"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic or external function call, e.g. ``SQRT(X)``, ``MOD(I,2)``.
+
+    Calls are opaque to dependence testing; a subscript containing one is
+    nonlinear.
+    """
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def to_linear(expr: Expr) -> LinearExpr:
+    """Normalize a surface tree to an affine :class:`LinearExpr`.
+
+    Raises :class:`NonlinearExpressionError` for products of variables,
+    non-exact division, indexed loads, and calls.
+    """
+    if isinstance(expr, Const):
+        return LinearExpr.constant(expr.value)
+    if isinstance(expr, Var):
+        return LinearExpr.var(expr.name)
+    if isinstance(expr, Add):
+        return to_linear(expr.left) + to_linear(expr.right)
+    if isinstance(expr, Sub):
+        return to_linear(expr.left) - to_linear(expr.right)
+    if isinstance(expr, Neg):
+        return -to_linear(expr.operand)
+    if isinstance(expr, Mul):
+        return to_linear(expr.left) * to_linear(expr.right)
+    if isinstance(expr, Div):
+        left = to_linear(expr.left)
+        right = to_linear(expr.right)
+        if not right.is_constant():
+            raise NonlinearExpressionError(f"division by non-constant in {expr}")
+        divisor = right.constant_value()
+        if divisor == 0:
+            raise NonlinearExpressionError(f"division by zero in {expr}")
+        try:
+            return left.exact_div(divisor)
+        except ValueError as exc:
+            raise NonlinearExpressionError(f"non-exact division in {expr}") from exc
+    if isinstance(expr, (IndexedLoad, Call, RealConst, Opaque)):
+        raise NonlinearExpressionError(f"{expr} is not an affine expression")
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def from_linear(linear: LinearExpr) -> Expr:
+    """Rebuild a surface tree from a :class:`LinearExpr` (for printing)."""
+    result: Expr = Const(linear.const)
+    started = linear.const != 0
+    for name, coeff in linear.terms:
+        term: Expr = Var(name) if coeff == 1 else Mul(Const(coeff), Var(name))
+        if not started:
+            result = term
+            started = True
+        else:
+            result = Add(result, term)
+    if not started:
+        return Const(0)
+    return result

@@ -1,0 +1,124 @@
+"""Loop normalization: remove non-unit steps.
+
+The dependence tests (and the paper) assume *normalized* loops with step 1.
+``DO I = L, U, S`` is rewritten to ``DO I$ = 0, (U - L) / S`` with every use
+of ``I`` replaced by ``L + S * I$``.  When ``(U - L)`` is not provably
+divisible by ``S`` the normalized upper bound uses the floor, which is the
+correct trip count for Fortran DO semantics.
+
+The paper's Section 1.5 assumes induction-variable substitution and loop
+normalization have already run in PFC; this pass makes our front end meet
+that assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.expr import (
+    Add,
+    Call,
+    Const,
+    Div,
+    Expr,
+    IndexedLoad,
+    Mul,
+    Neg,
+    Opaque,
+    RealConst,
+    Sub,
+    Var,
+)
+from repro.ir.loop import ArrayRef, Assign, Conditional, Loop, Node, ScalarRef
+from repro.ir.program import Program, Routine
+
+
+def normalize_steps(body: List[Node], suffix: str = "$") -> List[Node]:
+    """Return a copy of ``body`` with every non-unit-step loop normalized.
+
+    Negative steps (``DO I = U, L, -1``) and strides (``DO I = 1, N, 2``)
+    both normalize to unit-step loops from 0.  Loops already at step 1 are
+    rebuilt structurally but keep their index names.
+    """
+    return [_normalize_node(node, {}, suffix) for node in body]
+
+
+def normalize_program(program: Program, suffix: str = "$") -> Program:
+    """Normalize every routine of a program."""
+    routines = [
+        Routine(r.name, normalize_steps(r.body, suffix), r.source_lines)
+        for r in program.routines
+    ]
+    return Program(program.name, routines, program.suite)
+
+
+def _normalize_node(node: Node, subst: Dict[str, Expr], suffix: str) -> Node:
+    if isinstance(node, Loop):
+        return _normalize_loop(node, subst, suffix)
+    if isinstance(node, Conditional):
+        return Conditional(
+            node.condition,
+            [_normalize_node(item, subst, suffix) for item in node.body],
+        )
+    if isinstance(node, Assign):
+        return Assign(
+            _subst_ref(node.lhs, subst),
+            _subst_expr(node.rhs, subst),
+            node.label,
+        )
+    raise TypeError(f"unknown node {node!r}")
+
+
+def _normalize_loop(loop: Loop, subst: Dict[str, Expr], suffix: str) -> Loop:
+    lower = _subst_expr(loop.lower, subst)
+    upper = _subst_expr(loop.upper, subst)
+    if loop.step == 1:
+        inner_subst = dict(subst)
+        inner_subst.pop(loop.index, None)
+        body = [_normalize_node(item, inner_subst, suffix) for item in loop.body]
+        return Loop(loop.index, lower, upper, 1, body, loop.label)
+    new_index = loop.index + suffix
+    # trip-1 = floor((upper - lower) / step); the Div node is normalized
+    # lazily — when the difference is a multiple of step, to_linear succeeds,
+    # otherwise the bound is treated as non-affine (conservative).
+    span = Sub(upper, lower) if loop.step > 0 else Sub(lower, upper)
+    new_upper: Expr = Div(span, Const(abs(loop.step)))
+    replacement: Expr = Add(lower, Mul(Const(loop.step), Var(new_index)))
+    inner_subst = dict(subst)
+    inner_subst[loop.index] = replacement
+    body = [_normalize_node(item, inner_subst, suffix) for item in loop.body]
+    return Loop(new_index, Const(0), new_upper, 1, body, loop.label)
+
+
+def _subst_ref(ref, subst: Dict[str, Expr]):
+    if isinstance(ref, ArrayRef):
+        return ArrayRef(
+            ref.array, tuple(_subst_expr(s, subst) for s in ref.subscripts)
+        )
+    if isinstance(ref, ScalarRef):
+        return ref
+    raise TypeError(f"unknown reference {ref!r}")
+
+
+def _subst_expr(expr: Expr, subst: Dict[str, Expr]) -> Expr:
+    if isinstance(expr, (Const, RealConst, Opaque)):
+        return expr
+    if isinstance(expr, Var):
+        return subst.get(expr.name, expr)
+    if isinstance(expr, Add):
+        return Add(_subst_expr(expr.left, subst), _subst_expr(expr.right, subst))
+    if isinstance(expr, Sub):
+        return Sub(_subst_expr(expr.left, subst), _subst_expr(expr.right, subst))
+    if isinstance(expr, Mul):
+        return Mul(_subst_expr(expr.left, subst), _subst_expr(expr.right, subst))
+    if isinstance(expr, Div):
+        return Div(_subst_expr(expr.left, subst), _subst_expr(expr.right, subst))
+    if isinstance(expr, Neg):
+        return Neg(_subst_expr(expr.operand, subst))
+    if isinstance(expr, IndexedLoad):
+        return IndexedLoad(
+            expr.array, tuple(_subst_expr(s, subst) for s in expr.subscripts)
+        )
+    if isinstance(expr, Call):
+        return Call(expr.name, tuple(_subst_expr(a, subst) for a in expr.args))
+    raise TypeError(f"unknown expression {expr!r}")

@@ -1,0 +1,57 @@
+"""Programs and routines: the unit the empirical study iterates over.
+
+The paper's Table 1 reports per-program statistics (lines, number of
+subroutines, subscript complexity); a :class:`Program` groups the parsed
+routines of one benchmark and remembers enough metadata to regenerate that
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.loop import AccessSite, Loop, Node, collect_access_sites, loops_in
+
+
+@dataclass
+class Routine:
+    """A subroutine/function body: a list of top-level nodes."""
+
+    name: str
+    body: List[Node] = field(default_factory=list)
+    source_lines: int = 0
+
+    def access_sites(self) -> List[AccessSite]:
+        """All array access sites in this routine."""
+        return collect_access_sites(self.body)
+
+    def loops(self) -> List[Loop]:
+        """All loops, outer before inner."""
+        return list(loops_in(self.body))
+
+    def __str__(self) -> str:
+        return f"Routine {self.name} ({len(self.body)} top-level nodes)"
+
+
+@dataclass
+class Program:
+    """A named collection of routines (one benchmark program or library)."""
+
+    name: str
+    routines: List[Routine] = field(default_factory=list)
+    suite: Optional[str] = None
+
+    @property
+    def source_lines(self) -> int:
+        """Total source lines across routines."""
+        return sum(routine.source_lines for routine in self.routines)
+
+    def access_sites(self) -> Iterator[Tuple[Routine, AccessSite]]:
+        """All array access sites paired with their routine."""
+        for routine in self.routines:
+            for site in routine.access_sites():
+                yield routine, site
+
+    def __str__(self) -> str:
+        return f"Program {self.name}: {len(self.routines)} routines"

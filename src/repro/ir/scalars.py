@@ -1,0 +1,357 @@
+"""Scalar forward substitution and auxiliary induction-variable removal.
+
+The paper's Section 1.5 assumes a prepass: "all auxiliary induction
+variables have been detected and replaced by linear functions of the loop
+indices" (citing [2, 3, 5, 52]).  Real Fortran kernels need it constantly —
+LINPACK's ``dgefa`` writes ``kp1 = k + 1`` and subscripts with ``kp1``;
+integral transforms keep a running offset ``ij = ij + n``.  Without the
+pass those subscripts look like opaque symbols and dependence testing
+degrades.
+
+Two transformations, applied together by :func:`substitute_scalars`:
+
+* **forward substitution** — a scalar assigned an affine expression of
+  enclosing loop indices / symbols is replaced at its uses (flow-sensitive
+  along straight-line order; invalidated on reassignment or at a loop
+  boundary when redefined inside the loop);
+* **auxiliary induction variables** — a scalar updated as ``s = s + c``
+  (constant ``c``) once per iteration of loop ``i`` becomes the linear
+  function ``s0 + c*(i - L)`` before the update and ``s0 + c*(i - L + 1)``
+  after it, where ``s0`` is the scalar's (affine or opaque-symbolic) value
+  at loop entry; after the loop the closed form ``s0 + c*(U - L + 1)``
+  is used when the trip count is affine.
+
+The pass is conservative: anything it cannot prove affine stays untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import (
+    Add,
+    Call,
+    Const,
+    Div,
+    Expr,
+    IndexedLoad,
+    Mul,
+    Neg,
+    Opaque,
+    RealConst,
+    Sub,
+    Var,
+    to_linear,
+)
+from repro.ir.loop import ArrayRef, Assign, Conditional, Loop, Node, ScalarRef
+from repro.ir.program import Program, Routine
+from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError
+
+
+@dataclass
+class _Env:
+    """Known affine values of scalars at the current program point.
+
+    ``variant`` holds scalars assigned inside some enclosing loop whose
+    value could not be expressed as a linear function of the indices: an
+    expression referencing one of those is *not* loop-invariant, so it
+    must never be recorded as a substitutable value (doing so would make
+    the dependence analysis treat a changing quantity as a constant).
+    """
+
+    values: Dict[str, Expr] = field(default_factory=dict)
+    variant: Set[str] = field(default_factory=set)
+
+    def copy(self) -> "_Env":
+        return _Env(dict(self.values), set(self.variant))
+
+    def kill(self, name: str) -> None:
+        self.values.pop(name, None)
+
+    def record(self, name: str, value: Expr) -> None:
+        """Record a substitutable value unless it references variant state."""
+        if value.variables() & self.variant:
+            self.kill(name)
+        else:
+            self.values[name] = value
+
+
+def substitute_scalars(body: Sequence[Node]) -> List[Node]:
+    """Run the pass over a statement list, returning rewritten nodes.
+
+    Scalar assignments that were fully substituted away are *kept* (they
+    may still be live after the region — we only rewrite uses), but their
+    right-hand sides are simplified through the environment too.
+    """
+    env = _Env()
+    return _rewrite_body(list(body), env)
+
+
+def substitute_scalars_program(program: Program) -> Program:
+    """Apply the pass to every routine of a program."""
+    routines = [
+        Routine(r.name, substitute_scalars(r.body), r.source_lines)
+        for r in program.routines
+    ]
+    return Program(program.name, routines, program.suite)
+
+
+# ---------------------------------------------------------------------------
+
+
+def _rewrite_body(body: List[Node], env: _Env) -> List[Node]:
+    result: List[Node] = []
+    for node in body:
+        if isinstance(node, Assign):
+            result.append(_rewrite_assign(node, env))
+        elif isinstance(node, Conditional):
+            # Both arms may or may not run: rewrite the body against a copy
+            # and kill everything the body assigns from the outer env.
+            inner = _rewrite_body(list(node.body), env.copy())
+            for name in _assigned_scalars(node.body):
+                env.kill(name)
+            result.append(Conditional(node.condition, inner))
+        elif isinstance(node, Loop):
+            result.append(_rewrite_loop(node, env))
+        else:
+            raise TypeError(f"unknown node {node!r}")
+    return result
+
+
+def _rewrite_assign(stmt: Assign, env: _Env) -> Assign:
+    rhs = _apply_env(stmt.rhs, env)
+    if isinstance(stmt.lhs, ArrayRef):
+        lhs: object = ArrayRef(
+            stmt.lhs.array,
+            tuple(_apply_env(s, env, True) for s in stmt.lhs.subscripts),
+        )
+        rewritten = Assign(lhs, rhs, stmt.label)
+        return rewritten
+    # Scalar assignment: record when affine, else kill.
+    name = stmt.lhs.name
+    if _is_affine(rhs):
+        env.record(name, rhs)
+    else:
+        env.kill(name)
+    return Assign(ScalarRef(name), rhs, stmt.label)
+
+
+def _rewrite_loop(loop: Loop, env: _Env) -> Loop:
+    lower = _apply_env(loop.lower, env)
+    upper = _apply_env(loop.upper, env)
+    assigned = _assigned_scalars(loop.body)
+    inductions = _find_inductions(loop, assigned, env)
+    body_env = env.copy()
+    for name in assigned:
+        body_env.kill(name)
+        if name not in inductions:
+            body_env.variant.add(name)
+    # Seed induction variables with their pre-update linear form.
+    for name, (entry, step) in inductions.items():
+        body_env.values[name] = _iv_value(name, entry, step, loop, offset=0)
+    new_body = _rewrite_iv_body(list(loop.body), body_env, inductions, loop)
+    # After the loop: killed scalars stay killed; induction variables get
+    # their closed form when the trip count is affine.
+    for name in assigned:
+        env.kill(name)
+    for name, (entry, step) in inductions.items():
+        closed = _iv_exit_value(entry, step, lower, upper)
+        if closed is not None:
+            env.values[name] = closed
+    return Loop(loop.index, lower, upper, loop.step, new_body, loop.label)
+
+
+def _rewrite_iv_body(
+    body: List[Node],
+    env: _Env,
+    inductions: Dict[str, Tuple[Expr, int]],
+    loop: Loop,
+) -> List[Node]:
+    """Rewrite a loop body, switching IVs to post-update form at the update."""
+    result: List[Node] = []
+    for node in body:
+        if (
+            isinstance(node, Assign)
+            and isinstance(node.lhs, ScalarRef)
+            and node.lhs.name in inductions
+        ):
+            name = node.lhs.name
+            entry, step = inductions[name]
+            # Keep the update statement (the scalar may be live after the
+            # loop) but flip subsequent uses to the post-update form.
+            rhs = _apply_env(node.rhs, env)
+            result.append(Assign(ScalarRef(name), rhs, node.label))
+            env.values[name] = _iv_value(name, entry, step, loop, offset=1)
+        elif isinstance(node, Assign):
+            result.append(_rewrite_assign(node, env))
+        elif isinstance(node, Conditional):
+            inner = _rewrite_body(list(node.body), env.copy())
+            for scalar in _assigned_scalars(node.body):
+                env.kill(scalar)
+            result.append(Conditional(node.condition, inner))
+        elif isinstance(node, Loop):
+            result.append(_rewrite_loop(node, env))
+        else:
+            raise TypeError(f"unknown node {node!r}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+
+
+def _find_inductions(
+    loop: Loop, assigned: Set[str], env: _Env
+) -> Dict[str, Tuple[Expr, int]]:
+    """Auxiliary induction variables of one loop: name -> (entry value, step).
+
+    Recognized pattern: exactly one top-level ``s = s + c`` (or ``s = s - c``)
+    update in the loop body, no other assignment to ``s`` anywhere in the
+    loop, and ``s`` not assigned inside conditionals or inner loops.  The
+    entry value is the environment's affine value when known, else the
+    scalar's own name standing for its (loop-invariant) entry value.
+    """
+    updates: Dict[str, List[int]] = {}
+    for node in loop.body:
+        if isinstance(node, Assign) and isinstance(node.lhs, ScalarRef):
+            step = _self_increment(node.lhs.name, node.rhs)
+            if step is not None:
+                updates.setdefault(node.lhs.name, []).append(step)
+    nested_assigned: Set[str] = set()
+    for node in loop.body:
+        if isinstance(node, (Loop, Conditional)):
+            nested_assigned |= _assigned_scalars(node.body)
+    inductions: Dict[str, Tuple[Expr, int]] = {}
+    for name, steps in updates.items():
+        if len(steps) != 1 or name in nested_assigned:
+            continue
+        top_level_writes = sum(
+            1
+            for node in loop.body
+            if isinstance(node, Assign)
+            and isinstance(node.lhs, ScalarRef)
+            and node.lhs.name == name
+        )
+        if top_level_writes != 1:
+            continue
+        if name == loop.index:
+            continue
+        if name in env.variant:
+            # The entry value itself changes across an enclosing loop's
+            # iterations; naming it symbolically would freeze it.
+            continue
+        entry = env.values.get(name, Var(name))
+        if loop.index in entry.variables() or (entry.variables() & env.variant):
+            continue  # entry value must be loop-invariant
+        inductions[name] = (entry, steps[0])
+    return inductions
+
+
+def _self_increment(name: str, rhs: Expr) -> Optional[int]:
+    """The constant c when ``rhs == name + c`` (affine check), else None."""
+    try:
+        linear = to_linear(rhs)
+    except NonlinearExpressionError:
+        return None
+    if linear.coeff(name) != 1:
+        return None
+    remainder = linear - LinearExpr.var(name)
+    if remainder.is_constant():
+        return remainder.constant_value()
+    return None
+
+
+def _iv_value(
+    name: str, entry: Expr, step: int, loop: Loop, offset: int
+) -> Expr:
+    """``entry + step * (i - lower + offset)`` as a surface expression."""
+    iterations: Expr = Sub(Var(loop.index), loop.lower)
+    if offset:
+        iterations = Add(iterations, Const(offset))
+    return Add(entry, Mul(Const(step), iterations))
+
+
+def _iv_exit_value(
+    entry: Expr, step: int, lower: Expr, upper: Expr
+) -> Optional[Expr]:
+    """Closed form after the loop: ``entry + step * (upper - lower + 1)``.
+
+    Only valid when the loop executes its full count; conservatively
+    requires affine bounds (DO semantics guarantee trip = max(0, U-L+1),
+    and for U < L the corpus loops simply don't run — accepting the
+    closed form matches Fortran DO-variable semantics for executed loops
+    and is how PFC's prepass behaves)."""
+    for bound in (lower, upper):
+        if not _is_affine(bound):
+            return None
+    trip = Add(Sub(upper, lower), Const(1))
+    return Add(entry, Mul(Const(step), trip))
+
+
+def _assigned_scalars(body: Sequence[Node]) -> Set[str]:
+    names: Set[str] = set()
+    for node in body:
+        if isinstance(node, Assign) and isinstance(node.lhs, ScalarRef):
+            names.add(node.lhs.name)
+        elif isinstance(node, (Loop, Conditional)):
+            names |= _assigned_scalars(node.body)
+    return names
+
+
+def _is_affine(expr: Expr) -> bool:
+    try:
+        to_linear(expr)
+    except NonlinearExpressionError:
+        return False
+    return True
+
+
+def _apply_env(expr: Expr, env: _Env, in_subscript: bool = False) -> Expr:
+    """Substitute known scalar values into an expression tree.
+
+    Inside array subscripts (``in_subscript``), a surviving loop-variant
+    scalar is wrapped in :class:`Opaque` so downstream classification
+    treats the subscript as nonlinear rather than as a loop-invariant
+    symbol (which would be unsound).
+    """
+    if isinstance(expr, (Const, RealConst, Opaque)):
+        return expr
+    if isinstance(expr, Var):
+        replacement = env.values.get(expr.name)
+        if replacement is not None:
+            return replacement
+        if in_subscript and expr.name in env.variant:
+            return Opaque(expr.name)
+        return expr
+    if isinstance(expr, Add):
+        return Add(
+            _apply_env(expr.left, env, in_subscript),
+            _apply_env(expr.right, env, in_subscript),
+        )
+    if isinstance(expr, Sub):
+        return Sub(
+            _apply_env(expr.left, env, in_subscript),
+            _apply_env(expr.right, env, in_subscript),
+        )
+    if isinstance(expr, Mul):
+        return Mul(
+            _apply_env(expr.left, env, in_subscript),
+            _apply_env(expr.right, env, in_subscript),
+        )
+    if isinstance(expr, Div):
+        return Div(
+            _apply_env(expr.left, env, in_subscript),
+            _apply_env(expr.right, env, in_subscript),
+        )
+    if isinstance(expr, Neg):
+        return Neg(_apply_env(expr.operand, env, in_subscript))
+    if isinstance(expr, IndexedLoad):
+        return IndexedLoad(
+            expr.array,
+            tuple(_apply_env(s, env, True) for s in expr.subscripts),
+        )
+    if isinstance(expr, Call):
+        return Call(
+            expr.name, tuple(_apply_env(a, env, in_subscript) for a in expr.args)
+        )
+    raise TypeError(f"unknown expression {expr!r}")

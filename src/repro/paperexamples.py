@@ -1,0 +1,189 @@
+"""Catalog of the paper's worked examples, with expected outcomes.
+
+Every loop the paper walks through in Sections 1-5 is collected here with
+the result the paper derives for it, in machine-checkable form.  The test
+suite sweeps the catalog (``tests/test_paper_examples.py``), the docs
+reference it, and it doubles as a regression corpus: any change to the
+tests that alters a paper-documented verdict fails immediately.
+
+Each entry records the Fortran source, the array under test, and the
+expected artifacts: classification of each subscript position, the
+dependence verdict, exact distance/direction vectors where the paper
+states them, and which test decides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.dirvec.direction import Direction
+
+LT, EQ, GT = Direction.LT, Direction.EQ, Direction.GT
+
+
+@dataclass(frozen=True)
+class PaperExample:
+    """One worked example from the paper."""
+
+    name: str
+    section: str
+    source: str
+    array: str = "a"
+    #: expected classification per subscript position (names as in
+    #: repro.classify.SubscriptKind values); None = don't check
+    kinds: Optional[Tuple[str, ...]] = None
+    #: expected verdict for the (first, second) site pair in execution order
+    independent: Optional[bool] = None
+    #: expected direction vectors over the common loops (source order), as
+    #: rendered strings; None = don't check
+    vectors: Optional[FrozenSet[Tuple[str, ...]]] = None
+    #: expected exact distance vector; None = don't check
+    distances: Optional[Tuple[Optional[int], ...]] = None
+    #: free-form comment tying the entry to the paper's text
+    note: str = ""
+
+
+EXAMPLES: List[PaperExample] = [
+    PaperExample(
+        name="strong-siv-recurrence",
+        section="2.1",
+        source="do i = 1, 100\n a(i+1) = a(i)\nenddo",
+        kinds=("strong-siv",),
+        independent=False,
+        vectors=frozenset({(">",)}),  # read-before-write orientation
+        distances=(-1,),
+        note="the canonical distance-1 recurrence used throughout Section 2",
+    ),
+    PaperExample(
+        name="parity-independence",
+        section="3",
+        source="do i = 1, 100\n a(2*i) = a(2*i+1)\nenddo",
+        kinds=("strong-siv",),
+        independent=True,
+        note="even cells written, odd cells read: strong SIV, non-integer d",
+    ),
+    PaperExample(
+        name="classification-figure",
+        section="3",
+        source=(
+            "do i = 1, 50\n do j = 1, 50\n do k = 1, 50\n"
+            "  a(5, i+1, j) = a(n, i, k) + c(1)\n"
+            " enddo\n enddo\nenddo"
+        ),
+        kinds=("ziv", "strong-siv", "rdiv"),
+        note="the ZIV / SIV / MIV taxonomy figure",
+    ),
+    PaperExample(
+        name="coupled-vs-subscript-by-subscript",
+        section="2.2",
+        source="do i = 1, 100\n a(i+1, i+2) = a(i, i)\nenddo",
+        kinds=("strong-siv", "strong-siv"),
+        independent=True,
+        note=(
+            "subscript-by-subscript testing yields the spurious vector (<); "
+            "constraint intersection refutes it"
+        ),
+    ),
+    PaperExample(
+        name="delta-propagation",
+        section="5.3.1",
+        source=(
+            "do i = 1, 100\n do j = 1, 100\n"
+            "  a(i+1, i+j) = a(i, i+j-1)\n enddo\nenddo"
+        ),
+        kinds=("strong-siv", "miv"),
+        independent=False,
+        vectors=frozenset({(">", "=")}),
+        distances=(-1, 0),
+        note="distance constraint d_i reduces the MIV subscript to SIV",
+    ),
+    PaperExample(
+        name="delta-transpose-link",
+        section="5.3.2",
+        source=(
+            "do i = 1, 100\n do j = 1, 100\n"
+            "  a(i, j) = a(j, i)\n enddo\nenddo"
+        ),
+        kinds=("rdiv", "rdiv"),
+        independent=False,
+        vectors=frozenset({("<", ">"), ("=", "="), (">", "<")}),
+        note="linked RDIV subscripts: distances satisfy d_i + d_j = 0",
+    ),
+    PaperExample(
+        name="gcd-independence",
+        section="4.4",
+        source=(
+            "do i = 1, 50\n do j = 1, 50\n"
+            "  a(2*i + 2*j) = a(2*i + 2*j - 1)\n enddo\nenddo"
+        ),
+        kinds=("miv",),
+        independent=True,
+        note="GCD 2 of the index coefficients does not divide the odd offset",
+    ),
+    PaperExample(
+        name="weak-zero-tomcatv",
+        section="4.2",
+        source="do i = 1, 100\n b(i) = a(1)\n a(i) = c(i)\nenddo",
+        kinds=("weak-zero-siv",),
+        independent=False,
+        note="the tomcatv first-iteration dependence (loop peeling target)",
+    ),
+    PaperExample(
+        name="weak-crossing-cdl",
+        section="4.2",
+        source="do i = 1, 100\n a(i) = a(101 - i)\nenddo",
+        kinds=("weak-crossing-siv",),
+        independent=False,
+        note="all dependences cross iteration (N+1)/2 (loop splitting target)",
+    ),
+    PaperExample(
+        name="livermore-wavefront",
+        section="5 (distance vectors)",
+        source=(
+            "do i = 2, 100\n do j = 2, 100\n"
+            "  a(i, j) = a(i-1, j) + a(i, j-1)\n enddo\nenddo"
+        ),
+        independent=False,
+        note="the simplified Livermore kernel: distances (1,0) and (0,1)",
+    ),
+    PaperExample(
+        name="triangular-ranges",
+        section="4.3",
+        source=(
+            "do i = 1, 100\n do j = 1, i\n"
+            "  a(j) = a(j - 100)\n enddo\nenddo"
+        ),
+        kinds=("strong-siv",),
+        independent=True,
+        note=(
+            "the index-range algorithm bounds j by [1, 100]; the offset 100 "
+            "exceeds the maximal span"
+        ),
+    ),
+    PaperExample(
+        name="symbolic-ziv",
+        section="4.1/4.5",
+        source="do i = 1, 100\n a(n + 1) = a(n + 2)\nenddo",
+        kinds=("ziv",),
+        independent=True,
+        note="symbolic ZIV: the difference simplifies to the constant -1",
+    ),
+    PaperExample(
+        name="symbolic-strong-siv",
+        section="4.5",
+        source="do i = 1, 100\n a(i + n) = a(i + n + 1)\nenddo",
+        kinds=("strong-siv",),
+        independent=False,
+        distances=(1,),
+        note="symbolic additive constants cancel; exact distance survives",
+    ),
+]
+
+
+def by_name(name: str) -> PaperExample:
+    """Look up a catalog entry."""
+    for example in EXAMPLES:
+        if example.name == name:
+            return example
+    raise KeyError(f"no paper example named {name!r}")

@@ -1,0 +1,37 @@
+"""Single-subscript dependence tests (Section 4 of the paper)."""
+
+from repro.single.outcome import TestOutcome
+from repro.single.ziv import ziv_test
+from repro.single.siv import (
+    exact_siv_test,
+    siv_test,
+    strong_siv_test,
+    weak_crossing_siv_test,
+    weak_zero_siv_test,
+)
+from repro.single.rdiv import rdiv_test
+from repro.single.miv import (
+    banerjee_bounds,
+    banerjee_gcd_test,
+    banerjee_test,
+    direction_hierarchy,
+    gcd_test,
+    minimum_carrier_distance,
+)
+
+__all__ = [
+    "TestOutcome",
+    "ziv_test",
+    "exact_siv_test",
+    "siv_test",
+    "strong_siv_test",
+    "weak_crossing_siv_test",
+    "weak_zero_siv_test",
+    "rdiv_test",
+    "banerjee_bounds",
+    "banerjee_gcd_test",
+    "banerjee_test",
+    "direction_hierarchy",
+    "gcd_test",
+    "minimum_carrier_distance",
+]

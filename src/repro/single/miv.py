@@ -1,0 +1,362 @@
+"""MIV tests (Section 4.4): the GCD test and Banerjee's inequalities.
+
+For subscripts containing multiple indices, the paper falls back on the
+classic Banerjee-GCD combination:
+
+* The **GCD test** checks *unconstrained* integer solutions: the GCD of all
+  index-occurrence coefficients must divide the constant term, or no
+  dependence exists anywhere — bounds ignored.  With symbolic additive
+  constants, independence still follows when the GCD divides every symbolic
+  coefficient but not the residual constant.
+* **Banerjee's inequalities** bound the value of the dependence difference
+  ``h = f_src - f_sink`` over the iteration region, optionally constrained
+  by a (partial) direction vector; ``0`` outside ``[min(h), max(h)]`` proves
+  independence for that direction.  With fully bounded index ranges the
+  per-index extrema are computed *exactly* by evaluating the vertices of
+  the constrained 2-D regions (triangle/segment/box); with unbounded or
+  symbolic ranges the bounds fall back to sound interval arithmetic.
+* The **direction hierarchy** refines ``(*, *, ..., *)`` one index at a
+  time into ``<``, ``=``, ``>``, pruning refuted subtrees, and returns the
+  legal direction-vector set — PFC's strategy, and the triangular Banerjee
+  behaviour comes for free because the index ranges are the maximal ranges
+  of Section 4.3.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.classify.pairs import PairContext, SubscriptPair, prime
+from repro.dirvec.direction import Direction, IndexConstraint
+from repro.ir.context import eval_interval
+from repro.single.outcome import TestOutcome
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import Interval, is_finite
+
+GCD_TEST = "gcd"
+BANERJEE_TEST = "banerjee"
+
+#: Partial direction assignment: None means ``*`` (unconstrained).
+DirectionAssignment = Mapping[str, Optional[Direction]]
+
+
+# ---------------------------------------------------------------------------
+# GCD test
+# ---------------------------------------------------------------------------
+
+
+def gcd_test(pair: SubscriptPair, context: PairContext) -> TestOutcome:
+    """The GCD test on one linear subscript pair."""
+    if not pair.is_linear:
+        return TestOutcome.not_applicable(GCD_TEST)
+    h = pair.difference()
+    g = 0
+    symbolic: List[Tuple[str, int]] = []
+    for name, coeff in h.terms:
+        if _is_index_occurrence(name, context):
+            g = gcd(g, abs(coeff))
+        else:
+            symbolic.append((name, coeff))
+    if g == 0:
+        return TestOutcome.not_applicable(GCD_TEST)  # ZIV shape
+    if any(coeff % g != 0 for _, coeff in symbolic):
+        # The divisibility depends on unknown symbol values.
+        return TestOutcome(GCD_TEST, exact=False)
+    if h.const % g != 0:
+        return TestOutcome.proves_independence(GCD_TEST)
+    return TestOutcome(GCD_TEST, exact=False)
+
+
+def _is_index_occurrence(name: str, context: PairContext) -> bool:
+    from repro.classify.pairs import unprime
+
+    return context.is_index(unprime(name))
+
+
+# ---------------------------------------------------------------------------
+# Banerjee bounds
+# ---------------------------------------------------------------------------
+
+
+def banerjee_bounds(
+    pair: SubscriptPair,
+    context: PairContext,
+    directions: Optional[DirectionAssignment] = None,
+) -> Interval:
+    """The interval ``[min(h), max(h)]`` of the dependence difference.
+
+    ``directions`` optionally constrains common indices; an infeasible
+    constraint (e.g. ``<`` on a single-iteration loop) yields the empty
+    interval, which callers read as "no dependence for this direction".
+    """
+    directions = directions or {}
+    h = pair.difference()
+    total = Interval.point(h.const)
+    env = context.variable_env()
+    handled: Set[str] = set()
+    for base in context.common_indices:
+        src_name, sink_name = context.occurrence_names(base)
+        x = h.coeff(src_name) if src_name else 0
+        y = h.coeff(sink_name) if sink_name else 0
+        if x == 0 and y == 0:
+            continue
+        handled.add(src_name or "")
+        handled.add(sink_name or "")
+        src_range = (
+            context.range_of(src_name) if src_name else Interval.unbounded()
+        )
+        sink_range = (
+            context.range_of(sink_name) if sink_name else Interval.unbounded()
+        )
+        term = _term_bounds(x, y, src_range, sink_range, directions.get(base))
+        if term.is_empty():
+            return Interval.empty()
+        total = total + term
+    for name, coeff in h.terms:
+        if name in handled:
+            continue
+        total = total + env.get(name, Interval.unbounded()).scale(coeff)
+    return total
+
+
+def _term_bounds(
+    x: int,
+    y: int,
+    src_range: Interval,
+    sink_range: Interval,
+    direction: Optional[Direction],
+) -> Interval:
+    """Bounds of ``x*i + y*i'`` over the direction-constrained region.
+
+    ``i`` ranges over ``src_range`` and ``i'`` over ``sink_range`` — they
+    start identical (both occurrences index the same loop) but the Delta
+    test's range tightening can pin one occurrence independently, so the
+    region is a rectangle, not a square.
+    """
+    if src_range.is_empty() or sink_range.is_empty():
+        return Interval.empty()
+    if direction is None:
+        return src_range.scale(x) + sink_range.scale(y)
+    if direction is Direction.EQ:
+        meet = src_range.intersect(sink_range)
+        if meet.is_empty():
+            return Interval.empty()
+        return meet.scale(x + y)
+    if direction is Direction.GT:
+        # i > i'  <=>  i' < i: mirror of LT with the roles swapped.
+        return _term_bounds(y, x, sink_range, src_range, Direction.LT)
+    if direction is not Direction.LT:
+        raise ValueError(f"unknown direction {direction!r}")
+    # LT region: i in src_range, i' in sink_range, i + 1 <= i'.
+    bounded = src_range.is_bounded() and sink_range.is_bounded()
+    if not bounded:
+        # Conservative decoupled bounds: clip each range by the halfplane.
+        clipped_src = src_range.intersect(
+            Interval(float("-inf"), sink_range.hi - 1)
+        )
+        clipped_sink = sink_range.intersect(
+            Interval(src_range.lo + 1, float("inf"))
+        )
+        if clipped_src.is_empty() or clipped_sink.is_empty():
+            return Interval.empty()
+        return clipped_src.scale(x) + clipped_sink.scale(y)
+    vertices = _clip_rectangle_lt(
+        int(src_range.lo), int(src_range.hi), int(sink_range.lo), int(sink_range.hi)
+    )
+    if not vertices:
+        return Interval.empty()
+    values = [x * u + y * v for u, v in vertices]
+    return Interval(min(values), max(values))
+
+
+def _clip_rectangle_lt(
+    u_lo: int, u_hi: int, v_lo: int, v_hi: int
+) -> List[Tuple[int, int]]:
+    """Vertices of ``[u_lo,u_hi] x [v_lo,v_hi]`` clipped by ``u + 1 <= v``.
+
+    The cutting line has slope one and integer offset, so every vertex of
+    the clipped polygon is integral and the bounds stay exact for integer
+    iterations.
+    """
+    vertices = [
+        (u, v)
+        for u in (u_lo, u_hi)
+        for v in (v_lo, v_hi)
+        if u + 1 <= v
+    ]
+    # Intersections of v = u + 1 with the rectangle's edges.
+    for u in (u_lo, u_hi):
+        v = u + 1
+        if v_lo <= v <= v_hi:
+            vertices.append((u, v))
+    for v in (v_lo, v_hi):
+        u = v - 1
+        if u_lo <= u <= u_hi:
+            vertices.append((u, v))
+    return vertices
+
+
+def banerjee_test(
+    pair: SubscriptPair,
+    context: PairContext,
+    directions: Optional[DirectionAssignment] = None,
+) -> TestOutcome:
+    """Independence iff ``0`` lies outside the Banerjee bounds of ``h``."""
+    if not pair.is_linear:
+        return TestOutcome.not_applicable(BANERJEE_TEST)
+    bounds = banerjee_bounds(pair, context, directions)
+    if not bounds.contains(0):
+        return TestOutcome.proves_independence(BANERJEE_TEST, exact=False)
+    return TestOutcome(BANERJEE_TEST, exact=False)
+
+
+# ---------------------------------------------------------------------------
+# Banerjee-GCD with direction hierarchy
+# ---------------------------------------------------------------------------
+
+
+def banerjee_gcd_test(pair: SubscriptPair, context: PairContext) -> TestOutcome:
+    """The full MIV test: GCD once, then the Banerjee direction hierarchy.
+
+    Returns independence when either the GCD test or the all-``*`` Banerjee
+    test refutes every solution; otherwise returns the legal direction
+    vectors over the pair's common indices as a coupling.
+    """
+    name = "banerjee-gcd"
+    if not pair.is_linear:
+        return TestOutcome.not_applicable(name)
+    gcd_outcome = gcd_test(pair, context)
+    if gcd_outcome.applicable and gcd_outcome.independent:
+        return TestOutcome.proves_independence(name)
+    refine = [
+        base
+        for base in context.common_indices
+        if base in context.subscript_bases(pair)
+    ]
+    vectors = direction_hierarchy(pair, context, refine)
+    if not vectors:
+        return TestOutcome.proves_independence(name, exact=False)
+    outcome = TestOutcome(name, exact=False)
+    if refine:
+        outcome.couplings.append((tuple(refine), frozenset(vectors)))
+        for position, base in enumerate(refine):
+            directions = frozenset(vec[position] for vec in vectors)
+            outcome.constraints[base] = IndexConstraint(directions)
+    return outcome
+
+
+def minimum_carrier_distance(
+    pair: SubscriptPair, context: PairContext, base: str
+) -> Optional[int]:
+    """Minimal dependence distance on ``base`` for a ``<``-direction dependence.
+
+    The paper notes PFC's Banerjee-GCD test was "extended to calculate the
+    level, minimum distance, and interchange information"; the minimum
+    distance of the carrier loop bounds how far apart dependent iterations
+    are (e.g. for synchronization-free strip sizes).
+
+    Adds the constraint ``i' = i + q`` to the Banerjee bounds of ``h``.
+    Those bounds are *linear in q*, so the feasible ``q`` form a closed
+    interval solved for directly; the result is the smallest integer
+    ``q >= 1`` in it, or None when the ``<`` direction is refuted (up to
+    Banerjee precision — soundly conservative, never a false None for
+    bounded linear subscripts).
+    """
+    if not pair.is_linear:
+        return None
+    src_name, sink_name = context.occurrence_names(base)
+    if src_name is None or sink_name is None:
+        return None
+    h = pair.difference()
+    x = h.coeff(src_name)
+    y = h.coeff(sink_name)
+    index_range = context.range_of(src_name)
+    big_l, big_u = index_range.lo, index_range.hi
+    # Contribution of every other variable plus the constant.
+    env = context.variable_env()
+    rest = Interval.point(h.const)
+    for name, coeff in h.terms:
+        if name in (src_name, sink_name):
+            continue
+        rest = rest + env.get(name, Interval.unbounded()).scale(coeff)
+    # With i in [L, U-q] and i' = i + q:  h = (x+y)*i + y*q + rest.
+    s = x + y
+    if s >= 0:
+        lo0, lo1 = _mul_ext(s, big_l), y          # h_lo = s*L + y*q + rest.lo
+        hi0, hi1 = _mul_ext(s, big_u), y - s      # h_hi = s*U + (y-s)*q + rest.hi
+    else:
+        lo0, lo1 = _mul_ext(s, big_u), y - s
+        hi0, hi1 = _mul_ext(s, big_l), y
+    lo0 = lo0 + rest.lo
+    hi0 = hi0 + rest.hi
+    span = context.trip_span(base)
+    q_hi = span.hi if is_finite(span.hi) else None
+    # Feasibility: lo0 + lo1*q <= 0 <= hi0 + hi1*q, 1 <= q (<= q_hi).
+    q_interval = _solve_le(lo0, lo1)                 # lo0 + lo1*q <= 0
+    q_interval = q_interval.intersect(_solve_le(-hi0, -hi1))
+    q_interval = q_interval.intersect(
+        Interval(1, q_hi if q_hi is not None else float("inf"))
+    )
+    if q_interval.is_empty() or not q_interval.contains_integer():
+        return None
+    from repro.symbolic.ranges import ceil_frac
+
+    return max(1, ceil_frac(q_interval.lo)) if is_finite(q_interval.lo) else 1
+
+
+def _mul_ext(coeff: int, value) -> object:
+    """coeff * extent with 0 * inf == 0."""
+    if coeff == 0 or value == 0:
+        return 0
+    return coeff * value
+
+
+def _solve_le(c0, c1: int) -> Interval:
+    """The q-interval satisfying ``c0 + c1*q <= 0`` (c0 may be infinite)."""
+    from fractions import Fraction
+
+    if c0 == float("-inf"):
+        return Interval.unbounded()
+    if c0 == float("inf"):
+        return Interval.empty()
+    if c1 == 0:
+        return Interval.unbounded() if c0 <= 0 else Interval.empty()
+    bound = Fraction(-c0, c1)
+    if c1 > 0:
+        return Interval(float("-inf"), bound)
+    return Interval(bound, float("inf"))
+
+
+def direction_hierarchy(
+    pair: SubscriptPair,
+    context: PairContext,
+    refine: Sequence[str],
+) -> FrozenSet[Tuple[Direction, ...]]:
+    """All direction vectors over ``refine`` that Banerjee cannot refute.
+
+    Depth-first refinement of ``(*, ..., *)``: each level of the tree pins
+    one more index to ``<``, ``=``, or ``>``; a subtree is pruned as soon as
+    the partial vector is refuted, which is what makes the hierarchy cheap
+    in practice.
+    """
+    legal: List[Tuple[Direction, ...]] = []
+    assignment: Dict[str, Optional[Direction]] = {base: None for base in refine}
+
+    def descend(position: int) -> None:
+        bounds = banerjee_bounds(pair, context, assignment)
+        if bounds.is_empty() or not bounds.contains(0):
+            return
+        if position == len(refine):
+            legal.append(
+                tuple(assignment[base] for base in refine)  # type: ignore[misc]
+            )
+            return
+        base = refine[position]
+        for direction in (Direction.LT, Direction.EQ, Direction.GT):
+            assignment[base] = direction
+            descend(position + 1)
+        assignment[base] = None
+
+    descend(0)
+    return frozenset(legal)

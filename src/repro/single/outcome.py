@@ -1,0 +1,63 @@
+"""The common result type of all dependence tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dirvec.direction import IndexConstraint
+from repro.dirvec.vectors import Coupling
+
+
+@dataclass
+class TestOutcome:
+    """What one dependence test concluded about one subscript (or group).
+
+    ``applicable``
+        False when the test's preconditions did not hold (e.g. a symbolic
+        term kept the strong SIV test from deciding divisibility); the
+        driver then falls through to a more general test.
+    ``independent``
+        True when the test *proved* no dependence exists.  Only meaningful
+        when ``applicable``.
+    ``exact``
+        True when the test is exact for the subscript shape it was given —
+        a "dependence" answer then means a dependence really exists.
+    ``constraints``
+        Per-base-index direction/distance knowledge established by the test
+        (empty when independent or when nothing was learned).
+    ``notes``
+        Free-form extra facts for downstream consumers, e.g. the weak-zero
+        test records ``{"zero_iteration": i0}`` so loop peeling can check
+        for first/last-iteration dependences, and the weak-crossing test
+        records ``{"crossing_sum": s}`` (endpoints satisfy ``i + i' = s``)
+        for loop splitting.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    test: str
+    applicable: bool = True
+    independent: bool = False
+    exact: bool = False
+    constraints: Dict[str, IndexConstraint] = field(default_factory=dict)
+    couplings: List[Coupling] = field(default_factory=list)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @staticmethod
+    def not_applicable(test: str) -> "TestOutcome":
+        """The test could not run on this subscript shape."""
+        return TestOutcome(test, applicable=False)
+
+    @staticmethod
+    def proves_independence(test: str, exact: bool = True) -> "TestOutcome":
+        """The test proved no dependence exists."""
+        return TestOutcome(test, independent=True, exact=exact)
+
+    def __str__(self) -> str:
+        if not self.applicable:
+            return f"{self.test}: not applicable"
+        if self.independent:
+            return f"{self.test}: independent"
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self.constraints.items()))
+        return f"{self.test}: dependence ({inner or 'unconstrained'})"

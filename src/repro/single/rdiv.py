@@ -1,0 +1,50 @@
+"""The RDIV test (Section 4.4).
+
+An RDIV (Restricted Double Index Variable) subscript has the form
+``<a1*i + c1, a2*j + c2>`` with *distinct* indices ``i`` and ``j``.  It is
+an MIV subscript, but the SIV machinery applies once we observe that the
+two variables simply have different loop bounds: the dependence equation
+``a1*i - a2*j = c2 - c1`` is the same two-variable Diophantine problem as
+the exact SIV test, solved over the two indices' own ranges.
+
+No direction information relates ``i`` and ``j`` (they index different
+loops), so the test proves independence or yields an unconstrained
+dependence — which is precisely how the paper uses it.
+"""
+
+from __future__ import annotations
+
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.classify.subscript import SubscriptKind, classify, rdiv_shape
+from repro.single.outcome import TestOutcome
+from repro.symbolic.diophantine import has_solution_with_conditions
+from repro.symbolic.ranges import Interval
+
+TEST_NAME = "rdiv"
+
+
+def rdiv_test(pair: SubscriptPair, context: PairContext) -> TestOutcome:
+    """Apply the RDIV test to a two-distinct-index subscript pair."""
+    if classify(pair, context) is not SubscriptKind.RDIV:
+        return TestOutcome.not_applicable(TEST_NAME)
+    shape = rdiv_shape(pair, context)
+    target = shape.c2 - shape.c1
+    if not target.is_constant():
+        return TestOutcome.not_applicable(TEST_NAME)
+    c = target.constant_value()
+    x_range = (
+        context.range_of(shape.src_name) if shape.src_name else Interval.unbounded()
+    )
+    y_range = (
+        context.range_of(shape.sink_name) if shape.sink_name else Interval.unbounded()
+    )
+    box = [
+        (1, 0, x_range.lo, x_range.hi),
+        (0, 1, y_range.lo, y_range.hi),
+    ]
+    if not has_solution_with_conditions(shape.a1, -shape.a2, c, box):
+        return TestOutcome.proves_independence(TEST_NAME)
+    # The found witness lies inside *known* bounds only when both ranges
+    # are bounded; with symbolic bounds the dependence is unverified.
+    witness_bounded = x_range.is_bounded() and y_range.is_bounded()
+    return TestOutcome(TEST_NAME, exact=witness_bounded)

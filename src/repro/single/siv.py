@@ -1,0 +1,413 @@
+"""The SIV tests (Section 4.2): strong, weak-zero, weak-crossing, and exact.
+
+All four tests analyze a single-index subscript pair
+
+    a1*i + c1   (source)   vs.   a2*i' + c2   (sink)
+
+where ``c1``/``c2`` may carry loop-invariant symbolic terms.  The special
+cases are exact and cheaper than the general Single-Index exact test; the
+paper's insight is that they cover nearly every SIV subscript in practice.
+
+* **strong** (``a1 == a2 == a``): dependence iff the distance
+  ``d = (c1 - c2)/a`` is an integer with ``|d| <= U - L``.
+* **weak-zero** (``a2 == 0``): the dependence pins one side to iteration
+  ``i = (c2 - c1)/a1`` — dependence iff that is an integer within bounds.
+  First/last-iteration hits are recorded for loop peeling.
+* **weak-crossing** (``a2 == -a1``): endpoints satisfy ``i + i' = s`` with
+  ``s = (c2 - c1)/a1``; dependence iff ``s`` is an integer with
+  ``2L <= s <= 2U`` (equivalently the crossing point ``s/2`` lies in bounds
+  and is an integer or half-integer).  Recorded for loop splitting.
+* **exact** (general): solve the two-variable linear Diophantine equation
+  ``a1*i - a2*i' = c2 - c1`` within the index ranges; direction sets are
+  derived exactly by adding the constraint ``i < i'`` / ``i = i'`` /
+  ``i > i'`` to the solution family.
+
+Symbolic additive constants are handled as in Section 4.5: differences of
+invariant parts cancel syntactically; what remains is decided exactly when
+it is constant, and by sound interval reasoning over known symbol ranges
+otherwise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.classify.subscript import SIVShape, SubscriptKind, classify, siv_shape
+from repro.dirvec.direction import (
+    ALL_DIRECTIONS,
+    Direction,
+    IndexConstraint,
+    constraint_from_distance,
+)
+from repro.ir.context import eval_interval
+from repro.single.outcome import TestOutcome
+from repro.symbolic.diophantine import has_solution_with_conditions, solve_linear_2var
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import Interval, NEG_INF, POS_INF, is_finite
+
+
+def siv_test(pair: SubscriptPair, context: PairContext) -> TestOutcome:
+    """Dispatch an SIV subscript pair to its special-case test.
+
+    Falls through to the exact general SIV test for shapes no special case
+    covers; returns "not applicable" for non-SIV pairs.
+    """
+    kind = classify(pair, context)
+    if not kind.is_siv:
+        return TestOutcome.not_applicable("siv")
+    base = next(iter(context.subscript_bases(pair)))
+    shape = siv_shape(pair, context, base)
+    if kind is SubscriptKind.SIV_STRONG:
+        return strong_siv_test(shape, context)
+    if kind is SubscriptKind.SIV_WEAK_ZERO:
+        return weak_zero_siv_test(shape, context)
+    if kind is SubscriptKind.SIV_WEAK_CROSSING:
+        outcome = weak_crossing_siv_test(shape, context)
+        if outcome.applicable:
+            return outcome
+    return exact_siv_test(shape, context)
+
+
+# ---------------------------------------------------------------------------
+# Strong SIV
+# ---------------------------------------------------------------------------
+
+
+def strong_siv_test(shape: SIVShape, context: PairContext) -> TestOutcome:
+    """The strong SIV test: equal nonzero coefficients."""
+    name = "strong-siv"
+    if shape.a1 != shape.a2 or shape.a1 == 0:
+        return TestOutcome.not_applicable(name)
+    a = shape.a1
+    diff = shape.c1 - shape.c2  # d = (c1 - c2) / a
+    span = context.trip_span(shape.index)
+    if span.is_empty() or (is_finite(span.hi) and span.hi < 0):
+        # The loop executes at most... never: zero-trip loop, no dependence.
+        return TestOutcome.proves_independence(name)
+    if diff.is_constant():
+        value = diff.constant_value()
+        if value % a != 0:
+            return TestOutcome.proves_independence(name)
+        distance = value // a
+        if is_finite(span.hi) and abs(distance) > span.hi:
+            return TestOutcome.proves_independence(name)
+        constraint = constraint_from_distance(distance)
+        # The dependence *exists* only if |d| <= U - L; with an unknown
+        # span that was not verified (except d = 0, which any executed
+        # iteration witnesses), so the exactness flag must drop.
+        verified = is_finite(span.hi) or distance == 0
+        return TestOutcome(
+            name,
+            exact=verified,
+            constraints={shape.index: constraint},
+            notes={"distance": distance},
+        )
+    # Symbolic constant difference.
+    env = context.variable_env()
+    try:
+        distance_expr = diff.exact_div(a)
+    except ValueError:
+        distance_iv = eval_interval(diff, env).scale(Fraction(1, a))
+        if _outside_span(distance_iv, span):
+            return TestOutcome.proves_independence(name)
+        directions = _directions_from_interval(distance_iv)
+        return TestOutcome(
+            name, exact=False, constraints={shape.index: IndexConstraint(directions)}
+        )
+    distance_iv = eval_interval(distance_expr, env)
+    if _outside_span(distance_iv, span):
+        return TestOutcome.proves_independence(name)
+    directions = _directions_from_interval(distance_iv)
+    constraint = IndexConstraint(directions, distance_expr)
+    verified = (
+        is_finite(span.hi)
+        and distance_iv.is_bounded()
+        and -span.hi <= distance_iv.lo
+        and distance_iv.hi <= span.hi
+    ) or distance_expr == LinearExpr.ZERO
+    return TestOutcome(
+        name,
+        exact=bool(verified),
+        constraints={shape.index: constraint},
+        notes={"distance": distance_expr},
+    )
+
+
+def _outside_span(distance_iv: Interval, span: Interval) -> bool:
+    """True when no value of the distance interval satisfies ``|d| <= span``."""
+    if not is_finite(span.hi):
+        return False
+    allowed = Interval(-span.hi, span.hi)
+    return distance_iv.intersect(allowed).is_empty()
+
+
+def _directions_from_interval(distance_iv: Interval) -> FrozenSet[Direction]:
+    """Directions consistent with ``d = i' - i`` lying in an interval."""
+    directions: Set[Direction] = set()
+    if distance_iv.hi > 0:
+        directions.add(Direction.LT)
+    if distance_iv.contains(0):
+        directions.add(Direction.EQ)
+    if distance_iv.lo < 0:
+        directions.add(Direction.GT)
+    return frozenset(directions)
+
+
+# ---------------------------------------------------------------------------
+# Weak-zero SIV
+# ---------------------------------------------------------------------------
+
+
+def weak_zero_siv_test(shape: SIVShape, context: PairContext) -> TestOutcome:
+    """The weak-zero SIV test: one coefficient is zero.
+
+    Solves ``a*x = c`` for the single constrained occurrence and checks the
+    result against that occurrence's loop range.  Dependences hitting the
+    first or last iteration are noted (the loop peeling opportunity of the
+    paper's tomcatv example).
+    """
+    name = "weak-zero-siv"
+    if shape.a1 != 0 and shape.a2 == 0:
+        a = shape.a1
+        target = shape.c2 - shape.c1
+        solved_name = shape.src_name
+        solving_src = True
+    elif shape.a1 == 0 and shape.a2 != 0:
+        a = shape.a2
+        target = shape.c1 - shape.c2
+        solved_name = shape.sink_name
+        solving_src = False
+    else:
+        return TestOutcome.not_applicable(name)
+    if solved_name is None:
+        return TestOutcome.not_applicable(name)
+    index_range = context.range_of(solved_name)
+    env = context.variable_env()
+    notes: Dict[str, object] = {"solved_side": "src" if solving_src else "sink"}
+
+    if target.is_constant():
+        value = target.constant_value()
+        if value % a != 0:
+            return TestOutcome.proves_independence(name)
+        iteration = value // a
+        if not index_range.contains(iteration):
+            return TestOutcome.proves_independence(name)
+        notes["zero_iteration"] = iteration
+        if iteration == index_range.lo:
+            notes["boundary"] = "first"
+        elif iteration == index_range.hi:
+            notes["boundary"] = "last"
+        directions = _weak_zero_directions(iteration, index_range, solving_src)
+        constraint = IndexConstraint(directions)
+        # With an unbounded (symbolic) upper bound the pinned iteration may
+        # lie beyond the real trip count — unless it is the first one.
+        verified = index_range.is_bounded() or iteration == index_range.lo
+        return TestOutcome(
+            name, exact=verified, constraints={shape.index: constraint}, notes=notes
+        )
+
+    # Symbolic target.
+    try:
+        iteration_expr = target.exact_div(a)
+        iteration_iv = eval_interval(iteration_expr, env)
+        exact = True
+        notes["zero_iteration"] = iteration_expr
+    except ValueError:
+        iteration_iv = eval_interval(target, env).scale(Fraction(1, a))
+        exact = False
+    if iteration_iv.intersect(index_range).is_empty():
+        return TestOutcome.proves_independence(name)
+    directions = _weak_zero_directions_symbolic(iteration_iv, index_range, solving_src)
+    return TestOutcome(
+        name, exact=exact, constraints={shape.index: IndexConstraint(directions)}, notes=notes
+    )
+
+
+def _weak_zero_directions(
+    iteration: int, index_range: Interval, solving_src: bool
+) -> FrozenSet[Direction]:
+    """Directions for a pinned source (or sink) iteration.
+
+    When the *source* is pinned at ``i0``, the sink iteration ranges freely,
+    so ``<`` needs some ``i' > i0`` etc.; pinning the sink mirrors the
+    comparisons.
+    """
+    directions: Set[Direction] = {Direction.EQ}
+    above_possible = iteration < index_range.hi
+    below_possible = iteration > index_range.lo
+    if solving_src:
+        if above_possible:
+            directions.add(Direction.LT)
+        if below_possible:
+            directions.add(Direction.GT)
+    else:
+        if below_possible:
+            directions.add(Direction.LT)
+        if above_possible:
+            directions.add(Direction.GT)
+    return frozenset(directions)
+
+
+def _weak_zero_directions_symbolic(
+    iteration_iv: Interval, index_range: Interval, solving_src: bool
+) -> FrozenSet[Direction]:
+    directions: Set[Direction] = {Direction.EQ}
+    above_impossible = iteration_iv.lo >= index_range.hi
+    below_impossible = iteration_iv.hi <= index_range.lo
+    if solving_src:
+        if not above_impossible:
+            directions.add(Direction.LT)
+        if not below_impossible:
+            directions.add(Direction.GT)
+    else:
+        if not below_impossible:
+            directions.add(Direction.LT)
+        if not above_impossible:
+            directions.add(Direction.GT)
+    return frozenset(directions)
+
+
+# ---------------------------------------------------------------------------
+# Weak-crossing SIV
+# ---------------------------------------------------------------------------
+
+
+def weak_crossing_siv_test(shape: SIVShape, context: PairContext) -> TestOutcome:
+    """The weak-crossing SIV test: opposite nonzero coefficients.
+
+    Endpoint iterations satisfy ``i + i' = s``; all dependences cross
+    iteration ``s/2`` (the loop-splitting opportunity of the paper's
+    Callahan-Dongarra-Levine example).
+    """
+    name = "weak-crossing-siv"
+    if shape.a1 == 0 or shape.a1 != -shape.a2:
+        return TestOutcome.not_applicable(name)
+    if shape.src_name is None or shape.sink_name is None:
+        # One side's loop does not actually enclose the reference; the
+        # general exact test handles this rare shape.
+        return TestOutcome.not_applicable(name)
+    a = shape.a1
+    target = shape.c2 - shape.c1  # i + i' = target / a
+    index_range = context.range_of(shape.src_name).hull(
+        context.range_of(shape.sink_name)
+    )
+    env = context.variable_env()
+
+    if target.is_constant():
+        value = target.constant_value()
+        if value % a != 0:
+            return TestOutcome.proves_independence(name)
+        crossing_sum = value // a
+        feasible = Interval(crossing_sum, crossing_sum).intersect(
+            index_range.scale(2)
+        )
+        if feasible.is_empty():
+            return TestOutcome.proves_independence(name)
+        directions = _crossing_directions(crossing_sum, index_range)
+        notes = {
+            "crossing_sum": crossing_sum,
+            "crossing_iteration": Fraction(crossing_sum, 2),
+        }
+        return TestOutcome(
+            name,
+            exact=index_range.is_bounded(),
+            constraints={shape.index: IndexConstraint(directions)},
+            notes=notes,
+        )
+
+    # Symbolic target.
+    try:
+        sum_expr = target.exact_div(a)
+        sum_iv = eval_interval(sum_expr, env)
+        exact = True
+    except ValueError:
+        sum_iv = eval_interval(target, env).scale(Fraction(1, a))
+        exact = False
+    if sum_iv.intersect(index_range.scale(2)).is_empty():
+        return TestOutcome.proves_independence(name)
+    directions: Set[Direction] = {Direction.EQ}
+    if sum_iv.hi > index_range.scale(2).lo:
+        directions.update((Direction.LT, Direction.GT))
+    return TestOutcome(
+        name,
+        exact=exact,
+        constraints={shape.index: IndexConstraint(frozenset(directions))},
+    )
+
+
+def _crossing_directions(
+    crossing_sum: int, index_range: Interval
+) -> FrozenSet[Direction]:
+    """Directions of crossing dependences with ``i + i' = crossing_sum``."""
+    directions: Set[Direction] = set()
+    if crossing_sum % 2 == 0 and index_range.contains(crossing_sum // 2):
+        directions.add(Direction.EQ)
+    interior = (2 * index_range.lo < crossing_sum) and (
+        crossing_sum < 2 * index_range.hi
+    )
+    if interior:
+        directions.add(Direction.LT)
+        directions.add(Direction.GT)
+    return frozenset(directions)
+
+
+# ---------------------------------------------------------------------------
+# Exact (general) SIV
+# ---------------------------------------------------------------------------
+
+
+def exact_siv_test(shape: SIVShape, context: PairContext) -> TestOutcome:
+    """The Single-Index exact test for arbitrary linear SIV subscripts.
+
+    Views the dependence equation ``a1*i - a2*i' = c2 - c1`` as a line in
+    the ``(i, i')`` plane (the paper's Figure 2 geometry) and asks whether
+    it passes through an integer point of the bounded iteration square —
+    a two-variable Diophantine query.  Direction sets come from re-solving
+    with each ordering constraint added.
+    """
+    name = "exact-siv"
+    target = shape.c2 - shape.c1
+    if not target.is_constant():
+        return TestOutcome.not_applicable(name)
+    c = target.constant_value()
+    a1, a2 = shape.a1, shape.a2
+    x_range = (
+        context.range_of(shape.src_name) if shape.src_name else Interval.unbounded()
+    )
+    y_range = (
+        context.range_of(shape.sink_name) if shape.sink_name else Interval.unbounded()
+    )
+    box = [
+        (1, 0, x_range.lo, x_range.hi),
+        (0, 1, y_range.lo, y_range.hi),
+    ]
+    if not has_solution_with_conditions(a1, -a2, c, box):
+        return TestOutcome.proves_independence(name)
+    witness_bounded = x_range.is_bounded() and y_range.is_bounded()
+    if shape.src_name is None or shape.sink_name is None:
+        # Only one occurrence: no ordering information to compute.
+        return TestOutcome(name, exact=witness_bounded)
+    directions: Set[Direction] = set()
+    if has_solution_with_conditions(a1, -a2, c, box + [(1, -1, NEG_INF, -1)]):
+        directions.add(Direction.LT)
+    if has_solution_with_conditions(a1, -a2, c, box + [(1, -1, 0, 0)]):
+        directions.add(Direction.EQ)
+    if has_solution_with_conditions(a1, -a2, c, box + [(1, -1, 1, POS_INF)]):
+        directions.add(Direction.GT)
+    constraint = IndexConstraint(frozenset(directions))
+    # A fixed distance exists when the solution family moves i and i'
+    # together (dx == dy), i.e. the line has slope one.
+    family = solve_linear_2var(a1, -a2, c)
+    notes: Dict[str, object] = {}
+    if family is not None and not family.unconstrained and family.dx == family.dy:
+        distance = family.y0 - family.x0
+        constraint = constraint.merge(constraint_from_distance(distance))
+        notes["distance"] = distance
+    return TestOutcome(
+        name,
+        exact=witness_bounded,
+        constraints={shape.index: constraint},
+        notes=notes,
+    )

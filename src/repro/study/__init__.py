@@ -1,0 +1,38 @@
+"""Empirical study harness (Section 6 of the paper): Tables 1-3."""
+
+from repro.study.stats import ProgramStats, collect_program_stats, suite_totals
+from repro.study.tables import (
+    KIND_ORDER,
+    Table2Row,
+    Table3Row,
+    corpus_stats,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
+from repro.study.report import full_report, precision_comparison
+from repro.study.vectorstats import VectorRow, render_vector_summary, vector_summary
+
+__all__ = [
+    "ProgramStats",
+    "collect_program_stats",
+    "suite_totals",
+    "KIND_ORDER",
+    "Table2Row",
+    "Table3Row",
+    "corpus_stats",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "table1",
+    "table2",
+    "table3",
+    "full_report",
+    "precision_comparison",
+    "VectorRow",
+    "render_vector_summary",
+    "vector_summary",
+]

@@ -1,0 +1,37 @@
+"""Minimal fixed-width text-table rendering for the study reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned text table with a rule under the header."""
+    columns = len(headers)
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index in range(columns):
+            widths[index] = max(widths[index], len(row[index]) if index < len(row) else 0)
+
+    def render_row(values: Sequence[str]) -> str:
+        padded = []
+        for index in range(columns):
+            text = values[index] if index < len(values) else ""
+            if index == 0:
+                padded.append(text.ljust(widths[index]))
+            else:
+                padded.append(text.rjust(widths[index]))
+        return "  ".join(padded)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append("-" * (sum(widths) + 2 * (columns - 1)))
+    for row in cells:
+        lines.append(render_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Exact symbolic linear algebra used by every dependence test.
+
+This subpackage is the arithmetic substrate of the reproduction.  All
+dependence tests in the paper manipulate *affine* subscript expressions
+
+    a1*i1 + a2*i2 + ... + b1*N + b2*M + ... + c
+
+over loop index variables (``i1``, ``i2``, ...) and loop-invariant symbolic
+constants (``N``, ``M``, ...).  :class:`~repro.symbolic.linexpr.LinearExpr`
+represents such forms exactly with integer coefficients;
+:mod:`~repro.symbolic.diophantine` solves the two-variable linear Diophantine
+equations at the heart of the exact SIV and RDIV tests; and
+:mod:`~repro.symbolic.ranges` provides the (possibly unbounded) interval
+arithmetic used by Banerjee's inequalities and the triangular index-range
+algorithm of Section 4.3 of the paper.
+"""
+
+from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError
+from repro.symbolic.diophantine import (
+    ext_gcd,
+    solve_linear_2var,
+    DiophantineSolution,
+    Condition,
+    has_solution_in_box,
+    has_solution_with_conditions,
+    count_solutions_in_box,
+    iter_solutions_in_box,
+)
+from repro.symbolic.ranges import (
+    NEG_INF,
+    POS_INF,
+    Interval,
+    ceil_div,
+    floor_div,
+)
+
+__all__ = [
+    "LinearExpr",
+    "NonlinearExpressionError",
+    "ext_gcd",
+    "solve_linear_2var",
+    "DiophantineSolution",
+    "Condition",
+    "has_solution_in_box",
+    "has_solution_with_conditions",
+    "count_solutions_in_box",
+    "iter_solutions_in_box",
+    "NEG_INF",
+    "POS_INF",
+    "Interval",
+    "ceil_div",
+    "floor_div",
+]

@@ -1,0 +1,262 @@
+"""Linear Diophantine equations in one and two variables.
+
+The exact SIV and RDIV tests of the paper (Section 4.2, 4.4) reduce to the
+question: does ``a*x + b*y = c`` have an integer solution with
+``xlo <= x <= xhi`` and ``ylo <= y <= yhi``?  This module answers that
+question *exactly* (the bounded two-variable problem is polynomial, unlike
+the general NP-complete multi-variable case the paper cites [15, 17]).
+
+The general solution of ``a*x + b*y = c`` with ``g = gcd(a, b)`` dividing
+``c`` is a one-parameter family
+
+    x = x0 + (b/g) * t,    y = y0 - (a/g) * t,    t in Z
+
+so a bounded query becomes an intersection of integer intervals for ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+from repro.symbolic.ranges import NEG_INF, POS_INF, Extent, ceil_div, floor_div
+
+BoundValue = Union[int, float]  # int, NEG_INF, or POS_INF
+
+
+def ext_gcd(a: int, b: int) -> Tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y = g = gcd(a, b)``.
+
+    ``g`` is non-negative; ``ext_gcd(0, 0) == (0, 0, 0)``.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+@dataclass(frozen=True)
+class DiophantineSolution:
+    """The solution family of ``a*x + b*y = c``.
+
+    Solutions are ``x = x0 + dx*t``, ``y = y0 + dy*t`` for all integer ``t``.
+    When both ``dx`` and ``dy`` are zero the solution is the single point
+    ``(x0, y0)`` (this happens when ``a == b == 0`` and ``c == 0``: every
+    point solves the equation — that degenerate case is represented with
+    ``unconstrained=True`` instead).
+    """
+
+    x0: int
+    y0: int
+    dx: int
+    dy: int
+    unconstrained: bool = False
+
+    def point_at(self, t: int) -> Tuple[int, int]:
+        """The solution for parameter value ``t``."""
+        return self.x0 + self.dx * t, self.y0 + self.dy * t
+
+
+def solve_linear_2var(a: int, b: int, c: int) -> Optional[DiophantineSolution]:
+    """General integer solution of ``a*x + b*y = c``, or None when unsolvable."""
+    if a == 0 and b == 0:
+        if c == 0:
+            return DiophantineSolution(0, 0, 1, 0, unconstrained=True)
+        return None
+    g, px, py = ext_gcd(a, b)
+    if c % g != 0:
+        return None
+    scale = c // g
+    return DiophantineSolution(px * scale, py * scale, b // g, -(a // g))
+
+
+def _param_interval_for(
+    base: int, step: int, lo: BoundValue, hi: BoundValue
+) -> Optional[Tuple[BoundValue, BoundValue]]:
+    """Integer values of ``t`` with ``lo <= base + step*t <= hi``.
+
+    Returns ``(tlo, thi)`` where either end may be infinite, or None when the
+    constraint is unsatisfiable.  ``step == 0`` means the coordinate is fixed
+    at ``base``; the constraint is then either vacuous or impossible.
+    """
+    if step == 0:
+        if (lo is not NEG_INF and base < lo) or (hi is not POS_INF and base > hi):
+            return None
+        return (NEG_INF, POS_INF)
+    if step > 0:
+        tlo = NEG_INF if lo is NEG_INF else ceil_div(lo - base, step)
+        thi = POS_INF if hi is POS_INF else floor_div(hi - base, step)
+    else:
+        tlo = NEG_INF if hi is POS_INF else ceil_div(hi - base, step)
+        thi = POS_INF if lo is NEG_INF else floor_div(lo - base, step)
+    if tlo is not NEG_INF and thi is not POS_INF and tlo > thi:
+        return None
+    return (tlo, thi)
+
+
+def _intersect_param(
+    first: Optional[Tuple[BoundValue, BoundValue]],
+    second: Optional[Tuple[BoundValue, BoundValue]],
+) -> Optional[Tuple[BoundValue, BoundValue]]:
+    if first is None or second is None:
+        return None
+    lo = first[0] if second[0] is NEG_INF else (
+        second[0] if first[0] is NEG_INF else max(first[0], second[0])
+    )
+    hi = first[1] if second[1] is POS_INF else (
+        second[1] if first[1] is POS_INF else min(first[1], second[1])
+    )
+    if lo is not NEG_INF and hi is not POS_INF and lo > hi:
+        return None
+    return (lo, hi)
+
+
+def _param_range_in_box(
+    a: int,
+    b: int,
+    c: int,
+    xlo: BoundValue,
+    xhi: BoundValue,
+    ylo: BoundValue,
+    yhi: BoundValue,
+) -> Optional[Tuple[Optional[DiophantineSolution], Tuple[BoundValue, BoundValue]]]:
+    """Shared core of the box queries: solution family + admissible t range."""
+    sol = solve_linear_2var(a, b, c)
+    if sol is None:
+        return None
+    if sol.unconstrained:
+        # Every (x, y) works: nonempty iff both coordinate ranges are nonempty.
+        x_ok = xlo is NEG_INF or xhi is POS_INF or xlo <= xhi
+        y_ok = ylo is NEG_INF or yhi is POS_INF or ylo <= yhi
+        if x_ok and y_ok:
+            return (sol, (NEG_INF, POS_INF))
+        return None
+    trange = _intersect_param(
+        _param_interval_for(sol.x0, sol.dx, xlo, xhi),
+        _param_interval_for(sol.y0, sol.dy, ylo, yhi),
+    )
+    if trange is None:
+        return None
+    return (sol, trange)
+
+
+def has_solution_in_box(
+    a: int,
+    b: int,
+    c: int,
+    xlo: BoundValue = NEG_INF,
+    xhi: BoundValue = POS_INF,
+    ylo: BoundValue = NEG_INF,
+    yhi: BoundValue = POS_INF,
+) -> bool:
+    """Exact test: does ``a*x + b*y = c`` have an integer solution in the box?"""
+    return _param_range_in_box(a, b, c, xlo, xhi, ylo, yhi) is not None
+
+
+def count_solutions_in_box(
+    a: int,
+    b: int,
+    c: int,
+    xlo: BoundValue,
+    xhi: BoundValue,
+    ylo: BoundValue,
+    yhi: BoundValue,
+) -> Optional[int]:
+    """Number of integer solutions in the box; None when infinite."""
+    result = _param_range_in_box(a, b, c, xlo, xhi, ylo, yhi)
+    if result is None:
+        return 0
+    sol, (tlo, thi) = result
+    if sol.unconstrained:
+        if xlo is NEG_INF or xhi is POS_INF or ylo is NEG_INF or yhi is POS_INF:
+            return None
+        return (xhi - xlo + 1) * (yhi - ylo + 1)
+    if tlo is NEG_INF or thi is POS_INF:
+        return None
+    return thi - tlo + 1
+
+#: A linear condition ``lo <= cx*x + cy*y <= hi`` on solutions.
+Condition = Tuple[int, int, BoundValue, BoundValue]
+
+
+def has_solution_with_conditions(
+    a: int, b: int, c: int, conditions: "Sequence[Condition]"
+) -> bool:
+    """Exact test: does ``a*x + b*y = c`` admit an integer solution
+    satisfying every condition ``lo <= cx*x + cy*y <= hi``?
+
+    Because the solution set of the equation is a one-parameter family
+    ``(x0 + dx*t, y0 + dy*t)``, each condition becomes a bound on ``t``;
+    feasibility is an integer-interval intersection.  The degenerate
+    ``a == b == 0, c == 0`` case (every point solves the equation) is
+    answered conservatively (True) when the conditions are individually
+    satisfiable, since joint feasibility of arbitrary half-plane systems is
+    outside this helper's scope — callers never hit that case with real
+    subscripts (it would be a ZIV pair).
+    """
+    sol = solve_linear_2var(a, b, c)
+    if sol is None:
+        return False
+    if sol.unconstrained:
+        for cx, cy, lo, hi in conditions:
+            if cx == 0 and cy == 0:
+                if (lo is not NEG_INF and lo > 0) or (hi is not POS_INF and hi < 0):
+                    return False
+        return True
+    trange: Optional[Tuple[BoundValue, BoundValue]] = (NEG_INF, POS_INF)
+    for cx, cy, lo, hi in conditions:
+        base = cx * sol.x0 + cy * sol.y0
+        step = cx * sol.dx + cy * sol.dy
+        trange = _intersect_param(trange, _param_interval_for(base, step, lo, hi))
+        if trange is None:
+            return False
+    return True
+
+
+def iter_solutions_in_box(
+    a: int,
+    b: int,
+    c: int,
+    xlo: BoundValue,
+    xhi: BoundValue,
+    ylo: BoundValue,
+    yhi: BoundValue,
+    limit: int = 10_000,
+) -> Iterator[Tuple[int, int]]:
+    """Yield integer solutions ``(x, y)`` in the box, at most ``limit``.
+
+    Solutions are produced in increasing order of the family parameter.
+    Raises :class:`ValueError` when the solution set is infinite.
+    """
+    result = _param_range_in_box(a, b, c, xlo, xhi, ylo, yhi)
+    if result is None:
+        return
+    sol, (tlo, thi) = result
+    if sol.unconstrained:
+        if xlo is NEG_INF or xhi is POS_INF or ylo is NEG_INF or yhi is POS_INF:
+            raise ValueError("infinite solution set")
+        produced = 0
+        for x in range(xlo, xhi + 1):
+            for y in range(ylo, yhi + 1):
+                if produced >= limit:
+                    return
+                yield (x, y)
+                produced += 1
+        return
+    if tlo is NEG_INF or thi is POS_INF:
+        raise ValueError("infinite solution set")
+    produced = 0
+    for t in range(tlo, thi + 1):
+        if produced >= limit:
+            return
+        yield sol.point_at(t)
+        produced += 1

@@ -1,0 +1,175 @@
+"""Possibly-unbounded integer/rational intervals.
+
+Banerjee's inequalities (Section 4.4 of the paper) bound the value of an
+affine form over a box of loop-index ranges; the triangular index-range
+algorithm (Section 4.3) computes those ranges for loop nests whose bounds
+reference outer indices.  Both need interval arithmetic where either end may
+be infinite (unknown symbolic loop bounds degrade to infinities, keeping the
+tests conservative).
+
+Infinities are the module-level singletons :data:`NEG_INF` and
+:data:`POS_INF` (they are ``float`` infinities so the usual comparison
+operators work against ints and Fractions), and finite values are ``int`` or
+``fractions.Fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Union
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+Extent = Union[int, Fraction, float]  # finite number or an infinity
+
+
+def is_finite(value: Extent) -> bool:
+    """True for ints and Fractions; False for the infinity sentinels."""
+    return not isinstance(value, float)
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division matching mathematical floor for any sign of ``b``."""
+    return a // b if b > 0 else (-a) // (-b)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division matching mathematical ceiling for any sign of ``b``."""
+    return -((-a) // b) if b > 0 else -(a // (-b))
+
+
+def _mul(value: Extent, factor: Extent) -> Extent:
+    """Multiply extents, defining ``0 * inf == 0`` (needed for zero coefficients)."""
+    if value == 0 or factor == 0:
+        return 0
+    return value * factor
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; either end may be infinite.
+
+    An empty interval is represented by ``lo > hi``; use :meth:`is_empty`.
+    Arithmetic follows standard interval semantics and is exact (no floating
+    point except for the infinity sentinels).
+    """
+
+    lo: Extent
+    hi: Extent
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def point(value: Extent) -> "Interval":
+        """The degenerate interval ``[value, value]``."""
+        return Interval(value, value)
+
+    @staticmethod
+    def unbounded() -> "Interval":
+        """The whole line ``(-inf, +inf)``."""
+        return Interval(NEG_INF, POS_INF)
+
+    @staticmethod
+    def empty() -> "Interval":
+        """A canonical empty interval."""
+        return Interval(1, 0)
+
+    # -- queries ---------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True when the interval contains no value."""
+        return self.lo > self.hi
+
+    def is_bounded(self) -> bool:
+        """True when both ends are finite."""
+        return is_finite(self.lo) and is_finite(self.hi)
+
+    def contains(self, value: Extent) -> bool:
+        """Membership test (always False for empty intervals)."""
+        return self.lo <= value <= self.hi
+
+    def contains_integer(self) -> bool:
+        """True when some integer lies in the interval."""
+        if self.is_empty():
+            return False
+        if not is_finite(self.lo) or not is_finite(self.hi):
+            return True
+        lo_int = self.lo if isinstance(self.lo, int) else ceil_frac(self.lo)
+        hi_int = self.hi if isinstance(self.hi, int) else floor_frac(self.hi)
+        return lo_int <= hi_int
+
+    def integer_width(self) -> Optional[int]:
+        """Number of integers in the interval; None when infinite."""
+        if self.is_empty():
+            return 0
+        if not self.is_bounded():
+            return None
+        lo_int = self.lo if isinstance(self.lo, int) else ceil_frac(self.lo)
+        hi_int = self.hi if isinstance(self.hi, int) else floor_frac(self.hi)
+        return max(0, hi_int - lo_int + 1)
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if self.is_empty() or other.is_empty():
+            return Interval.empty()
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __neg__(self) -> "Interval":
+        if self.is_empty():
+            return self
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+    def scale(self, factor: Extent) -> "Interval":
+        """Multiply both ends by a finite scalar, flipping when negative."""
+        if self.is_empty():
+            return self
+        if factor >= 0:
+            return Interval(_mul(self.lo, factor), _mul(self.hi, factor))
+        return Interval(_mul(self.hi, factor), _mul(self.lo, factor))
+
+    def shift(self, offset: Extent) -> "Interval":
+        """Translate by a finite offset."""
+        if self.is_empty():
+            return self
+        return Interval(self.lo + offset, self.hi + offset)
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Set intersection."""
+        if self.is_empty():
+            return self
+        if other.is_empty():
+            return other
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (convex hull)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __str__(self) -> str:
+        if self.is_empty():
+            return "[]"
+        return f"[{self.lo}, {self.hi}]"
+
+
+def floor_frac(value: Union[int, Fraction]) -> int:
+    """Mathematical floor of an exact number."""
+    if isinstance(value, int):
+        return value
+    return value.numerator // value.denominator
+
+
+def ceil_frac(value: Union[int, Fraction]) -> int:
+    """Mathematical ceiling of an exact number."""
+    if isinstance(value, int):
+        return value
+    return -((-value.numerator) // value.denominator)

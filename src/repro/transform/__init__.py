@@ -1,0 +1,42 @@
+"""Transformation-legality consumers of dependence information."""
+
+from repro.transform.parallel import (
+    LoopParallelism,
+    find_parallel_loops,
+    parallel_loop_count,
+)
+from repro.transform.interchange import (
+    InterchangeAdvice,
+    InterchangeVerdict,
+    check_interchange,
+    interchange_advice,
+    interchange_legal,
+)
+from repro.transform.apply import (
+    interchange_loops,
+    peel_loop,
+    split_loop,
+)
+from repro.transform.vectorize import VectorizationReport, vectorize
+from repro.transform.peel import PeelSuggestion, find_peeling_opportunities
+from repro.transform.split import SplitSuggestion, find_splitting_opportunities
+
+__all__ = [
+    "LoopParallelism",
+    "find_parallel_loops",
+    "parallel_loop_count",
+    "InterchangeAdvice",
+    "InterchangeVerdict",
+    "check_interchange",
+    "interchange_advice",
+    "interchange_legal",
+    "interchange_loops",
+    "peel_loop",
+    "split_loop",
+    "VectorizationReport",
+    "vectorize",
+    "PeelSuggestion",
+    "find_peeling_opportunities",
+    "SplitSuggestion",
+    "find_splitting_opportunities",
+]

@@ -1,0 +1,144 @@
+"""Actually apply loop transformations to the IR.
+
+The paper motivates three dependence-driven transformations; this module
+performs them so their effect can be *verified by re-analysis* (the
+integration tests peel/split/interchange and check that the carried
+dependence really disappears):
+
+* :func:`peel_loop` — split off the first or last iteration (weak-zero SIV
+  dependences pinned to a boundary iteration);
+* :func:`split_loop` — break the iteration space at the crossing point
+  (weak-crossing SIV dependences);
+* :func:`interchange_loops` — swap two perfectly nested loops (legal when
+  no (<, >) direction vector exists — see
+  :mod:`repro.transform.interchange`).
+
+Each function is pure: it returns new IR nodes, substituting the peeled
+iteration's value into the peeled copy of the body.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Union
+
+from repro.ir.expr import Const, Expr, Sub, Add
+from repro.ir.loop import Assign, Conditional, Loop, Node
+from repro.ir.normalize import _subst_expr, _subst_ref  # shared rewriting core
+
+
+def _substitute_body(body: List[Node], name: str, value: Expr) -> List[Node]:
+    """Copy a body with every use of index ``name`` replaced by ``value``."""
+    result: List[Node] = []
+    for node in body:
+        if isinstance(node, Loop):
+            result.append(
+                Loop(
+                    node.index,
+                    _subst_expr(node.lower, {name: value}),
+                    _subst_expr(node.upper, {name: value}),
+                    node.step,
+                    _substitute_body(node.body, name, value),
+                    node.label,
+                )
+            )
+        elif isinstance(node, Conditional):
+            result.append(
+                Conditional(node.condition, _substitute_body(node.body, name, value))
+            )
+        elif isinstance(node, Assign):
+            result.append(
+                Assign(
+                    _subst_ref(node.lhs, {name: value}),
+                    _subst_expr(node.rhs, {name: value}),
+                    node.label,
+                )
+            )
+        else:
+            raise TypeError(f"unknown node {node!r}")
+    return result
+
+
+def _copy_body(body: List[Node]) -> List[Node]:
+    return _substitute_body(body, "", Const(0))  # no-op substitution copies
+
+
+def peel_loop(loop: Loop, which: str = "first") -> List[Node]:
+    """Peel the first or last iteration off a loop.
+
+    ``DO i = L, U`` becomes ``body[i := L]; DO i = L+1, U`` (or the mirror
+    for ``which == "last"``).  Returns the replacement node list.
+    """
+    if loop.step != 1:
+        raise ValueError("peel_loop requires a normalized (step-1) loop")
+    if which == "first":
+        peeled = _substitute_body(loop.body, loop.index, loop.lower)
+        rest = Loop(
+            loop.index,
+            Add(loop.lower, Const(1)),
+            loop.upper,
+            1,
+            _copy_body(loop.body),
+            loop.label,
+        )
+        return peeled + [rest]
+    if which == "last":
+        peeled = _substitute_body(loop.body, loop.index, loop.upper)
+        rest = Loop(
+            loop.index,
+            loop.lower,
+            Sub(loop.upper, Const(1)),
+            1,
+            _copy_body(loop.body),
+            loop.label,
+        )
+        return [rest] + peeled
+    raise ValueError(f"which must be 'first' or 'last', got {which!r}")
+
+
+def split_loop(loop: Loop, at: Union[int, Fraction]) -> List[Node]:
+    """Split a loop at a crossing point into two loops.
+
+    For a crossing iteration ``x`` (possibly half-integral), produces
+    ``DO i = L, floor(x)`` and ``DO i = floor(x)+1, U`` — the paper's loop
+    splitting for weak-crossing dependences, whose endpoints always lie on
+    opposite sides of ``x``.
+    """
+    if loop.step != 1:
+        raise ValueError("split_loop requires a normalized (step-1) loop")
+    boundary = int(Fraction(at))  # floor for positive crossing points
+    first = Loop(
+        loop.index, loop.lower, Const(boundary), 1, _copy_body(loop.body), loop.label
+    )
+    second = Loop(
+        loop.index,
+        Const(boundary + 1),
+        loop.upper,
+        1,
+        _copy_body(loop.body),
+        loop.label,
+    )
+    return [first, second]
+
+
+def interchange_loops(outer: Loop) -> Loop:
+    """Swap a perfectly nested loop pair (outer's body must be one loop).
+
+    The caller is responsible for legality (``interchange_legal``); bounds
+    must not reference the other index (rectangular nest).
+    """
+    if len(outer.body) != 1 or not isinstance(outer.body[0], Loop):
+        raise ValueError("interchange requires a perfect two-loop nest")
+    inner = outer.body[0]
+    for bound in (inner.lower, inner.upper):
+        if outer.index in bound.variables():
+            raise ValueError(
+                f"inner bound {bound} references {outer.index}: "
+                "triangular interchange is out of scope"
+            )
+    new_inner = Loop(
+        outer.index, outer.lower, outer.upper, outer.step, inner.body, outer.label
+    )
+    return Loop(
+        inner.index, inner.lower, inner.upper, inner.step, [new_inner], inner.label
+    )

@@ -1,0 +1,128 @@
+"""Loop interchange legality from direction vectors.
+
+Interchanging two loops permutes the corresponding components of every
+dependence direction vector; the interchange is legal iff no vector becomes
+implausible — i.e. no dependence has ``<`` on the outer loop and ``>`` on
+the inner one (the classic test the paper attributes to direction vectors
+[4, 25, 53]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dirvec.direction import Direction
+from repro.graph.depgraph import DependenceEdge, DependenceGraph, build_dependence_graph
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import Loop, Node
+
+
+@dataclass
+class InterchangeVerdict:
+    """Whether two loops may be interchanged, with the violating edges."""
+
+    outer: Loop
+    inner: Loop
+    legal: bool
+    violations: List[DependenceEdge]
+
+    def __str__(self) -> str:
+        status = "legal" if self.legal else "ILLEGAL"
+        return f"interchange({self.outer.index}, {self.inner.index}): {status}"
+
+
+def interchange_legal(
+    graph: DependenceGraph, outer: Loop, inner: Loop
+) -> InterchangeVerdict:
+    """Check interchange legality of two loops against a dependence graph.
+
+    Edges whose common nest does not contain both loops are unaffected by
+    the interchange and ignored.
+    """
+    violations: List[DependenceEdge] = []
+    for edge in graph.edges:
+        positions = _positions(edge, outer, inner)
+        if positions is None:
+            continue
+        outer_pos, inner_pos = positions
+        for vector in edge.vectors:
+            if (
+                vector[outer_pos] is Direction.LT
+                and vector[inner_pos] is Direction.GT
+            ):
+                violations.append(edge)
+                break
+    return InterchangeVerdict(outer, inner, not violations, violations)
+
+
+def _positions(
+    edge: DependenceEdge, outer: Loop, inner: Loop
+) -> Optional[Tuple[int, int]]:
+    loops = edge.common_loops
+    outer_pos = inner_pos = None
+    for position, loop in enumerate(loops):
+        if loop is outer:
+            outer_pos = position
+        elif loop is inner:
+            inner_pos = position
+    if outer_pos is None or inner_pos is None:
+        return None
+    return outer_pos, inner_pos
+
+
+def check_interchange(
+    nodes: Sequence[Node],
+    outer: Loop,
+    inner: Loop,
+    symbols: Optional[SymbolEnv] = None,
+) -> InterchangeVerdict:
+    """Build the graph and check interchange legality in one call."""
+    graph = build_dependence_graph(nodes, symbols=symbols)
+    return interchange_legal(graph, outer, inner)
+
+
+@dataclass
+class InterchangeAdvice:
+    """Legality plus the paper's profitability criterion.
+
+    The paper (Section 2.1) notes direction vectors determine "whether loop
+    interchange is legal and profitable".  The classic profitability signal
+    for vectorization is moving a dependence-free loop innermost: the
+    interchange is *profitable* when the current inner loop carries a
+    dependence but the outer one does not (so after swapping, the new inner
+    loop is vectorizable).
+    """
+
+    verdict: InterchangeVerdict
+    profitable: bool
+    reason: str
+
+    def __str__(self) -> str:
+        status = str(self.verdict)
+        return f"{status}; {'profitable' if self.profitable else 'not profitable'} ({self.reason})"
+
+
+def interchange_advice(
+    graph: DependenceGraph, outer: Loop, inner: Loop
+) -> InterchangeAdvice:
+    """Combine interchange legality with the vectorization-profitability
+    heuristic over an existing dependence graph."""
+    verdict = interchange_legal(graph, outer, inner)
+    outer_carries = bool(graph.edges_carried_by(outer))
+    inner_carries = bool(graph.edges_carried_by(inner))
+    if not verdict.legal:
+        return InterchangeAdvice(verdict, False, "illegal")
+    if inner_carries and not outer_carries:
+        return InterchangeAdvice(
+            verdict,
+            True,
+            "moves the dependence-free loop innermost (vectorizable after swap)",
+        )
+    if not inner_carries:
+        return InterchangeAdvice(
+            verdict, False, "inner loop is already dependence-free"
+        )
+    return InterchangeAdvice(
+        verdict, False, "both loops carry dependences; swapping gains nothing"
+    )

@@ -1,0 +1,61 @@
+"""Loop peeling suggestions from weak-zero SIV dependences.
+
+The weak-zero SIV test pins one endpoint of every dependence to a single
+iteration; when that iteration is the loop's first or last, peeling it off
+removes the carried dependence entirely (the paper's tomcatv example,
+Section 4.2).  This module scans driver outcomes for those cases and emits
+structured suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.graph.depgraph import DependenceEdge, DependenceGraph, build_dependence_graph
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import Loop, Node
+
+
+@dataclass
+class PeelSuggestion:
+    """Peel one iteration (first or last) of a loop to break a dependence."""
+
+    loop: Loop
+    which: str  # "first" | "last"
+    iteration: object  # int or symbolic LinearExpr
+    edge: DependenceEdge
+
+    def __str__(self) -> str:
+        return (
+            f"peel {self.which} iteration ({self.loop.index} = {self.iteration}) "
+            f"of DO {self.loop.index} to eliminate {self.edge.dep_type} dependence "
+            f"on {self.edge.source.ref.array}"
+        )
+
+
+def find_peeling_opportunities(
+    nodes: Sequence[Node],
+    symbols: Optional[SymbolEnv] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> List[PeelSuggestion]:
+    """Scan a statement list for weak-zero boundary dependences."""
+    if graph is None:
+        graph = build_dependence_graph(nodes, symbols=symbols)
+    suggestions: List[PeelSuggestion] = []
+    for edge in graph.edges:
+        for outcome in edge.result.outcomes:
+            if outcome.test != "weak-zero-siv" or outcome.independent:
+                continue
+            which = outcome.notes.get("boundary")
+            if which is None:
+                continue
+            for index in outcome.constraints:
+                loop = edge.result.context.loop_for(index)
+                if loop is not None:
+                    suggestions.append(
+                        PeelSuggestion(
+                            loop, str(which), outcome.notes.get("zero_iteration"), edge
+                        )
+                    )
+    return suggestions

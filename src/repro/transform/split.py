@@ -1,0 +1,54 @@
+"""Loop splitting suggestions from weak-crossing SIV dependences.
+
+Weak-crossing SIV dependences all cross a single iteration (the paper's
+Callahan-Dongarra-Levine example: every dependence crosses ``(N + 1)/2``);
+splitting the loop at the crossing point yields two dependence-free halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.graph.depgraph import DependenceEdge, DependenceGraph, build_dependence_graph
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import Loop, Node
+
+
+@dataclass
+class SplitSuggestion:
+    """Split a loop at the crossing iteration to break crossing dependences."""
+
+    loop: Loop
+    crossing_iteration: object  # Fraction (possibly half-integral)
+    edge: DependenceEdge
+
+    def __str__(self) -> str:
+        return (
+            f"split DO {self.loop.index} at iteration {self.crossing_iteration} "
+            f"to eliminate crossing {self.edge.dep_type} dependence "
+            f"on {self.edge.source.ref.array}"
+        )
+
+
+def find_splitting_opportunities(
+    nodes: Sequence[Node],
+    symbols: Optional[SymbolEnv] = None,
+    graph: Optional[DependenceGraph] = None,
+) -> List[SplitSuggestion]:
+    """Scan a statement list for crossing dependences amenable to splitting."""
+    if graph is None:
+        graph = build_dependence_graph(nodes, symbols=symbols)
+    suggestions: List[SplitSuggestion] = []
+    for edge in graph.edges:
+        for outcome in edge.result.outcomes:
+            if outcome.test != "weak-crossing-siv" or outcome.independent:
+                continue
+            crossing = outcome.notes.get("crossing_iteration")
+            if crossing is None:
+                continue
+            for index in outcome.constraints:
+                loop = edge.result.context.loop_for(index)
+                if loop is not None:
+                    suggestions.append(SplitSuggestion(loop, crossing, edge))
+    return suggestions

@@ -1,0 +1,60 @@
+"""Shared test utilities: quick pair construction and site lookup."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.fortran.parser import parse_fragment
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import AccessSite, collect_access_sites
+from repro.ir.normalize import normalize_steps
+
+
+def sites_of(source: str, normalize: bool = True) -> List[AccessSite]:
+    """Parse a fragment and return its access sites."""
+    nodes = parse_fragment(source)
+    if normalize:
+        nodes = normalize_steps(nodes)
+    return collect_access_sites(nodes)
+
+
+def site(source: str, array: str, write: Optional[bool] = None, index: int = 0) -> AccessSite:
+    """The index-th access site of ``array`` (optionally filtered by mode)."""
+    matches = [
+        s
+        for s in sites_of(source)
+        if s.ref.array == array and (write is None or s.is_write == write)
+    ]
+    return matches[index]
+
+
+def pair_context(
+    source: str,
+    array: str,
+    symbols: Optional[SymbolEnv] = None,
+    src_index: int = 0,
+    sink_index: int = 1,
+) -> PairContext:
+    """PairContext between two sites of ``array`` in a fragment.
+
+    By default pairs the first (source) and second (sink) occurrences in
+    execution order.
+    """
+    matches = [s for s in sites_of(source) if s.ref.array == array]
+    return PairContext(matches[src_index], matches[sink_index], symbols)
+
+
+def write_read_pair(
+    source: str, array: str, symbols: Optional[SymbolEnv] = None
+) -> Tuple[AccessSite, AccessSite]:
+    """The (first write, first read) sites of ``array``."""
+    sites = sites_of(source)
+    write = next(s for s in sites if s.ref.array == array and s.is_write)
+    read = next(s for s in sites if s.ref.array == array and not s.is_write)
+    return write, read
+
+
+def single_subscript(context: PairContext, position: int = 0) -> SubscriptPair:
+    """One subscript pair from a context."""
+    return context.subscripts[position]

@@ -1,0 +1,117 @@
+"""Brute-force dependence oracle.
+
+Enumerates every pair of iteration vectors of two access sites (for small
+concrete loop bounds), evaluates the subscripts, and records which
+direction vectors actually occur.  Tests compare the analytical results
+against this ground truth:
+
+* soundness — every brute-force vector must be reported by the driver
+  (and "independent" verdicts must have an empty brute-force set);
+* exactness — when a result claims ``exact``, the reported vector set must
+  equal the brute-force set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.dirvec.direction import Direction
+from repro.dirvec.vectors import DirectionVector
+from repro.ir.expr import (
+    Add,
+    Call,
+    Const,
+    Div,
+    Expr,
+    IndexedLoad,
+    Mul,
+    Neg,
+    RealConst,
+    Sub,
+    Var,
+)
+from repro.ir.loop import AccessSite
+
+
+def eval_expr(expr: Expr, env: Dict[str, int]) -> int:
+    """Evaluate an integer expression under a variable environment."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Add):
+        return eval_expr(expr.left, env) + eval_expr(expr.right, env)
+    if isinstance(expr, Sub):
+        return eval_expr(expr.left, env) - eval_expr(expr.right, env)
+    if isinstance(expr, Mul):
+        return eval_expr(expr.left, env) * eval_expr(expr.right, env)
+    if isinstance(expr, Div):
+        numerator = eval_expr(expr.left, env)
+        denominator = eval_expr(expr.right, env)
+        return numerator // denominator
+    if isinstance(expr, Neg):
+        return -eval_expr(expr.operand, env)
+    raise ValueError(f"oracle cannot evaluate {expr!r}")
+
+
+def _iteration_vectors(
+    site: AccessSite, env: Dict[str, int]
+) -> List[Dict[str, int]]:
+    """All iteration vectors of the loops enclosing a site."""
+    vectors: List[Dict[str, int]] = [dict(env)]
+    for loop in site.loops:
+        extended: List[Dict[str, int]] = []
+        for partial in vectors:
+            lower = eval_expr(loop.lower, partial)
+            upper = eval_expr(loop.upper, partial)
+            for value in range(lower, upper + 1):
+                candidate = dict(partial)
+                candidate[loop.index] = value
+                extended.append(candidate)
+        vectors = extended
+    return vectors
+
+
+def brute_force_vectors(
+    src: AccessSite,
+    sink: AccessSite,
+    env: Optional[Dict[str, int]] = None,
+) -> FrozenSet[DirectionVector]:
+    """Direction vectors (over the common loops) of actual overlaps.
+
+    ``env`` supplies concrete values for symbolic bounds.  Each pair of
+    iteration vectors whose subscripts all match contributes one direction
+    vector.
+    """
+    env = env or {}
+    common = [
+        a.index for a, b in zip(src.loops, sink.loops) if a is b
+    ]
+    found = set()
+    for src_iter in _iteration_vectors(src, env):
+        src_values = tuple(eval_expr(s, src_iter) for s in src.ref.subscripts)
+        for sink_iter in _iteration_vectors(sink, env):
+            sink_values = tuple(
+                eval_expr(s, sink_iter) for s in sink.ref.subscripts
+            )
+            if src_values != sink_values:
+                continue
+            vector = []
+            for index in common:
+                a, b = src_iter[index], sink_iter[index]
+                if a < b:
+                    vector.append(Direction.LT)
+                elif a == b:
+                    vector.append(Direction.EQ)
+                else:
+                    vector.append(Direction.GT)
+            found.add(tuple(vector))
+    return frozenset(found)
+
+
+def brute_force_dependent(
+    src: AccessSite, sink: AccessSite, env: Optional[Dict[str, int]] = None
+) -> bool:
+    """True when any overlap exists."""
+    return bool(brute_force_vectors(src, sink, env))

@@ -1,0 +1,123 @@
+"""Tests for actually applying transformations and re-verifying by analysis."""
+
+import pytest
+
+from repro.fortran.parser import parse_fragment
+from repro.graph.depgraph import build_dependence_graph
+from repro.ir.loop import Loop, format_body, loops_in
+from repro.transform.apply import interchange_loops, peel_loop, split_loop
+from repro.transform.parallel import find_parallel_loops
+from repro.transform.peel import find_peeling_opportunities
+from repro.transform.split import find_splitting_opportunities
+
+from tests.oracle import brute_force_vectors
+from repro.ir.loop import collect_access_sites
+
+
+class TestPeel:
+    def test_peel_first_removes_boundary_dependence(self):
+        """Peeling i = 1 off the tomcatv-style loop removes the carried
+        dependence between y(1) and the y(i) write."""
+        src = "do i = 1, 9\n b(i) = y(1)\n y(i) = c(i)\nenddo"
+        nodes = parse_fragment(src)
+        loop = nodes[0]
+        assert isinstance(loop, Loop)
+        suggestions = find_peeling_opportunities(nodes)
+        assert suggestions and suggestions[0].which == "first"
+
+        transformed = peel_loop(loop, "first")
+        # The residual loop (i = 2..9) must be fully parallel now.
+        residual_loop = next(n for n in transformed if isinstance(n, Loop))
+        verdicts = find_parallel_loops([residual_loop])
+        assert all(v.parallel for v in verdicts)
+
+    def test_peel_preserves_written_cells(self):
+        from tests.test_normalize import touched_cells
+
+        src = "do i = 1, 9\n a(i) = 0\nenddo"
+        loop = parse_fragment(src)[0]
+        original = touched_cells([loop], {})
+        transformed = peel_loop(loop, "first")
+        assert touched_cells(transformed, {}) == original
+        transformed_last = peel_loop(loop, "last")
+        assert touched_cells(transformed_last, {}) == original
+
+    def test_peel_last(self):
+        src = "do i = 1, 9\n b(i) = y(9)\n y(i) = c(i)\nenddo"
+        loop = parse_fragment(src)[0]
+        transformed = peel_loop(loop, "last")
+        residual_loop = next(n for n in transformed if isinstance(n, Loop))
+        verdicts = find_parallel_loops([residual_loop])
+        assert all(v.parallel for v in verdicts)
+
+    def test_bad_which_raises(self):
+        loop = parse_fragment("do i = 1, 9\n a(i) = 0\nenddo")[0]
+        with pytest.raises(ValueError):
+            peel_loop(loop, "middle")
+
+    def test_non_normalized_raises(self):
+        loop = parse_fragment("do i = 1, 9, 2\n a(i) = 0\nenddo")[0]
+        with pytest.raises(ValueError):
+            peel_loop(loop, "first")
+
+
+class TestSplit:
+    def test_split_removes_crossing_dependence(self):
+        """Splitting the CDL loop at (N+1)/2 leaves two loops whose halves
+        are each dependence-free."""
+        src = "do i = 1, 10\n a(i) = a(11-i)\nenddo"
+        loop = parse_fragment(src)[0]
+        suggestions = find_splitting_opportunities([loop])
+        assert suggestions
+        halves = split_loop(loop, suggestions[0].crossing_iteration)
+        assert len(halves) == 2
+        for half in halves:
+            verdicts = find_parallel_loops([half])
+            assert all(v.parallel for v in verdicts), format_body([half])
+
+    def test_split_preserves_cells(self):
+        from tests.test_normalize import touched_cells
+
+        loop = parse_fragment("do i = 1, 10\n a(i) = 0\nenddo")[0]
+        halves = split_loop(loop, 5)
+        assert touched_cells(halves, {}) == touched_cells([loop], {})
+
+
+class TestInterchange:
+    def test_swaps_nest(self):
+        src = "do i = 1, 5\n do j = 1, 7\n a(i, j) = 0\n enddo\nenddo"
+        outer = parse_fragment(src)[0]
+        swapped = interchange_loops(outer)
+        assert swapped.index == "j"
+        assert swapped.body[0].index == "i"
+
+    def test_preserves_cells(self):
+        from tests.test_normalize import touched_cells
+
+        src = "do i = 1, 5\n do j = 1, 7\n a(i, j) = 0\n enddo\nenddo"
+        outer = parse_fragment(src)[0]
+        swapped = interchange_loops(outer)
+        assert touched_cells([swapped], {}) == touched_cells([outer], {})
+
+    def test_interchange_moves_carrier(self):
+        """After interchanging the stencil nest, the dependence carried by
+        the old outer loop is carried by the new inner loop."""
+        src = "do i = 2, 9\n do j = 1, 9\n a(i, j) = a(i-1, j)\n enddo\nenddo"
+        outer = parse_fragment(src)[0]
+        before = {v.loop.index: v.parallel for v in find_parallel_loops([outer])}
+        swapped = interchange_loops(outer)
+        after = {v.loop.index: v.parallel for v in find_parallel_loops([swapped])}
+        assert before == {"i": False, "j": True}
+        assert after == {"i": False, "j": True}  # i still the carrier
+
+    def test_imperfect_nest_raises(self):
+        src = "do i = 1, 5\n a(i) = 0\nenddo"
+        loop = parse_fragment(src)[0]
+        with pytest.raises(ValueError):
+            interchange_loops(loop)
+
+    def test_triangular_raises(self):
+        src = "do i = 1, 5\n do j = 1, i\n a(i, j) = 0\n enddo\nenddo"
+        loop = parse_fragment(src)[0]
+        with pytest.raises(ValueError):
+            interchange_loops(loop)

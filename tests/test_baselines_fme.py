@@ -1,0 +1,121 @@
+"""Unit tests for the Fourier-Motzkin elimination engine."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.fme import FMSystem, Inequality, box_system
+
+
+class TestInequality:
+    def test_of_drops_zero_coefficients(self):
+        ineq = Inequality.of({"x": 0, "y": 2}, 3)
+        assert ineq.variables() == {"y"}
+
+    def test_trivial_classification(self):
+        assert Inequality.of({}, 1).is_trivially_true()
+        assert Inequality.of({}, -1).is_trivially_false()
+        assert not Inequality.of({"x": 1}, -1).is_constant()
+
+
+class TestFeasibility:
+    def test_empty_system_feasible(self):
+        assert FMSystem().is_rationally_feasible()
+
+    def test_box_feasible(self):
+        system = box_system({"x": (0, 10), "y": (0, 10)})
+        assert system.is_rationally_feasible()
+
+    def test_contradictory_bounds(self):
+        system = FMSystem()
+        system.add({"x": 1}, 5)       # x <= 5
+        system.add_ge({"x": 1}, 6)    # x >= 6
+        assert not system.is_rationally_feasible()
+
+    def test_equality_constraints(self):
+        system = box_system({"x": (0, 10), "y": (0, 10)})
+        system.add_eq({"x": 1, "y": 1}, 5)
+        assert system.is_rationally_feasible()
+        system.add_eq({"x": 1, "y": -1}, 100)
+        assert not system.is_rationally_feasible()
+
+    def test_transitive_inference(self):
+        # x <= y, y <= z, z <= x - 1: infeasible
+        system = FMSystem()
+        system.add({"x": 1, "y": -1}, 0)
+        system.add({"y": 1, "z": -1}, 0)
+        system.add({"z": 1, "x": -1}, -1)
+        assert not system.is_rationally_feasible()
+
+    def test_rational_feasible_integer_infeasible(self):
+        # 2x = 1 is rationally feasible (x = 1/2): FME cannot exclude it.
+        system = FMSystem()
+        system.add_eq({"x": 2}, 1)
+        assert system.is_rationally_feasible()
+
+    def test_operation_counter_increases(self):
+        system = box_system({f"v{k}": (0, 10) for k in range(4)})
+        for k in range(3):
+            system.add({f"v{k}": 1, f"v{k+1}": -1}, 0)
+        assert system.is_rationally_feasible()
+        assert system.operations > 0
+
+    def test_open_sides(self):
+        system = box_system({"x": (None, 5), "y": (0, None)})
+        system.add_ge({"x": 1, "y": 1}, 100)
+        assert system.is_rationally_feasible()
+
+
+class TestElimination:
+    def test_eliminate_removes_variable(self):
+        system = box_system({"x": (0, 10), "y": (0, 10)})
+        system.add({"x": 1, "y": 1}, 5)
+        reduced = system.eliminate("x")
+        assert "x" not in reduced.variables()
+
+    def test_projection_preserves_feasibility(self):
+        system = box_system({"x": (0, 10), "y": (3, 4)})
+        reduced = system.eliminate("x")
+        assert reduced.is_rationally_feasible()
+
+
+@st.composite
+def random_system(draw):
+    names = ["x", "y", "z"]
+    system = FMSystem()
+    count = draw(st.integers(1, 6))
+    inequalities = []
+    for _ in range(count):
+        coeffs = {
+            name: draw(st.integers(-3, 3)) for name in names
+        }
+        bound = draw(st.integers(-10, 10))
+        system.add(coeffs, bound)
+        inequalities.append((coeffs, bound))
+    return system, inequalities
+
+
+class TestFMEProperties:
+    @given(random_system())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_grid_search(self, data):
+        """If some integer grid point satisfies everything, FME must agree."""
+        system, inequalities = data
+        grid_hit = False
+        for x in range(-6, 7):
+            for y in range(-6, 7):
+                for z in range(-6, 7):
+                    env = {"x": x, "y": y, "z": z}
+                    if all(
+                        sum(c * env[v] for v, c in coeffs.items()) <= bound
+                        for coeffs, bound in inequalities
+                    ):
+                        grid_hit = True
+                        break
+                if grid_hit:
+                    break
+            if grid_hit:
+                break
+        feasible = system.is_rationally_feasible()
+        if grid_hit:
+            assert feasible

@@ -1,0 +1,47 @@
+"""Unit tests for the λ-test baseline."""
+
+from repro.baselines.lam import lambda_combinations, lambda_test
+from repro.baselines.subscript_by_subscript import test_dependence_lambda
+from repro.core.driver import test_dependence
+from repro.symbolic.linexpr import LinearExpr
+
+from tests.helpers import pair_context, sites_of
+
+
+class TestLambdaCombinations:
+    def test_includes_originals(self):
+        eqs = [LinearExpr({"i": 1}, 1), LinearExpr({"i": 2, "j": 1}, 0)]
+        combos = list(lambda_combinations(eqs))
+        assert eqs[0] in combos and eqs[1] in combos
+
+    def test_cancels_shared_variable(self):
+        eqs = [LinearExpr({"i": 1, "j": 1}), LinearExpr({"i": 2, "j": -1})]
+        combos = list(lambda_combinations(eqs))
+        cancelled = [c for c in combos if "i" not in c.variables() and c not in eqs]
+        assert cancelled  # some combination eliminated i
+
+
+class TestLambdaTest:
+    def test_coupled_independence(self):
+        # the Delta distance-conflict example is also λ-provable:
+        # combining (i + 1 - i') and (i + 2 - i') gives the constant 1.
+        ctx = pair_context("do i=1,9\n a(i+1, i+2) = a(i, i)\nenddo", "a")
+        outcome = lambda_test(ctx.subscripts, ctx)
+        assert outcome.independent
+
+    def test_coupled_dependence_conservative(self):
+        ctx = pair_context("do i=1,9\n a(i, i) = a(i, i)\nenddo", "a")
+        outcome = lambda_test(ctx.subscripts, ctx)
+        assert not outcome.independent
+
+    def test_nonlinear_only_not_applicable(self):
+        ctx = pair_context("do i=1,9\n a(i*i) = a(i*i)\nenddo", "a")
+        outcome = lambda_test(ctx.subscripts, ctx)
+        assert not outcome.applicable
+
+    def test_driver_agrees_with_full_driver_on_separable(self):
+        src = "do i=1,9\n a(2*i) = a(2*i+1)\nenddo"
+        sites = [s for s in sites_of(src) if s.ref.array == "a"]
+        lam = test_dependence_lambda(sites[0], sites[1])
+        full = test_dependence(sites[0], sites[1])
+        assert lam.independent == full.independent == True  # noqa: E712

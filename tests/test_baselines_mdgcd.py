@@ -1,0 +1,129 @@
+"""Unit and property tests for the multidimensional GCD solver."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.mdgcd import solve_integer_system, system_from_pairs
+
+from tests.helpers import pair_context
+
+
+class TestSolver:
+    def test_single_equation(self):
+        # 2x + 4y = 6 has integer solutions
+        solution = solve_integer_system([{"x": 2, "y": 4}], [6], ["x", "y"])
+        assert solution is not None
+        x0 = dict(zip(solution.variables, solution.x0))
+        assert 2 * x0["x"] + 4 * x0["y"] == 6
+
+    def test_single_equation_infeasible(self):
+        assert solve_integer_system([{"x": 2, "y": 4}], [7], ["x", "y"]) is None
+
+    def test_system_2x2_unique(self):
+        # x + y = 5, x - y = 1 -> (3, 2)
+        solution = solve_integer_system(
+            [{"x": 1, "y": 1}, {"x": 1, "y": -1}], [5, 1], ["x", "y"]
+        )
+        assert solution is not None
+        assert solution.num_parameters == 0
+        values = dict(zip(solution.variables, solution.x0))
+        assert values == {"x": 3, "y": 2}
+
+    def test_system_non_integer_intersection(self):
+        # x + y = 5, x - y = 2 -> x = 3.5: no integer solution
+        assert (
+            solve_integer_system(
+                [{"x": 1, "y": 1}, {"x": 1, "y": -1}], [5, 2], ["x", "y"]
+            )
+            is None
+        )
+
+    def test_redundant_equation_ok(self):
+        solution = solve_integer_system(
+            [{"x": 1, "y": 1}, {"x": 2, "y": 2}], [5, 10], ["x", "y"]
+        )
+        assert solution is not None
+        assert solution.num_parameters == 1
+
+    def test_inconsistent_redundancy(self):
+        assert (
+            solve_integer_system(
+                [{"x": 1, "y": 1}, {"x": 2, "y": 2}], [5, 11], ["x", "y"]
+            )
+            is None
+        )
+
+    def test_parametric_family_spans_solutions(self):
+        solution = solve_integer_system([{"x": 1, "y": 1}], [4], ["x", "y"])
+        assert solution is not None
+        assert solution.num_parameters == 1
+        basis = solution.basis[0]
+        for t in range(-3, 4):
+            x = solution.x0[0] + basis[0] * t
+            y = solution.x0[1] + basis[1] * t
+            assert x + y == 4
+
+    def test_component_accessor(self):
+        solution = solve_integer_system([{"x": 1, "y": 1}], [4], ["x", "y"])
+        constant, coeffs = solution.component("x")
+        assert isinstance(constant, int)
+        assert len(coeffs) == solution.num_parameters
+
+
+equations_strategy = st.lists(
+    st.tuples(
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)),
+        st.integers(-8, 8),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+class TestSolverProperties:
+    @given(equations_strategy)
+    @settings(max_examples=120, deadline=None)
+    def test_matches_grid_search(self, rows):
+        names = ["x", "y", "z"]
+        equations = [
+            {n: c for n, c in zip(names, coeffs)} for coeffs, _ in rows
+        ]
+        constants = [rhs for _, rhs in rows]
+        solution = solve_integer_system(equations, constants, names)
+        grid_hit = None
+        for point in itertools.product(range(-8, 9), repeat=3):
+            env = dict(zip(names, point))
+            if all(
+                sum(eq.get(n, 0) * env[n] for n in names) == rhs
+                for eq, rhs in zip(equations, constants)
+            ):
+                grid_hit = env
+                break
+        if solution is None:
+            assert grid_hit is None
+        else:
+            # verify the base point satisfies the system
+            values = dict(zip(solution.variables, solution.x0))
+            for eq, rhs in zip(equations, constants):
+                assert sum(eq.get(n, 0) * values[n] for n in names) == rhs
+            # and every basis vector is in the null space
+            for column in solution.basis:
+                nulls = dict(zip(solution.variables, column))
+                for eq in equations:
+                    assert sum(eq.get(n, 0) * nulls[n] for n in names) == 0
+
+
+class TestSystemFromPairs:
+    def test_builds_equations(self):
+        ctx = pair_context(
+            "do i=1,9\n do j=1,9\n a(i+1, j) = a(j, i)\n enddo\nenddo", "a"
+        )
+        equations, constants, names = system_from_pairs(ctx.subscripts, ctx)
+        assert len(equations) == 2
+        assert set(names) <= {"i", "j", "i'", "j'"}
+
+    def test_skips_nonlinear(self):
+        ctx = pair_context("do i=1,9\n a(i*i, i) = a(i, i)\nenddo", "a")
+        equations, _, _ = system_from_pairs(ctx.subscripts, ctx)
+        assert len(equations) == 1

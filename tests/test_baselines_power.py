@@ -1,0 +1,124 @@
+"""Unit and oracle tests for the Power test and the baseline drivers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.power import mdgcd_test, power_test
+from repro.baselines.subscript_by_subscript import (
+    test_dependence_power,
+    test_dependence_subscript_by_subscript,
+)
+from repro.core.driver import test_dependence
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites
+
+from tests.helpers import pair_context, sites_of
+from tests.oracle import brute_force_dependent, brute_force_vectors
+
+
+class TestMDGCD:
+    def test_parity_independence(self):
+        ctx = pair_context(
+            "do i=1,9\n do j=1,9\n a(2*i+2*j) = a(2*i+2*j-1)\n enddo\nenddo", "a"
+        )
+        outcome = mdgcd_test(ctx.subscripts, ctx)
+        assert outcome.independent
+
+    def test_solvable_dependent(self):
+        ctx = pair_context("do i=1,9\n a(i+1) = a(i)\nenddo", "a")
+        outcome = mdgcd_test(ctx.subscripts, ctx)
+        assert outcome.applicable and not outcome.independent
+
+    def test_simultaneous_infeasibility(self):
+        # i + 1 = i' and i + 2 = i' cannot hold together.
+        ctx = pair_context("do i=1,9\n a(i+1, i+2) = a(i, i)\nenddo", "a")
+        outcome = mdgcd_test(ctx.subscripts, ctx)
+        assert outcome.independent
+
+
+class TestPowerTest:
+    def test_bounds_prove_independence(self):
+        # unconstrained solutions exist (i' = i + 100) but not within [1, 9]
+        ctx = pair_context("do i=1,9\n a(i+100) = a(i)\nenddo", "a")
+        outcome = power_test(ctx.subscripts, ctx)
+        assert outcome.independent
+
+    def test_direction_vectors_produced(self):
+        ctx = pair_context("do i=1,9\n a(i+1) = a(i)\nenddo", "a")
+        outcome = power_test(ctx.subscripts, ctx)
+        assert not outcome.independent
+        assert outcome.couplings
+        assert outcome.notes["fme_operations"] >= 0
+
+    def test_coupled_distance_conflict(self):
+        ctx = pair_context("do i=1,9\n a(i+1, i+2) = a(i, i)\nenddo", "a")
+        outcome = power_test(ctx.subscripts, ctx)
+        assert outcome.independent
+
+    def test_triangular_bounds_respected(self):
+        # j <= i: a(i, j) = a(j - 1, i + 1)?? use simple triangular shape
+        src = "do i=1,9\n do j=1,i\n a(i, j) = a(j, i)\n enddo\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = power_test(ctx.subscripts, ctx)
+        assert not outcome.independent  # the diagonal i = j still collides
+
+
+class TestBaselineDrivers:
+    def test_subscript_by_subscript_conservative_on_coupled(self):
+        """The paper's Section 2.2 observation: per-subscript testing keeps
+        a spurious dependence the Delta test eliminates."""
+        src = "do i=1,9\n a(i+1, i+2) = a(i, i)\nenddo"
+        sites = [s for s in sites_of(src) if s.ref.array == "a"]
+        sxs = test_dependence_subscript_by_subscript(sites[0], sites[1])
+        full = test_dependence(sites[0], sites[1])
+        assert full.independent
+        assert not sxs.independent  # conservative
+
+    def test_power_driver_matches_delta_on_coupled(self):
+        src = "do i=1,9\n a(i+1, i+2) = a(i, i)\nenddo"
+        sites = [s for s in sites_of(src) if s.ref.array == "a"]
+        power = test_dependence_power(sites[0], sites[1])
+        assert power.independent
+
+    @given(
+        st.integers(-2, 2), st.integers(-3, 3),
+        st.integers(-2, 2), st.integers(-3, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_power_soundness(self, a1, c1, a2, c2):
+        src = (
+            "do i = 1, 6\n do j = 1, 6\n"
+            f"  a({a1}*i + {c1}, j) = a({a2}*j + {c2}, i)\n"
+            " enddo\nenddo"
+        )
+        sites = [
+            s
+            for s in collect_access_sites(parse_fragment(src))
+            if s.ref.array == "a"
+        ]
+        result = test_dependence_power(sites[0], sites[1])
+        truth = brute_force_dependent(sites[0], sites[1])
+        if result.independent:
+            assert not truth, src
+
+    @given(
+        st.integers(-2, 2), st.integers(-3, 3),
+        st.integers(-2, 2), st.integers(-3, 3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_power_direction_soundness(self, a1, c1, a2, c2):
+        src = (
+            "do i = 1, 5\n do j = 1, 5\n"
+            f"  a({a1}*i + {c1} + j) = a({a2}*i + {c2} + j)\n"
+            " enddo\nenddo"
+        )
+        sites = [
+            s
+            for s in collect_access_sites(parse_fragment(src))
+            if s.ref.array == "a"
+        ]
+        result = test_dependence_power(sites[0], sites[1])
+        truth = brute_force_vectors(sites[0], sites[1])
+        if result.independent:
+            assert not truth, src
+        else:
+            assert truth <= result.direction_vectors, src

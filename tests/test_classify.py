@@ -1,0 +1,219 @@
+"""Unit tests for subscript classification and partitioning (Sections 2-3)."""
+
+import pytest
+
+from repro.classify.pairs import PairContext, prime, unprime
+from repro.classify.partition import (
+    coupled_groups,
+    partition_subscripts,
+    separable_positions,
+)
+from repro.classify.subscript import SubscriptKind, classify, rdiv_shape, siv_shape
+from repro.symbolic.linexpr import LinearExpr
+
+from tests.helpers import pair_context
+
+
+def kinds_of(src, array="a"):
+    ctx = pair_context(src, array)
+    return [classify(pair, ctx) for pair in ctx.subscripts], ctx
+
+
+class TestClassification:
+    def test_ziv(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(1) = a(2)\nenddo")
+        assert kinds == [SubscriptKind.ZIV]
+
+    def test_ziv_symbolic(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(n) = a(n+1)\nenddo")
+        assert kinds == [SubscriptKind.ZIV]
+
+    def test_strong_siv(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(i) = a(i+1)\nenddo")
+        assert kinds == [SubscriptKind.SIV_STRONG]
+
+    def test_strong_siv_with_coefficient(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(2*i) = a(2*i-4)\nenddo")
+        assert kinds == [SubscriptKind.SIV_STRONG]
+
+    def test_weak_zero(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(i) = a(1)\nenddo")
+        assert kinds == [SubscriptKind.SIV_WEAK_ZERO]
+
+    def test_weak_zero_other_side(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(5) = a(i)\nenddo")
+        assert kinds == [SubscriptKind.SIV_WEAK_ZERO]
+
+    def test_weak_crossing(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(i) = a(-i+5)\nenddo")
+        assert kinds == [SubscriptKind.SIV_WEAK_CROSSING]
+
+    def test_weak_general(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(2*i) = a(i+1)\nenddo")
+        assert kinds == [SubscriptKind.SIV_WEAK]
+
+    def test_rdiv(self):
+        src = "do i = 1, 10\n do j = 1, 10\n a(i) = a(j)\n enddo\nenddo"
+        kinds, _ = kinds_of(src)
+        assert kinds == [SubscriptKind.RDIV]
+
+    def test_miv(self):
+        src = "do i = 1, 10\n do j = 1, 10\n a(i+j) = a(i+j-1)\n enddo\nenddo"
+        kinds, _ = kinds_of(src)
+        assert kinds == [SubscriptKind.MIV]
+
+    def test_nonlinear(self):
+        src = "do i = 1, 10\n do j = 1, 10\n a(i*j) = a(i)\n enddo\nenddo"
+        kinds, _ = kinds_of(src)
+        assert kinds == [SubscriptKind.NONLINEAR]
+
+    def test_index_array_nonlinear(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(k(i)) = a(i)\nenddo")
+        assert kinds == [SubscriptKind.NONLINEAR]
+
+    def test_symbolic_additive_stays_siv(self):
+        kinds, _ = kinds_of("do i = 1, 10\n a(i+n) = a(i)\nenddo")
+        assert kinds == [SubscriptKind.SIV_STRONG]
+
+    def test_is_siv_predicate(self):
+        assert SubscriptKind.SIV_STRONG.is_siv
+        assert SubscriptKind.SIV_WEAK_ZERO.is_siv
+        assert not SubscriptKind.MIV.is_siv
+        assert not SubscriptKind.ZIV.is_siv
+
+
+class TestShapes:
+    def test_siv_shape_strong(self):
+        # Sites pair in execution order: the read a(2*i-1) is the source.
+        src = "do i = 1, 10\n a(2*i+3) = a(2*i-1)\nenddo"
+        ctx = pair_context(src, "a")
+        shape = siv_shape(ctx.subscripts[0], ctx, "i")
+        assert (shape.a1, shape.a2) == (2, 2)
+        assert shape.c1 == LinearExpr.constant(-1)
+        assert shape.c2 == LinearExpr.constant(3)
+        assert shape.constant_difference == 4
+
+    def test_siv_shape_symbolic_constants(self):
+        src = "do i = 1, 10\n a(i+n) = a(i+m)\nenddo"
+        ctx = pair_context(src, "a")
+        shape = siv_shape(ctx.subscripts[0], ctx, "i")
+        assert shape.c1 == LinearExpr.var("m")
+        assert shape.c2 == LinearExpr.var("n")
+
+    def test_rdiv_shape(self):
+        # The read a(3*j-1) is the source, the write a(2*i+1) the sink.
+        src = "do i = 1, 10\n do j = 1, 20\n a(2*i+1) = a(3*j-1)\n enddo\nenddo"
+        ctx = pair_context(src, "a")
+        shape = rdiv_shape(ctx.subscripts[0], ctx)
+        assert (shape.a1, shape.a2) == (3, 2)
+        assert shape.src_name == "j"
+        assert shape.sink_name == prime("i")
+
+    def test_rdiv_shape_rejects_siv(self):
+        src = "do i = 1, 10\n a(i) = a(i+1)\nenddo"
+        ctx = pair_context(src, "a")
+        with pytest.raises(ValueError):
+            rdiv_shape(ctx.subscripts[0], ctx)
+
+
+class TestPriming:
+    def test_prime_unprime_roundtrip(self):
+        assert unprime(prime("i")) == "i"
+        assert unprime("i") == "i"
+
+    def test_sink_side_primed(self):
+        src = "do i = 1, 10\n a(i) = a(i-1)\nenddo"
+        ctx = pair_context(src, "a")
+        pair = ctx.subscripts[0]
+        assert pair.src.variables() == {"i"}
+        assert pair.sink.variables() == {prime("i")}
+
+    def test_occurrence_names(self):
+        src = "do i = 1, 10\n a(i) = a(i-1)\nenddo"
+        ctx = pair_context(src, "a")
+        assert ctx.occurrence_names("i") == ("i", prime("i"))
+
+    def test_non_common_index(self):
+        src = """
+do i = 1, 10
+  b(i) = a(i, 1)
+  do j = 1, 5
+    a(i, j) = b(i)
+  enddo
+enddo
+"""
+        ctx = pair_context(src, "a")
+        # source read has loops (i), sink write has loops (i, j)
+        assert ctx.common_indices == ("i",)
+        assert ctx.is_index("j")
+        assert not ctx.is_common("j")
+
+
+class TestPartitioning:
+    def test_all_separable(self):
+        src = "do i = 1, 9\n do j = 1, 9\n a(i, j) = a(i-1, j+1)\n enddo\nenddo"
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        assert len(partitions) == 2
+        assert all(p.is_separable for p in partitions)
+
+    def test_coupled_pair(self):
+        src = "do i = 1, 9\n a(i, i) = a(i+1, i-1)\nenddo"
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        assert len(partitions) == 1
+        assert not partitions[0].is_separable
+        assert partitions[0].indices == {"i"}
+
+    def test_paper_example_mixed(self):
+        # First subscript separable (i), second and third coupled (j).
+        src = """
+do i = 1, 9
+ do j = 1, 9
+  do k = 1, 9
+   a(i, j, j) = a(i, j-1, j+1)
+  enddo
+ enddo
+enddo
+"""
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        assert len(partitions) == 2
+        separable = separable_positions(partitions)
+        coupled = coupled_groups(partitions)
+        assert len(separable) == 1 and separable[0].positions == (0,)
+        assert len(coupled) == 1 and coupled[0].positions == (1, 2)
+
+    def test_ziv_positions_separable(self):
+        src = "do i = 1, 9\n a(1, i) = a(2, i)\nenddo"
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        assert all(p.is_separable for p in partitions)
+
+    def test_transitive_coupling(self):
+        # positions: (i), (i+j), (j): i couples 0-1, j couples 1-2 -> one group
+        src = """
+do i = 1, 9
+ do j = 1, 9
+  a(i, i+j, j) = a(i-1, i+j, j+1)
+ enddo
+enddo
+"""
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        assert len(partitions) == 1
+        assert partitions[0].positions == (0, 1, 2)
+
+    def test_nonlinear_groups_by_raw_variables(self):
+        src = "do i = 1, 9\n a(i*i, i) = a(i, i)\nenddo"
+        ctx = pair_context(src, "a")
+        partitions = partition_subscripts(ctx.subscripts, ctx)
+        # both positions mention i -> coupled
+        assert len(partitions) == 1
+
+
+class TestRankMismatch:
+    def test_rank_mismatch_flag(self):
+        src = "do i = 1, 9\n a(i, 1) = a(i)\nenddo"
+        ctx = pair_context(src, "a")
+        assert ctx.rank_mismatch

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def kernel_file(tmp_path):
+    path = tmp_path / "kern.f"
+    path.write_text(
+        """
+      subroutine kern(n, a, b)
+      integer n, i
+      real a(n), b(n)
+      do 10 i = 1, n
+         a(i+1) = a(i) + b(i)
+   10 continue
+      end
+"""
+    )
+    return path
+
+
+class TestAnalyze:
+    def test_analyze_runs(self, kernel_file, capsys):
+        assert main(["analyze", str(kernel_file)]) == 0
+        out = capsys.readouterr().out
+        assert "routine kern" in out
+        assert "flow" in out
+        assert "DO i" in out
+
+    def test_analyze_counts(self, kernel_file, capsys):
+        assert main(["analyze", str(kernel_file), "--counts"]) == 0
+        out = capsys.readouterr().out
+        assert "strong-siv" in out
+
+    def test_analyze_transforms(self, tmp_path, capsys):
+        path = tmp_path / "peel.f"
+        path.write_text(
+            "do i = 1, 9\n b(i) = a(1)\n a(i) = c(i)\nenddo\n"
+        )
+        assert main(["analyze", str(path), "--transforms"]) == 0
+        out = capsys.readouterr().out
+        assert "peel" in out
+
+
+class TestCorpusCommand:
+    def test_lists_suites(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "linpack" in out and "eispack" in out
+
+
+class TestStudyCommand:
+    def test_single_table(self, capsys):
+        assert main(["study", "--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_table2(self, capsys):
+        assert main(["study", "--table", "2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestArgErrors:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestVectorizeCommand:
+    def test_vectorize_runs(self, kernel_file, capsys):
+        assert main(["vectorize", str(kernel_file)]) == 0
+        out = capsys.readouterr().out
+        assert "routine kern" in out
+        assert "DO i" in out  # the recurrence on a stays serial
+
+    def test_vectorize_parallel_kernel(self, tmp_path, capsys):
+        path = tmp_path / "vec.f"
+        path.write_text("do i = 1, 9\n a(i) = b(i)\nenddo\n")
+        assert main(["vectorize", str(path)]) == 0
+        assert "FORALL" in capsys.readouterr().out

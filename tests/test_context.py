@@ -1,0 +1,114 @@
+"""Unit tests for LoopContext: the Section 4.3 index-range algorithm."""
+
+import pytest
+
+from repro.fortran.parser import parse_fragment
+from repro.ir.context import LoopContext, SymbolEnv, eval_interval
+from repro.ir.loop import loops_in
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import Interval, NEG_INF, POS_INF
+
+
+def context_for(src, symbols=None):
+    loops = list(loops_in(parse_fragment(src)))
+    return LoopContext(loops, symbols)
+
+
+class TestConstantBounds:
+    def test_rectangular(self):
+        ctx = context_for("do i = 1, 10\n do j = 0, 5\n a(i,j)=0\n enddo\nenddo")
+        assert ctx.index_range("i") == Interval(1, 10)
+        assert ctx.index_range("j") == Interval(0, 5)
+        assert ctx.depth == 2
+        assert ctx.level("i") == 1 and ctx.level("j") == 2
+
+    def test_trip_span(self):
+        ctx = context_for("do i = 1, 10\n a(i)=0\nenddo")
+        assert ctx.trip_span("i") == Interval(9, 9)
+
+
+class TestTriangularBounds:
+    def test_upper_triangular(self):
+        # j ranges over [1, i] with i in [1, 10]: maximal range [1, 10].
+        ctx = context_for("do i = 1, 10\n do j = 1, i\n a(i,j)=0\n enddo\nenddo")
+        assert ctx.index_range("j") == Interval(1, 10)
+        # trip span of j is i - 1 in [0, 9]
+        assert ctx.trip_span("j") == Interval(0, 9)
+
+    def test_lower_bound_depends_on_outer(self):
+        ctx = context_for("do i = 1, 10\n do j = i, 10\n a(i,j)=0\n enddo\nenddo")
+        assert ctx.index_range("j") == Interval(1, 10)
+
+    def test_offset_triangular(self):
+        ctx = context_for(
+            "do k = 1, 8\n do i = k+1, 10\n a(i,k)=0\n enddo\nenddo"
+        )
+        assert ctx.index_range("i") == Interval(2, 10)
+
+    def test_negative_coefficient_bound(self):
+        ctx = context_for(
+            "do i = 1, 5\n do j = 1, 10-i\n a(i,j)=0\n enddo\nenddo"
+        )
+        assert ctx.index_range("j") == Interval(1, 9)
+
+
+class TestSymbolicBounds:
+    def test_unknown_symbol_unbounded_above(self):
+        ctx = context_for("do i = 1, n\n a(i)=0\nenddo")
+        rng = ctx.index_range("i")
+        assert rng.lo == 1
+        assert rng.hi == POS_INF
+
+    def test_symbol_assumption_bounds(self):
+        env = SymbolEnv().assume("n", lo=1, hi=100)
+        ctx = context_for("do i = 1, n\n a(i)=0\nenddo", env)
+        assert ctx.index_range("i") == Interval(1, 100)
+
+    def test_symbolic_lower(self):
+        env = SymbolEnv().assume("m", lo=5)
+        ctx = context_for("do i = m, 2*m\n a(i)=0\nenddo", env)
+        assert ctx.index_range("i").lo == 5
+
+    def test_assume_narrows(self):
+        env = SymbolEnv().assume("n", lo=1).assume("n", hi=10)
+        assert env.range_of("n") == Interval(1, 10)
+        assert env.range_of("unknown") == Interval.unbounded()
+
+
+class TestEvalInterval:
+    def test_mixed(self):
+        expr = LinearExpr({"i": 2, "n": -1}, 3)
+        env = {"i": Interval(1, 4), "n": Interval(0, 10)}
+        assert eval_interval(expr, env) == Interval(2 - 10 + 3, 8 - 0 + 3)
+
+    def test_unknown_variable_unbounded(self):
+        expr = LinearExpr({"q": 1}, 0)
+        result = eval_interval(expr, {})
+        assert result.lo == NEG_INF and result.hi == POS_INF
+
+    def test_constant(self):
+        assert eval_interval(LinearExpr.constant(7), {}) == Interval(7, 7)
+
+
+class TestMisc:
+    def test_non_unit_step_rejected(self):
+        loops = list(loops_in(parse_fragment("do i = 1, 9, 2\n a(i)=0\nenddo")))
+        with pytest.raises(ValueError):
+            LoopContext(loops)
+
+    def test_is_index(self):
+        ctx = context_for("do i = 1, 5\n a(i)=0\nenddo")
+        assert ctx.is_index("i")
+        assert not ctx.is_index("n")
+
+    def test_bounds_accessors(self):
+        ctx = context_for("do i = 2, n\n a(i)=0\nenddo")
+        assert ctx.lower_expr("i") == LinearExpr.constant(2)
+        assert ctx.upper_expr("i") == LinearExpr.var("n")
+
+    def test_variable_env_includes_symbols(self):
+        env = SymbolEnv().assume("n", lo=1, hi=9)
+        ctx = context_for("do i = 1, n\n a(i)=0\nenddo", env)
+        variables = ctx.variable_env()
+        assert variables["n"] == Interval(1, 9)
+        assert variables["i"] == Interval(1, 9)

@@ -1,0 +1,112 @@
+"""Tests for the corpus loader, kernels, and synthetic generators."""
+
+import pytest
+
+from repro.classify.subscript import SubscriptKind
+from repro.corpus.generator import coupled_group_nest, random_nest, siv_family
+from repro.corpus.loader import (
+    SUITES,
+    available_programs,
+    available_suites,
+    default_symbols,
+    load_corpus,
+    load_program,
+    load_suite,
+)
+from repro.graph.depgraph import build_dependence_graph
+from repro.ir.loop import collect_access_sites, loops_in
+
+
+class TestLoader:
+    def test_all_suites_present(self):
+        assert set(available_suites()) == set(SUITES)
+
+    def test_every_program_parses(self):
+        corpus = load_corpus()
+        for suite, programs in corpus.items():
+            assert programs, suite
+            for program in programs:
+                assert program.routines, program.name
+                assert program.source_lines > 0
+
+    def test_every_kernel_has_loops_and_sites(self):
+        for suite, programs in load_corpus().items():
+            for program in programs:
+                loops = sum(len(r.loops()) for r in program.routines)
+                sites = sum(len(r.access_sites()) for r in program.routines)
+                assert loops > 0, (suite, program.name)
+                assert sites > 0, (suite, program.name)
+
+    def test_normalization_removes_strides(self):
+        for suite, programs in load_corpus().items():
+            for program in programs:
+                for routine in program.routines:
+                    for loop in loops_in(routine.body):
+                        assert loop.step == 1, (suite, program.name, loop.index)
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ValueError):
+            available_programs("nonexistent")
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(FileNotFoundError):
+            load_program("linpack", "nonexistent")
+
+    def test_load_single_suite(self):
+        programs = load_suite("linpack")
+        names = {p.name for p in programs}
+        assert "dgefa" in names
+
+    def test_default_symbols_positive(self):
+        env = default_symbols()
+        assert env.range_of("n").lo == 1
+        assert env.range_of("lda").lo == 1
+
+    def test_whole_corpus_analyzes(self):
+        symbols = default_symbols()
+        for programs in load_corpus().values():
+            for program in programs:
+                for routine in program.routines:
+                    graph = build_dependence_graph(routine.body, symbols=symbols)
+                    assert graph.tested_pairs >= 0
+
+
+class TestGenerator:
+    def test_random_nest_deterministic(self):
+        from repro.ir.loop import format_body
+
+        first = random_nest(seed=42)
+        second = random_nest(seed=42)
+        assert format_body(first) == format_body(second)
+
+    def test_random_nest_analyzable(self):
+        for seed in range(5):
+            nodes = random_nest(seed=seed, depth=2, statements=3)
+            graph = build_dependence_graph(nodes)
+            assert graph.tested_pairs > 0
+
+    def test_coupled_group_size(self):
+        from repro.classify.pairs import PairContext
+        from repro.classify.partition import coupled_groups, partition_subscripts
+
+        nodes = coupled_group_nest(4)
+        sites = collect_access_sites(nodes)
+        a_sites = [s for s in sites if s.ref.array == "a"]
+        ctx = PairContext(a_sites[0], a_sites[1])
+        groups = coupled_groups(partition_subscripts(ctx.subscripts, ctx))
+        assert len(groups) == 1
+        assert len(groups[0].pairs) == 4
+
+    def test_siv_family_kinds(self):
+        from repro.ir.expr import to_linear
+
+        for kind in ("strong", "weak-zero", "weak-crossing", "general"):
+            pairs = siv_family(kind, 5)
+            assert len(pairs) == 5
+            for write, read in pairs:
+                to_linear(write)
+                to_linear(read)
+
+    def test_siv_family_unknown_raises(self):
+        with pytest.raises(ValueError):
+            siv_family("bogus", 3)

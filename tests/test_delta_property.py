@@ -1,0 +1,102 @@
+"""Property tests targeting the Delta test on random coupled groups.
+
+Complements the worked-example tests: random 2-D coupled references whose
+both positions share index ``i`` (guaranteeing one minimal coupled group),
+checked against brute-force ground truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.pairs import PairContext
+from repro.classify.partition import coupled_groups, partition_subscripts
+from repro.delta.delta import DeltaOptions, delta_test
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites
+
+from tests.oracle import brute_force_vectors
+
+coeff = st.integers(-2, 2)
+offset = st.integers(-6, 6)
+
+
+def coupled_case(a1, c1, b1, d1, a2, c2, b2, d2, extent=7):
+    """a(a1*i+c1, b1*i+d1) = a(a2*i+c2, b2*i+d2) over i in [1, extent]."""
+    src = (
+        f"do i = 1, {extent}\n"
+        f"  a({a1}*i + {c1}, {b1}*i + {d1}) = a({a2}*i + {c2}, {b2}*i + {d2})\n"
+        "enddo"
+    )
+    sites = [
+        s for s in collect_access_sites(parse_fragment(src)) if s.ref.array == "a"
+    ]
+    context = PairContext(sites[0], sites[1])
+    partitions = partition_subscripts(context.subscripts, context)
+    groups = coupled_groups(partitions)
+    return context, partitions, groups, sites
+
+
+class TestDeltaRandomCoupled:
+    @given(coeff, offset, coeff, offset, coeff, offset, coeff, offset)
+    @settings(max_examples=250, deadline=None)
+    def test_delta_sound_and_exact(self, a1, c1, b1, d1, a2, c2, b2, d2):
+        if (a1 == 0 and a2 == 0) or (b1 == 0 and b2 == 0):
+            return  # a position would be ZIV: group may not couple
+        context, partitions, groups, sites = coupled_case(
+            a1, c1, b1, d1, a2, c2, b2, d2
+        )
+        if not groups:
+            return  # degenerate: positions didn't couple after all
+        outcome = delta_test(groups[0].pairs, context)
+        truth = brute_force_vectors(sites[0], sites[1])
+        if outcome.independent:
+            assert not truth, (a1, c1, b1, d1, a2, c2, b2, d2)
+        else:
+            if outcome.exact:
+                assert truth, (a1, c1, b1, d1, a2, c2, b2, d2)
+            # per-index direction soundness
+            if "i" in outcome.constraints:
+                actual = {v[0] for v in truth}
+                assert actual <= outcome.constraints["i"].directions
+
+    @given(coeff, offset, coeff, offset, coeff, offset, coeff, offset)
+    @settings(max_examples=120, deadline=None)
+    def test_options_never_affect_soundness(self, a1, c1, b1, d1, a2, c2, b2, d2):
+        if (a1 == 0 and a2 == 0) or (b1 == 0 and b2 == 0):
+            return
+        context, partitions, groups, sites = coupled_case(
+            a1, c1, b1, d1, a2, c2, b2, d2
+        )
+        if not groups:
+            return
+        truth = brute_force_vectors(sites[0], sites[1])
+        for options in (
+            DeltaOptions(),
+            DeltaOptions(propagate=False),
+            DeltaOptions(multipass=False),
+            DeltaOptions(tighten=False),
+            DeltaOptions(propagate=False, tighten=False, multipass=False,
+                         rdiv_links=False),
+        ):
+            outcome = delta_test(groups[0].pairs, context, options=options)
+            if outcome.independent:
+                assert not truth
+
+    @given(coeff, offset, coeff, offset)
+    @settings(max_examples=100, deadline=None)
+    def test_full_options_at_least_as_precise(self, a1, c1, b1, d1):
+        """Full Delta proves independence whenever the fully-ablated one does."""
+        context, partitions, groups, sites = coupled_case(
+            a1, c1, b1, d1, 1, 0, 1, 1
+        )
+        if not groups:
+            return
+        bare = delta_test(
+            groups[0].pairs,
+            context,
+            options=DeltaOptions(
+                propagate=False, multipass=False, rdiv_links=False, tighten=False
+            ),
+        )
+        full = delta_test(groups[0].pairs, context)
+        if bare.independent:
+            assert full.independent

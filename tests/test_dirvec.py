@@ -1,0 +1,193 @@
+"""Unit tests for direction/distance vectors and their merge rules."""
+
+from hypothesis import given, strategies as st
+
+from repro.dirvec.direction import (
+    ALL_DIRECTIONS,
+    Direction,
+    EQ_ONLY,
+    GT_ONLY,
+    IndexConstraint,
+    LT_ONLY,
+    REFUTED,
+    UNCONSTRAINED,
+    constraint_from_distance,
+    direction_of_distance,
+    format_directions,
+)
+from repro.dirvec.vectors import (
+    DependenceInfo,
+    carrier_level,
+    format_vector,
+    format_vector_set,
+    is_plausible,
+    reverse_vector,
+    summarize_directions,
+)
+from repro.symbolic.linexpr import LinearExpr
+
+LT, EQ, GT = Direction.LT, Direction.EQ, Direction.GT
+
+
+class TestDirection:
+    def test_reverse(self):
+        assert LT.reverse() is GT
+        assert GT.reverse() is LT
+        assert EQ.reverse() is EQ
+
+    def test_direction_of_distance(self):
+        assert direction_of_distance(3) == LT_ONLY
+        assert direction_of_distance(0) == EQ_ONLY
+        assert direction_of_distance(-2) == GT_ONLY
+        assert direction_of_distance(LinearExpr.var("n")) == ALL_DIRECTIONS
+        assert direction_of_distance(LinearExpr.constant(1)) == LT_ONLY
+
+    def test_format_directions(self):
+        assert format_directions(ALL_DIRECTIONS) == "*"
+        assert format_directions(LT_ONLY) == "<"
+        assert format_directions(frozenset((LT, EQ))) == "<="
+        assert format_directions(frozenset((GT, EQ))) == ">="
+        assert format_directions(frozenset((LT, GT))) == "!="
+        assert format_directions(frozenset()) == "0"
+
+
+class TestIndexConstraint:
+    def test_merge_directions(self):
+        a = IndexConstraint(frozenset((LT, EQ)))
+        b = IndexConstraint(frozenset((EQ, GT)))
+        assert a.merge(b).directions == EQ_ONLY
+
+    def test_merge_distance_agreement(self):
+        a = constraint_from_distance(2)
+        b = constraint_from_distance(2)
+        merged = a.merge(b)
+        assert merged.distance == 2 and merged.directions == LT_ONLY
+
+    def test_merge_distance_conflict_refutes(self):
+        merged = constraint_from_distance(1).merge(constraint_from_distance(2))
+        assert merged.refuted
+
+    def test_merge_distance_restricts_directions(self):
+        a = IndexConstraint(frozenset((LT, EQ)))
+        merged = a.merge(constraint_from_distance(0))
+        assert merged.directions == EQ_ONLY
+
+    def test_distance_direction_contradiction(self):
+        a = IndexConstraint(GT_ONLY)
+        merged = a.merge(constraint_from_distance(1))
+        assert merged.refuted
+
+    def test_symbolic_distance_constraint(self):
+        d = LinearExpr.var("n")
+        constraint = constraint_from_distance(d)
+        assert constraint.distance == d
+        assert constraint.directions == ALL_DIRECTIONS
+
+    def test_unconstrained_and_refuted(self):
+        assert not UNCONSTRAINED.refuted
+        assert REFUTED.refuted
+        assert UNCONSTRAINED.merge(REFUTED).refuted
+
+
+class TestDependenceInfo:
+    def test_default_all_vectors(self):
+        info = DependenceInfo(("i", "j"))
+        assert len(info.direction_vectors()) == 9
+
+    def test_merge_index(self):
+        info = DependenceInfo(("i",))
+        info.merge_index("i", constraint_from_distance(1))
+        assert info.direction_vectors() == frozenset({(LT,)})
+        assert info.distance_vector() == (1,)
+        assert info.has_full_distance_vector()
+
+    def test_refuted_empty_vectors(self):
+        info = DependenceInfo(("i",))
+        info.merge_index("i", REFUTED)
+        assert info.refuted
+        assert info.direction_vectors() == frozenset()
+
+    def test_coupling_filters_products(self):
+        info = DependenceInfo(("i", "j"))
+        info.add_coupling(("i", "j"), frozenset({(LT, GT), (EQ, EQ)}))
+        assert info.direction_vectors() == frozenset({(LT, GT), (EQ, EQ)})
+
+    def test_coupling_projects_into_constraints(self):
+        info = DependenceInfo(("i", "j"))
+        info.add_coupling(("i", "j"), frozenset({(LT, GT)}))
+        assert info.constraint("i").directions == LT_ONLY
+        assert info.constraint("j").directions == GT_ONLY
+
+    def test_empty_coupling_refutes(self):
+        info = DependenceInfo(("i",))
+        info.add_coupling(("i",), frozenset())
+        assert info.refuted
+
+    def test_coupling_with_foreign_index_projected(self):
+        info = DependenceInfo(("i",))
+        info.add_coupling(("i", "k"), frozenset({(LT, GT), (EQ, EQ)}))
+        assert info.constraint("i").directions == frozenset((LT, EQ))
+
+    def test_merge_infos(self):
+        a = DependenceInfo(("i", "j"))
+        a.merge_index("i", IndexConstraint(frozenset((LT, EQ))))
+        b = DependenceInfo(("i", "j"))
+        b.merge_index("i", IndexConstraint(frozenset((EQ, GT))))
+        b.merge_index("j", constraint_from_distance(0))
+        a.merge(b)
+        assert a.constraint("i").directions == EQ_ONLY
+        assert a.constraint("j").distance == 0
+
+    def test_carried_levels(self):
+        info = DependenceInfo(("i", "j"))
+        info.merge_index("i", constraint_from_distance(0))
+        info.merge_index("j", constraint_from_distance(2))
+        assert info.carried_levels() == frozenset({2})
+
+
+class TestVectorHelpers:
+    def test_carrier_level(self):
+        assert carrier_level((EQ, LT)) == 2
+        assert carrier_level((LT, GT)) == 1
+        assert carrier_level((EQ, EQ)) == 0
+        assert carrier_level(()) == 0
+
+    def test_is_plausible(self):
+        assert is_plausible((LT, GT))
+        assert is_plausible((EQ, EQ))
+        assert is_plausible(())
+        assert not is_plausible((GT, LT))
+        assert not is_plausible((EQ, GT))
+
+    def test_reverse_vector(self):
+        assert reverse_vector((LT, EQ, GT)) == (GT, EQ, LT)
+
+    def test_formatting(self):
+        assert format_vector((LT, EQ)) == "(<, =)"
+        rendered = format_vector_set({(LT, EQ), (EQ, EQ)})
+        assert "(<, =)" in rendered and "(=, =)" in rendered
+
+    def test_summarize_directions(self):
+        summary = summarize_directions({(LT, EQ), (EQ, EQ)}, 2)
+        assert summary[0] == frozenset((LT, EQ))
+        assert summary[1] == EQ_ONLY
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([LT, EQ, GT]), st.sampled_from([LT, EQ, GT])),
+            min_size=1,
+            max_size=9,
+        )
+    )
+    def test_reverse_involution(self, vectors):
+        for vector in vectors:
+            assert reverse_vector(reverse_vector(vector)) == vector
+
+    @given(st.sampled_from([LT, EQ, GT]), st.sampled_from([LT, EQ, GT]))
+    def test_plausibility_partition(self, a, b):
+        """Every non-all-= vector is plausible in exactly one orientation."""
+        vector = (a, b)
+        if vector == (EQ, EQ):
+            assert is_plausible(vector) and is_plausible(reverse_vector(vector))
+        else:
+            assert is_plausible(vector) != is_plausible(reverse_vector(vector))

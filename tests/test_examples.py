@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run and produce its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["distance vector", "serial", "wavefront"],
+    "parallelize_kernel.py": ["dgefa", "DO"],
+    "delta_walkthrough.py": ["constraint", "independent"],
+    "transform_advisor.py": ["peel", "split", "interchange"],
+    "study_report.py": ["Table 1", "Table 3", "eispack"],
+    "vectorizer.py": ["FORALL", "DO i"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for snippet in EXPECTED_SNIPPETS[script]:
+        assert snippet in result.stdout, (script, snippet)
+
+
+def test_every_example_has_expectations():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(EXPECTED_SNIPPETS), (
+        "update EXPECTED_SNIPPETS when adding examples"
+    )

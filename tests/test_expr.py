@@ -1,0 +1,112 @@
+"""Unit tests for repro.ir.expr: surface trees and affine normalization."""
+
+import pytest
+
+from repro.ir.expr import (
+    Add,
+    Call,
+    Const,
+    Div,
+    IndexedLoad,
+    Mul,
+    Neg,
+    RealConst,
+    Sub,
+    Var,
+    as_expr,
+    from_linear,
+    to_linear,
+)
+from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError
+
+
+class TestConstruction:
+    def test_as_expr_coercions(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr("i") == Var("i")
+        assert as_expr(Const(1)) == Const(1)
+        with pytest.raises(TypeError):
+            as_expr(1.5)
+
+    def test_operator_sugar(self):
+        expr = Var("i") + 1
+        assert isinstance(expr, Add)
+        assert to_linear(expr) == LinearExpr({"i": 1}, 1)
+        assert to_linear(2 * Var("i") - "j") == LinearExpr({"i": 2, "j": -1})
+        assert to_linear(-Var("i")) == LinearExpr({"i": -1})
+
+    def test_walk_visits_all(self):
+        expr = Add(Mul(Const(2), Var("i")), IndexedLoad("a", (Var("j"),)))
+        kinds = [type(node).__name__ for node in expr.walk()]
+        assert kinds == ["Add", "Mul", "Const", "Var", "IndexedLoad", "Var"]
+
+    def test_variables(self):
+        expr = Add(Var("i"), Call("mod", (Var("j"), Const(2))))
+        assert expr.variables() == {"i", "j"}
+
+    def test_str(self):
+        assert str(Add(Var("i"), Const(1))) == "(i + 1)"
+        assert str(IndexedLoad("a", (Var("i"), Var("j")))) == "a(i, j)"
+        assert str(Neg(Var("i"))) == "(-i)"
+
+
+class TestToLinear:
+    def test_affine(self):
+        expr = Add(Mul(Const(3), Var("i")), Sub(Var("n"), Const(2)))
+        assert to_linear(expr) == LinearExpr({"i": 3, "n": 1}, -2)
+
+    def test_nested_mul_by_const(self):
+        expr = Mul(Var("i"), Const(4))
+        assert to_linear(expr) == LinearExpr({"i": 4})
+
+    def test_product_of_vars_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Mul(Var("i"), Var("j")))
+
+    def test_symbol_times_index_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Mul(Var("n"), Var("i")))
+
+    def test_exact_division(self):
+        expr = Div(Mul(Const(4), Var("i")), Const(2))
+        assert to_linear(expr) == LinearExpr({"i": 2})
+
+    def test_inexact_division_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Div(Var("i"), Const(2)))
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Div(Var("i"), Const(0)))
+
+    def test_division_by_variable_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Div(Const(4), Var("i")))
+
+    def test_indexed_load_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(IndexedLoad("k", (Var("i"),)))
+
+    def test_call_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(Call("mod", (Var("i"), Const(2))))
+
+    def test_real_const_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            to_linear(RealConst(0.5))
+
+    def test_is_linear_predicate(self):
+        assert Add(Var("i"), Const(1)).is_linear()
+        assert not Mul(Var("i"), Var("j")).is_linear()
+
+
+class TestFromLinear:
+    def test_roundtrip(self):
+        linear = LinearExpr({"i": 2, "j": -1}, 7)
+        assert to_linear(from_linear(linear)) == linear
+
+    def test_zero(self):
+        assert from_linear(LinearExpr.ZERO) == Const(0)
+
+    def test_pure_term(self):
+        assert to_linear(from_linear(LinearExpr.var("i"))) == LinearExpr.var("i")

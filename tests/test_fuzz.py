@@ -1,0 +1,93 @@
+"""Robustness sweeps: the whole pipeline over random programs.
+
+Unlike the oracle-backed property tests, these runs assert *invariants*
+that must hold for any input: no crashes, recorder consistency, vector
+plausibility, and agreement between independence and empty vector sets.
+"""
+
+import pytest
+
+from repro.corpus.generator import random_program
+from repro.dirvec.vectors import is_plausible
+from repro.graph.depgraph import build_dependence_graph
+from repro.instrument import TestRecorder
+from repro.study.stats import collect_program_stats
+from repro.transform.parallel import find_parallel_loops
+from repro.transform.vectorize import vectorize
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestPipelineInvariants:
+    def test_graph_invariants(self, seed):
+        program = random_program(seed)
+        recorder = TestRecorder()
+        for routine in program.routines:
+            graph = build_dependence_graph(routine.body, recorder=recorder)
+            assert graph.independent_pairs <= graph.tested_pairs
+            for edge in graph.edges:
+                assert edge.vectors, "edges must carry at least one vector"
+                for vector in edge.vectors:
+                    assert is_plausible(vector), str(edge)
+                assert edge.source.ref.array == edge.sink.ref.array
+        for name, independences in recorder.independences.items():
+            assert independences <= recorder.applications[name]
+
+    def test_transforms_never_crash(self, seed):
+        program = random_program(seed)
+        for routine in program.routines:
+            verdicts = find_parallel_loops(routine.body)
+            for verdict in verdicts:
+                if not verdict.parallel:
+                    assert verdict.blocking_edges
+            report = vectorize(routine.body)
+            assert report.lines
+            # every tracked statement is a real statement of the routine
+            # (a statement may appear in both sets: serialized at an outer
+            # level, vectorized at an inner one)
+            from repro.ir.loop import Assign, walk_nodes
+
+            all_ids = {
+                stmt.stmt_id
+                for _, stmt in walk_nodes(routine.body)
+                if isinstance(stmt, Assign)
+            }
+            assert report.vectorized <= all_ids
+            assert report.serialized <= all_ids
+
+    def test_stats_accounting(self, seed):
+        program = random_program(seed)
+        stats = collect_program_stats(program)
+        assert (
+            stats.separable + stats.coupled + stats.nonlinear
+            == stats.total_subscripts
+        )
+        assert sum(stats.dimension_histogram.values()) == stats.pairs_tested
+
+
+class TestStrategyAgreement:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_strategies_agree_on_soundness(self, seed):
+        """Drivers may differ in precision but never contradict: whenever
+        the exact main driver proves a dependence *exactly*, no baseline
+        may claim independence."""
+        from repro.baselines.subscript_by_subscript import (
+            test_dependence_lambda,
+            test_dependence_power,
+            test_dependence_subscript_by_subscript,
+        )
+        from repro.core.driver import test_dependence
+        from repro.graph.depgraph import iter_candidate_pairs
+
+        program = random_program(seed, routines=1, nests_per_routine=1)
+        for routine in program.routines:
+            sites = routine.access_sites()
+            for src, sink in iter_candidate_pairs(sites):
+                main = test_dependence(src, sink)
+                if main.exact and not main.independent:
+                    for tester in (
+                        test_dependence_subscript_by_subscript,
+                        test_dependence_power,
+                        test_dependence_lambda,
+                    ):
+                        result = tester(src, sink)
+                        assert not result.independent

@@ -1,0 +1,143 @@
+"""Unit tests for dependence-graph construction."""
+
+from repro.dirvec.direction import Direction
+from repro.fortran.parser import parse_fragment
+from repro.graph.depgraph import (
+    DependenceType,
+    build_dependence_graph,
+    dependence_type,
+    iter_candidate_pairs,
+)
+from repro.instrument import TestRecorder
+from repro.ir.loop import collect_access_sites
+
+LT, EQ, GT = Direction.LT, Direction.EQ, Direction.GT
+
+
+def graph_of(src, **kwargs):
+    return build_dependence_graph(parse_fragment(src), **kwargs)
+
+
+class TestDependenceTypes:
+    def test_type_table(self):
+        assert dependence_type(True, False) is DependenceType.FLOW
+        assert dependence_type(False, True) is DependenceType.ANTI
+        assert dependence_type(True, True) is DependenceType.OUTPUT
+        assert dependence_type(False, False) is DependenceType.INPUT
+
+
+class TestCandidatePairs:
+    def test_requires_write(self):
+        sites = collect_access_sites(parse_fragment("a(1) = b(1) + b(2)"))
+        pairs = list(iter_candidate_pairs(sites))
+        # b-b read pair excluded; a self pair included
+        arrays = [(p[0].ref.array, p[1].ref.array) for p in pairs]
+        assert ("a", "a") in arrays
+        assert ("b", "b") not in arrays
+
+    def test_include_input(self):
+        sites = collect_access_sites(parse_fragment("a(1) = b(1) + b(2)"))
+        pairs = list(iter_candidate_pairs(sites, include_input=True))
+        arrays = [(p[0].ref.array, p[1].ref.array) for p in pairs]
+        assert ("b", "b") in arrays
+
+    def test_different_arrays_never_paired(self):
+        sites = collect_access_sites(parse_fragment("a(1) = b(1)"))
+        for first, second in iter_candidate_pairs(sites):
+            assert first.ref.array == second.ref.array
+
+
+class TestEdges:
+    def test_flow_recurrence(self):
+        graph = graph_of("do i = 1, 9\n a(i+1) = a(i)\nenddo")
+        flows = graph.edges_of_type(DependenceType.FLOW)
+        assert len(flows) == 1
+        edge = flows[0]
+        assert edge.source.is_write and not edge.sink.is_write
+        assert edge.vectors == frozenset({(LT,)})
+        assert edge.carried_levels() == frozenset({1})
+
+    def test_anti_dependence(self):
+        graph = graph_of("do i = 1, 9\n a(i) = a(i+1)\nenddo")
+        antis = graph.edges_of_type(DependenceType.ANTI)
+        assert len(antis) == 1
+        assert antis[0].vectors == frozenset({(LT,)})
+
+    def test_loop_independent_same_statement(self):
+        graph = graph_of("do i = 1, 9\n a(i) = a(i) + 1\nenddo")
+        antis = graph.edges_of_type(DependenceType.ANTI)
+        assert len(antis) == 1
+        assert antis[0].loop_independent
+
+    def test_self_output_dependence(self):
+        graph = graph_of("do i = 1, 9\n a(5) = b(i)\nenddo")
+        outputs = graph.edges_of_type(DependenceType.OUTPUT)
+        assert len(outputs) == 1
+        assert outputs[0].vectors == frozenset({(LT,)})
+
+    def test_no_self_edge_for_private_cells(self):
+        graph = graph_of("do i = 1, 9\n a(i) = b(i)\nenddo")
+        assert not graph.edges_of_type(DependenceType.OUTPUT)
+
+    def test_independent_counted(self):
+        graph = graph_of("do i = 1, 9\n a(2*i) = a(2*i+1)\nenddo")
+        assert graph.independent_pairs >= 1
+
+    def test_input_dependences_optional(self):
+        src = "do i = 1, 9\n c(i) = a(i) + a(i)\nenddo"
+        without = graph_of(src)
+        with_input = graph_of(src, include_input=True)
+        assert not without.edges_of_type(DependenceType.INPUT)
+        assert with_input.edges_of_type(DependenceType.INPUT)
+
+    def test_reversed_vectors_flipped(self):
+        # write a(i+1) read a(i): tested pair (read, write) has vector (>),
+        # reported as write->read edge with (<).
+        graph = graph_of("do i = 1, 9\n a(i+1) = a(i)\nenddo")
+        edge = graph.edges[0]
+        assert all(v[0] is not GT for v in edge.vectors)
+
+    def test_distance_vector_sign_follows_edge(self):
+        graph = graph_of("do i = 1, 9\n a(i+1) = a(i)\nenddo")
+        edge = graph.edges_of_type(DependenceType.FLOW)[0]
+        assert edge.distance_vector() == (1,)
+
+    def test_edges_for_array(self):
+        src = "do i = 1, 9\n a(i+1) = a(i)\n b(i+1) = b(i)\nenddo"
+        graph = graph_of(src)
+        assert len(graph.edges_for_array("a")) == 1
+        assert len(graph.edges_for_array("b")) == 1
+
+    def test_str_mentions_counts(self):
+        graph = graph_of("do i = 1, 9\n a(i+1) = a(i)\nenddo")
+        assert "pairs tested" in str(graph)
+
+
+class TestRecorderIntegration:
+    def test_recorder_attached(self):
+        recorder = TestRecorder()
+        graph = graph_of(
+            "do i = 1, 9\n a(i+1) = a(i)\nenddo", recorder=recorder
+        )
+        assert graph.recorder is recorder
+        assert recorder.applications["strong-siv"] >= 1
+
+
+class TestNetworkx:
+    def test_export(self):
+        graph = graph_of("do i = 1, 9\n a(i+1) = a(i)\nenddo")
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_edges() == len(graph.edges)
+        for _, _, data in nx_graph.edges(data=True):
+            assert "dep_type" in data and "vectors" in data
+
+
+class TestCarriedBy:
+    def test_edges_carried_by_loop(self):
+        src = "do i=1,9\n do j=1,9\n a(i, j) = a(i-1, j)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        graph = build_dependence_graph(nodes)
+        outer = nodes[0]
+        inner = outer.body[0]
+        assert graph.edges_carried_by(outer)
+        assert not graph.edges_carried_by(inner)

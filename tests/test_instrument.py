@@ -1,0 +1,57 @@
+"""Tests for the test-application recorder."""
+
+from repro.instrument import TestRecorder, maybe_record
+from repro.single.outcome import TestOutcome
+
+
+class TestRecording:
+    def test_counts_applications(self):
+        recorder = TestRecorder()
+        recorder.record(TestOutcome("ziv"))
+        recorder.record(TestOutcome.proves_independence("ziv"))
+        assert recorder.applications["ziv"] == 2
+        assert recorder.independences["ziv"] == 1
+
+    def test_skips_inapplicable(self):
+        recorder = TestRecorder()
+        recorder.record(TestOutcome.not_applicable("rdiv"))
+        assert recorder.applications["rdiv"] == 0
+
+    def test_merge(self):
+        a = TestRecorder()
+        b = TestRecorder()
+        a.record(TestOutcome("gcd"))
+        b.record(TestOutcome.proves_independence("gcd"))
+        a.merge(b)
+        assert a.applications["gcd"] == 2
+        assert a.independences["gcd"] == 1
+
+    def test_rows_sorted(self):
+        recorder = TestRecorder()
+        recorder.record(TestOutcome("ziv"))
+        recorder.record(TestOutcome("banerjee"))
+        names = [name for name, _, _ in recorder.rows()]
+        assert names == sorted(names)
+
+    def test_maybe_record_with_none(self):
+        outcome = TestOutcome("ziv")
+        assert maybe_record(None, outcome) is outcome
+
+    def test_str_rendering(self):
+        recorder = TestRecorder()
+        assert "no tests" in str(recorder)
+        recorder.record(TestOutcome("ziv"))
+        assert "ziv" in str(recorder)
+
+
+class TestOutcomeType:
+    def test_factories(self):
+        na = TestOutcome.not_applicable("x")
+        assert not na.applicable
+        ind = TestOutcome.proves_independence("x")
+        assert ind.independent and ind.exact
+
+    def test_str_forms(self):
+        assert "not applicable" in str(TestOutcome.not_applicable("t"))
+        assert "independent" in str(TestOutcome.proves_independence("t"))
+        assert "dependence" in str(TestOutcome("t"))

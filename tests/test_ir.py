@@ -1,0 +1,145 @@
+"""Unit tests for the loop IR: sites, walking, common loops, printing."""
+
+from repro.fortran.parser import parse_fragment
+from repro.ir.builder import NestBuilder
+from repro.ir.loop import (
+    ArrayRef,
+    Assign,
+    collect_access_sites,
+    common_loops,
+    format_body,
+    loops_in,
+    walk_nodes,
+)
+from repro.ir.program import Program, Routine
+
+
+SRC = """
+do i = 1, n
+  do j = 1, m
+    a(i, j) = a(i, j-1) + b(j)
+  enddo
+  c(i) = a(i, m)
+enddo
+"""
+
+
+class TestAccessSites:
+    def test_reads_before_write_within_statement(self):
+        sites = collect_access_sites(parse_fragment("a(i) = a(i-1) + b(i)"))
+        names = [(s.ref.array, s.is_write) for s in sites]
+        assert names == [("a", False), ("b", False), ("a", True)]
+
+    def test_positions_strictly_increase(self):
+        sites = collect_access_sites(parse_fragment(SRC))
+        positions = [s.position for s in sites]
+        assert positions == sorted(positions)
+        assert len(set(positions)) == len(positions)
+
+    def test_loop_stacks(self):
+        sites = collect_access_sites(parse_fragment(SRC))
+        a_write = next(s for s in sites if s.ref.array == "a" and s.is_write)
+        assert a_write.indices == ("i", "j")
+        c_write = next(s for s in sites if s.ref.array == "c" and s.is_write)
+        assert c_write.indices == ("i",)
+
+    def test_scalars_skipped(self):
+        sites = collect_access_sites(parse_fragment("t = a(i) + s"))
+        assert [s.ref.array for s in sites] == ["a"]
+
+    def test_lhs_subscript_loads_collected(self):
+        sites = collect_access_sites(parse_fragment("a(k(i)) = 0"))
+        arrays = {s.ref.array for s in sites}
+        assert arrays == {"a", "k"}
+
+
+class TestWalking:
+    def test_walk_nodes_in_order(self):
+        nodes = parse_fragment(SRC)
+        stmts = [stmt for _, stmt in walk_nodes(nodes)]
+        assert len(stmts) == 2
+
+    def test_loops_in_outer_first(self):
+        nodes = parse_fragment(SRC)
+        indices = [loop.index for loop in loops_in(nodes)]
+        assert indices == ["i", "j"]
+
+    def test_common_loops(self):
+        sites = collect_access_sites(parse_fragment(SRC))
+        a_write = next(s for s in sites if s.ref.array == "a" and s.is_write)
+        c_write = next(s for s in sites if s.ref.array == "c" and s.is_write)
+        shared = common_loops(a_write, c_write)
+        assert [l.index for l in shared] == ["i"]
+
+    def test_conditional_body_walked(self):
+        nodes = parse_fragment("if (x .gt. 0) a(i) = 1")
+        sites = collect_access_sites(nodes)
+        assert len(sites) == 1
+
+
+class TestBuilder:
+    def test_builder_matches_parser(self):
+        b = NestBuilder()
+        with b.loop("i", 1, "n"):
+            b.assign("a(i+1)", "a(i)")
+        built = b.build()
+        parsed = parse_fragment("do i = 1, n\n a(i+1) = a(i)\nenddo")
+        assert format_body(built) == format_body(parsed)
+
+    def test_nested_builder(self):
+        b = NestBuilder()
+        with b.loop("i", 1, 10):
+            with b.loop("j", 1, "i"):
+                b.assign("a(i, j)", 0)
+        nodes = b.build()
+        assert [l.index for l in loops_in(nodes)] == ["i", "j"]
+
+    def test_unclosed_raises(self):
+        import pytest
+
+        b = NestBuilder()
+        cm = b.loop("i", 1, 2)
+        cm.__enter__()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_build_program(self):
+        b = NestBuilder()
+        b.assign("a(1)", 0)
+        program = b.build_program("prog", suite="test")
+        assert isinstance(program, Program)
+        assert program.suite == "test"
+
+
+class TestProgram:
+    def test_source_lines_sum(self):
+        program = Program(
+            "p", [Routine("r1", [], 10), Routine("r2", [], 5)]
+        )
+        assert program.source_lines == 15
+
+    def test_access_sites_iterates_routines(self):
+        nodes = parse_fragment("a(1) = b(2)")
+        program = Program("p", [Routine("r", nodes)])
+        sites = list(program.access_sites())
+        assert len(sites) == 2
+
+
+class TestFormatting:
+    def test_format_body_shape(self):
+        text = format_body(parse_fragment(SRC))
+        assert "DO i = 1, n" in text
+        assert "ENDDO" in text
+        assert "a(i, j)" in text
+
+
+class TestBuilderConditional:
+    def test_conditional_region(self):
+        b = NestBuilder()
+        with b.loop("i", 1, 10):
+            with b.conditional("x .gt. 0"):
+                b.assign("a(i)", 1)
+        nodes = b.build()
+        sites = collect_access_sites(nodes)
+        assert len(sites) == 1
+        assert sites[0].indices == ("i",)

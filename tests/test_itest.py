@@ -1,0 +1,125 @@
+"""Unit and oracle tests for the I-test baseline."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.itest import (
+    BoundedTerm,
+    i_test,
+    interval_equation_test,
+)
+
+from tests.helpers import pair_context
+
+
+def term(name, coeff, lo, hi):
+    return BoundedTerm(name, coeff, lo, hi)
+
+
+def brute(terms, constant):
+    ranges = [range(t.lo, t.hi + 1) for t in terms]
+    for point in itertools.product(*ranges):
+        if sum(t.coeff * v for t, v in zip(terms, point)) == constant:
+            return True
+    return False
+
+
+class TestIntervalEquation:
+    def test_unit_coefficients_exact(self):
+        terms = [term("x", 1, 1, 10), term("y", -1, 1, 10)]
+        result = interval_equation_test(terms, 3)
+        assert result.solvable and result.exact
+
+    def test_refutes_out_of_reach(self):
+        terms = [term("x", 1, 1, 10), term("y", -1, 1, 10)]
+        result = interval_equation_test(terms, 100)
+        assert not result.solvable
+
+    def test_gcd_step(self):
+        # 2x + 4y = 7: gcd division empties the interval.
+        terms = [term("x", 2, 0, 10), term("y", 4, 0, 10)]
+        result = interval_equation_test(terms, 7)
+        assert not result.solvable and result.exact
+
+    def test_gcd_then_absorption(self):
+        # 2x + 4y = 6 -> x + 2y = 3, solvable within bounds.
+        terms = [term("x", 2, 0, 10), term("y", 4, 0, 10)]
+        result = interval_equation_test(terms, 6)
+        assert result.solvable
+
+    def test_steps_recorded(self):
+        terms = [term("x", 1, 0, 5)]
+        result = interval_equation_test(terms, 3)
+        assert result.steps
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-4, 4).filter(bool),
+                st.integers(-3, 3),
+                st.integers(0, 5),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(-15, 15),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_against_brute_force(self, raw_terms, constant):
+        terms = [
+            term(f"v{k}", coeff, lo, lo + width)
+            for k, (coeff, lo, width) in enumerate(raw_terms)
+        ]
+        result = interval_equation_test(terms, constant)
+        truth = brute(terms, constant)
+        if not result.solvable:
+            assert not truth  # refutation must be sound
+        elif result.exact:
+            assert truth  # exact solvable answers must be real
+
+
+class TestITestOnSubscripts:
+    def test_proves_independence(self):
+        ctx = pair_context("do i = 1, 10\n a(2*i) = a(2*i+1)\nenddo", "a")
+        outcome = i_test(ctx.subscripts[0], ctx)
+        assert outcome.independent and outcome.exact
+
+    def test_bounded_refutation(self):
+        ctx = pair_context("do i = 1, 10\n a(i+50) = a(i)\nenddo", "a")
+        outcome = i_test(ctx.subscripts[0], ctx)
+        assert outcome.independent
+
+    def test_dependence_detected(self):
+        ctx = pair_context("do i = 1, 10\n a(i+1) = a(i)\nenddo", "a")
+        outcome = i_test(ctx.subscripts[0], ctx)
+        assert outcome.applicable and not outcome.independent
+        assert outcome.notes["definitive"]
+
+    def test_symbolic_bound_not_applicable(self):
+        ctx = pair_context("do i = 1, n\n a(i+1) = a(i)\nenddo", "a")
+        outcome = i_test(ctx.subscripts[0], ctx)
+        assert not outcome.applicable
+
+    def test_miv_subscript(self):
+        src = "do i=1,8\n do j=1,8\n a(2*i+2*j) = a(2*i+2*j-1)\n enddo\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = i_test(ctx.subscripts[0], ctx)
+        assert outcome.independent
+
+    def test_agrees_with_exact_siv_on_siv_shapes(self):
+        """On bounded SIV subscripts the I-test matches the exact SIV test."""
+        from repro.single.siv import siv_test
+
+        cases = [
+            ("i+1", "i"), ("2*i", "2*i+1"), ("2*i", "i+5"),
+            ("i", "1"), ("i", "20"), ("3*i+1", "2*i"),
+        ]
+        for write, read in cases:
+            ctx = pair_context(
+                f"do i = 1, 10\n a({write}) = a({read})\nenddo", "a"
+            )
+            itest_outcome = i_test(ctx.subscripts[0], ctx)
+            siv_outcome = siv_test(ctx.subscripts[0], ctx)
+            if itest_outcome.independent:
+                assert siv_outcome.independent, (write, read)

@@ -1,0 +1,89 @@
+"""Unit tests for the Fortran-subset lexer and line preprocessor."""
+
+import pytest
+
+from repro.fortran.errors import FortranSyntaxError
+from repro.fortran.lexer import preprocess, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)]
+
+
+class TestTokenize:
+    def test_identifiers_lowercased(self):
+        assert texts("Foo BAR") == ["foo", "bar"]
+
+    def test_integers_and_reals(self):
+        assert kinds("42") == ["INT"]
+        assert kinds("4.2") == ["REAL"]
+        assert kinds("1.5e3") == ["REAL"]
+        assert kinds("1.0d0") == ["REAL"]
+        assert kinds(".25") == ["REAL"]
+
+    def test_operators(self):
+        assert texts("a = b*c + d/(e - 2)") == [
+            "a", "=", "b", "*", "c", "+", "d", "/", "(", "e", "-", "2", ")",
+        ]
+
+    def test_power_token(self):
+        assert kinds("x ** 2") == ["IDENT", "POW", "INT"]
+
+    def test_dot_operators(self):
+        assert kinds("a .gt. b .and. c") == [
+            "IDENT", "DOTOP", "IDENT", "DOTOP", "IDENT",
+        ]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(FortranSyntaxError):
+            tokenize("a @ b")
+
+
+class TestPreprocess:
+    def test_comment_lines_skipped(self):
+        lines = preprocess("c comment\n* star comment\n! bang\n      x = 1\n")
+        assert len(lines) == 1
+        assert lines[0].text == "x = 1"
+
+    def test_inline_comment_stripped(self):
+        lines = preprocess("      x = 1 ! trailing\n")
+        assert lines[0].text == "x = 1"
+
+    def test_labels_extracted(self):
+        lines = preprocess("   10 continue\n")
+        assert lines[0].label == "10"
+        assert lines[0].text == "continue"
+
+    def test_fixed_form_continuation(self):
+        src = "      x = a + b\n     &      + c\n"
+        lines = preprocess(src)
+        assert len(lines) == 1
+        assert " ".join(lines[0].text.split()) == "x = a + b + c"
+
+    def test_free_form_continuation(self):
+        src = "x = a + &\n    b\n"
+        lines = preprocess(src)
+        assert len(lines) == 1
+        assert lines[0].text.replace(" ", "") == "x=a+b"
+
+    def test_continuation_column_six_zero_not_continuation(self):
+        src = "      x = 1\n     0y = 2\n"
+        lines = preprocess(src)
+        assert len(lines) == 2
+
+    def test_blank_lines_skipped(self):
+        assert len(preprocess("\n\n      x = 1\n\n")) == 1
+
+    def test_line_numbers_recorded(self):
+        lines = preprocess("c skip\n      x = 1\n      y = 2\n")
+        assert [l.number for l in lines] == [2, 3]
+
+    def test_multiple_continuations(self):
+        src = "      x = a\n     & + b\n     & + c\n"
+        lines = preprocess(src)
+        assert len(lines) == 1
+        assert " ".join(lines[0].text.split()) == "x = a + b + c"

@@ -1,0 +1,215 @@
+"""Unit and property tests for repro.symbolic.linexpr."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError, as_linear
+
+
+def lin(terms=None, const=0):
+    return LinearExpr(terms or {}, const)
+
+
+class TestConstruction:
+    def test_constant(self):
+        expr = LinearExpr.constant(5)
+        assert expr.is_constant()
+        assert expr.constant_value() == 5
+
+    def test_var(self):
+        expr = LinearExpr.var("i")
+        assert expr.coeff("i") == 1
+        assert expr.coeff("j") == 0
+        assert expr.variables() == {"i"}
+
+    def test_var_with_coeff(self):
+        expr = LinearExpr.var("i", 3)
+        assert expr.coeff("i") == 3
+
+    def test_zero_coefficients_dropped(self):
+        expr = lin({"i": 0, "j": 2})
+        assert expr.variables() == {"j"}
+
+    def test_duplicate_names_combine(self):
+        expr = LinearExpr([("i", 1), ("i", 2)], 0)
+        assert expr.coeff("i") == 3
+
+    def test_rejects_non_string_names(self):
+        with pytest.raises(TypeError):
+            LinearExpr({1: 2}, 0)
+
+    def test_rejects_non_int_coeff(self):
+        with pytest.raises(TypeError):
+            LinearExpr({"i": 1.5}, 0)
+
+    def test_rejects_non_int_const(self):
+        with pytest.raises(TypeError):
+            LinearExpr({}, 1.5)
+
+    def test_zero_and_one_constants(self):
+        assert LinearExpr.ZERO == 0
+        assert LinearExpr.ONE == 1
+
+
+class TestArithmetic:
+    def test_add(self):
+        result = lin({"i": 1}, 2) + lin({"i": 3, "j": 1}, -1)
+        assert result == lin({"i": 4, "j": 1}, 1)
+
+    def test_add_int(self):
+        assert lin({"i": 1}) + 5 == lin({"i": 1}, 5)
+
+    def test_radd_str(self):
+        assert "j" + lin({"i": 1}) == lin({"i": 1, "j": 1})
+
+    def test_sub(self):
+        assert lin({"i": 2}, 3) - lin({"i": 2}, 1) == lin({}, 2)
+
+    def test_sub_cancels_symbols(self):
+        n_plus_1 = lin({"n": 1}, 1)
+        n_plus_2 = lin({"n": 1}, 2)
+        assert (n_plus_1 - n_plus_2) == -1
+
+    def test_neg(self):
+        assert -lin({"i": 2}, -3) == lin({"i": -2}, 3)
+
+    def test_scale(self):
+        assert lin({"i": 2}, 3).scale(-2) == lin({"i": -4}, -6)
+
+    def test_scale_zero(self):
+        assert lin({"i": 2}, 3).scale(0) == 0
+
+    def test_mul_by_constant_expr(self):
+        assert lin({"i": 1}) * LinearExpr.constant(4) == lin({"i": 4})
+
+    def test_mul_nonlinear_raises(self):
+        with pytest.raises(NonlinearExpressionError):
+            lin({"i": 1}) * lin({"j": 1})
+
+    def test_exact_div(self):
+        assert lin({"i": 4}, 6).exact_div(2) == lin({"i": 2}, 3)
+
+    def test_exact_div_inexact_raises(self):
+        with pytest.raises(ValueError):
+            lin({"i": 3}).exact_div(2)
+
+    def test_exact_div_inexact_const_raises(self):
+        with pytest.raises(ValueError):
+            lin({"i": 2}, 3).exact_div(2)
+
+    def test_exact_div_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            lin({"i": 2}).exact_div(0)
+
+
+class TestQueries:
+    def test_split(self):
+        expr = lin({"i": 2, "n": 3}, 5)
+        index_part, invariant = expr.split({"i"})
+        assert index_part == lin({"i": 2})
+        assert invariant == lin({"n": 3}, 5)
+        assert index_part + invariant == expr
+
+    def test_content(self):
+        assert lin({"i": 4, "j": 6}).content() == 2
+        assert lin({}, 7).content() == 0
+
+    def test_indices_in(self):
+        expr = lin({"i": 1, "n": 1})
+        assert expr.indices_in({"i", "j"}) == {"i"}
+
+    def test_bool(self):
+        assert not lin({}, 0)
+        assert lin({}, 1)
+        assert lin({"i": 1})
+
+
+class TestSubstitution:
+    def test_substitute(self):
+        expr = lin({"i": 2, "j": 1}, 1)
+        result = expr.substitute("i", lin({"k": 1}, 3))
+        assert result == lin({"k": 2, "j": 1}, 7)
+
+    def test_substitute_absent_is_noop(self):
+        expr = lin({"j": 1})
+        assert expr.substitute("i", lin({"k": 1})) is expr
+
+    def test_substitute_all(self):
+        expr = lin({"i": 1, "j": 1})
+        result = expr.substitute_all({"i": lin({}, 1), "j": lin({}, 2)})
+        assert result == 3
+
+    def test_rename(self):
+        expr = lin({"i": 2, "j": 1})
+        assert expr.rename({"i": "i'"}) == lin({"i'": 2, "j": 1})
+
+    def test_rename_collision_combines(self):
+        expr = lin({"i": 2, "j": 1})
+        assert expr.rename({"j": "i"}) == lin({"i": 3})
+
+
+class TestProtocol:
+    def test_eq_int(self):
+        assert lin({}, 3) == 3
+        assert lin({"i": 1}) != 3
+
+    def test_hashable(self):
+        assert hash(lin({"i": 1}, 2)) == hash(lin({"i": 1}, 2))
+        mapping = {lin({"i": 1}): "a"}
+        assert mapping[lin({"i": 1})] == "a"
+
+    def test_str_formats(self):
+        assert str(lin({}, 0)) == "0"
+        assert str(lin({"i": 1})) == "i"
+        assert str(lin({"i": -1})) == "-i"
+        assert str(lin({"i": 2}, -3)) == "2*i - 3"
+        assert str(lin({"i": 1, "j": -2}, 1)) == "i - 2*j + 1"
+
+    def test_as_linear_coercions(self):
+        assert as_linear(3) == LinearExpr.constant(3)
+        assert as_linear("i") == LinearExpr.var("i")
+        with pytest.raises(TypeError):
+            as_linear(3.5)
+
+
+small_exprs = st.builds(
+    LinearExpr,
+    st.dictionaries(st.sampled_from(["i", "j", "n"]), st.integers(-5, 5), max_size=3),
+    st.integers(-10, 10),
+)
+
+
+class TestProperties:
+    @given(small_exprs, small_exprs)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(small_exprs, small_exprs, small_exprs)
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(small_exprs)
+    def test_neg_is_inverse(self, a):
+        assert a + (-a) == 0
+
+    @given(small_exprs, st.integers(-4, 4), st.integers(-4, 4))
+    def test_scale_distributes(self, a, k, m):
+        assert a.scale(k) + a.scale(m) == a.scale(k + m)
+
+    @given(small_exprs, st.integers(1, 5))
+    def test_scale_then_exact_div_roundtrips(self, a, k):
+        assert a.scale(k).exact_div(k) == a
+
+    @given(small_exprs, small_exprs)
+    def test_hash_consistent_with_eq(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(small_exprs)
+    def test_evaluation_consistency(self, a):
+        env = {"i": 2, "j": -3, "n": 7}
+        direct = sum(c * env[v] for v, c in a.terms) + a.const
+        substituted = a.substitute_all(
+            {name: LinearExpr.constant(env[name]) for name in a.variables()}
+        )
+        assert substituted == direct

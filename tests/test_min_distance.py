@@ -1,0 +1,81 @@
+"""Tests for the minimum carrier-distance computation."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.single.miv import minimum_carrier_distance
+
+from tests.helpers import pair_context
+
+
+def brute_min_distance(a1, c1, a2, c2, lo, hi):
+    """Smallest i' - i >= 1 with a_src*i + c_src == a_sink*i' + c_sink.
+
+    The source of the tested pair is the *read* (subscript a2*i + c2) and
+    the sink the write, matching execution-order pairing.
+    """
+    best = None
+    for i in range(lo, hi + 1):
+        for ip in range(i + 1, hi + 1):
+            if a2 * i + c2 == a1 * ip + c1:
+                d = ip - i
+                best = d if best is None else min(best, d)
+    return best
+
+
+class TestMinimumDistance:
+    def test_strong_siv_distance(self):
+        # read a(i) (source) -> write a(i+3) means i' = i - 3: '<' infeasible;
+        # the reversed pair gives distance 3.
+        ctx = pair_context("do i = 1, 20\n a(i+3) = a(i)\nenddo", "a")
+        pair = ctx.subscripts[0]
+        assert minimum_carrier_distance(pair, ctx, "i") is None
+        ctx_rev = pair_context(
+            "do i = 1, 20\n a(i+3) = a(i)\nenddo", "a", src_index=1, sink_index=0
+        )
+        assert minimum_carrier_distance(ctx_rev.subscripts[0], ctx_rev, "i") == 3
+
+    def test_self_output_distance(self):
+        # a(2*i) vs itself: only distance 0 (equal iterations): no '<' dep.
+        ctx = pair_context(
+            "do i = 1, 20\n a(2*i) = b(i)\nenddo", "a", src_index=0, sink_index=0
+        )
+        assert minimum_carrier_distance(ctx.subscripts[0], ctx, "i") is None
+
+    def test_coefficient_stride(self):
+        # read a(i), write a(2*i): write at iter i hits cell 2i; read at
+        # iter i' = 2i later: min distance = min(2i - i) = lo.
+        ctx = pair_context(
+            "do i = 2, 20\n a(2*i) = a(i)\nenddo", "a", src_index=1, sink_index=0
+        )
+        # source write a(2i), sink read a(i'): 2i = i', d = i' - i = i >= 2
+        assert minimum_carrier_distance(ctx.subscripts[0], ctx, "i") == 2
+
+    def test_nonlinear_returns_none(self):
+        ctx = pair_context("do i = 1, 9\n a(i*i) = a(i)\nenddo", "a")
+        assert minimum_carrier_distance(ctx.subscripts[0], ctx, "i") is None
+
+    def test_unbounded_loop_still_answers(self):
+        ctx = pair_context("do i = 1, n\n a(i+2) = a(i)\nenddo", "a")
+        pair = ctx.subscripts[0]
+        # read source a(i), write sink a(i+2): i' = i - 2: no '<' dep.
+        assert minimum_carrier_distance(pair, ctx, "i") is None
+
+    @given(
+        st.integers(1, 3),
+        st.integers(-5, 5),
+        st.integers(1, 3),
+        st.integers(-5, 5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_sound_lower_bound(self, a1, c1, a2, c2):
+        """The computed minimum never exceeds the true minimum distance
+        (Banerjee precision can only widen the feasible interval)."""
+        src = f"do i = 1, 12\n a({a1}*i + {c1}) = a({a2}*i + {c2})\nenddo"
+        ctx = pair_context(src, "a")
+        pair = ctx.subscripts[0]
+        computed = minimum_carrier_distance(pair, ctx, "i")
+        truth = brute_min_distance(a1, c1, a2, c2, 1, 12)
+        if truth is not None:
+            assert computed is not None and computed <= truth

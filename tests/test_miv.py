@@ -1,0 +1,241 @@
+"""Unit and oracle tests for the MIV tests: GCD and Banerjee (Section 4.4)."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dirvec.direction import Direction
+from repro.fortran.parser import parse_fragment
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import collect_access_sites
+from repro.single.miv import (
+    banerjee_bounds,
+    banerjee_gcd_test,
+    banerjee_test,
+    direction_hierarchy,
+    gcd_test,
+)
+
+from tests.helpers import pair_context
+from tests.oracle import brute_force_vectors, eval_expr
+
+
+def miv_fixture(write_sub, read_sub, n=8):
+    src = (
+        f"do i = 1, {n}\n do j = 1, {n}\n"
+        f"  a({write_sub}) = a({read_sub})\n enddo\nenddo"
+    )
+    ctx = pair_context(src, "a")
+    sites = [
+        s for s in collect_access_sites(parse_fragment(src)) if s.ref.array == "a"
+    ]
+    return ctx, ctx.subscripts[0], sites
+
+
+class TestGCD:
+    def test_divisible_maybe_dependent(self):
+        ctx, pair, _ = miv_fixture("2*i + 2*j", "2*i + 2*j + 2")
+        outcome = gcd_test(pair, ctx)
+        assert outcome.applicable and not outcome.independent
+
+    def test_non_divisible_independent(self):
+        # the paper's GCD example: gcd 2 does not divide the odd constant
+        ctx, pair, _ = miv_fixture("2*i + 2*j", "2*i + 2*j - 1")
+        outcome = gcd_test(pair, ctx)
+        assert outcome.independent and outcome.exact
+
+    def test_symbolic_divisible_coefficients(self):
+        # 2i + 2j vs 2i + 2j + 2n + 1: symbols' coefficients divisible by 2,
+        # residual constant 1 is not.
+        ctx, pair, _ = miv_fixture("2*i + 2*j", "2*i + 2*j + 2*n + 1")
+        outcome = gcd_test(pair, ctx)
+        assert outcome.independent
+
+    def test_symbolic_non_divisible_conservative(self):
+        ctx, pair, _ = miv_fixture("2*i + 2*j", "2*i + 2*j + n")
+        outcome = gcd_test(pair, ctx)
+        assert not outcome.independent
+
+    def test_ziv_not_applicable(self):
+        src = "do i = 1, 5\n a(1) = a(2)\nenddo"
+        ctx = pair_context(src, "a")
+        assert not gcd_test(ctx.subscripts[0], ctx).applicable
+
+    @given(
+        st.integers(-3, 3), st.integers(-3, 3),
+        st.integers(-3, 3), st.integers(-3, 3),
+        st.integers(-9, 9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_gcd_soundness(self, a1, b1, a2, b2, c):
+        """If the GCD test claims independence, no unconstrained solution."""
+        if a1 == a2 and b1 == b2:
+            return  # difference would be ZIV
+        write_sub = f"{a1}*i + {b1}*j"
+        read_sub = f"{a2}*i + {b2}*j + {c}"
+        ctx, pair, _ = miv_fixture(write_sub, read_sub)
+        outcome = gcd_test(pair, ctx)
+        if outcome.applicable and outcome.independent:
+            # no integer solution anywhere: check a wide window
+            found = any(
+                a2 * x2 + b2 * y2 + c == a1 * x1 + b1 * y1
+                for x1, y1, x2, y2 in itertools.product(range(-6, 7), repeat=4)
+            )
+            assert not found
+
+
+class TestBanerjeeBounds:
+    def test_unconstrained_bounds(self):
+        # h = (i + j) - (i' + j' + 3); i,j,i',j' in [1,8]
+        ctx, pair, _ = miv_fixture("i + j", "i + j + 3")
+        bounds = banerjee_bounds(pair, ctx)
+        # source read (i+j+3), sink write (i+j): h = src - sink
+        assert bounds.contains(0)
+
+    def test_direction_constrained_empty_loop(self):
+        src = "do i = 1, 1\n a(i) = a(i)\nenddo"
+        ctx = pair_context(src, "a")
+        bounds = banerjee_bounds(
+            ctx.subscripts[0], ctx, {"i": Direction.LT}
+        )
+        assert bounds.is_empty()
+
+    def test_banerjee_disproves_out_of_range(self):
+        ctx, pair, _ = miv_fixture("i + j", "i + j + 100")
+        outcome = banerjee_test(pair, ctx)
+        assert outcome.independent
+
+    def test_exact_for_bounded_triangle(self):
+        """Vertex bounds for '<' must match brute-force extrema."""
+        ctx, pair, _ = miv_fixture("i + 2*j", "3*i + j + 1", n=5)
+        h = pair.difference()
+        for direction in (Direction.LT, Direction.EQ, Direction.GT, None):
+            bounds = banerjee_bounds(
+                pair, ctx, {"i": direction, "j": None}
+            )
+            values = []
+            for i, ip, j, jp in itertools.product(range(1, 6), repeat=4):
+                if direction is Direction.LT and not i < ip:
+                    continue
+                if direction is Direction.EQ and i != ip:
+                    continue
+                if direction is Direction.GT and not i > ip:
+                    continue
+                env = {"i": i, "i'": ip, "j": j, "j'": jp}
+                value = sum(c * env[v] for v, c in h.terms) + h.const
+                values.append(value)
+            assert bounds.lo == min(values)
+            assert bounds.hi == max(values)
+
+
+class TestDirectionHierarchy:
+    def test_stencil_vectors(self):
+        # write a(i+j), read a(i+j-1): dependences at distance 1 in i+j.
+        ctx, pair, sites = miv_fixture("i + j", "i + j - 1", n=4)
+        vectors = direction_hierarchy(pair, ctx, ["i", "j"])
+        truth = brute_force_vectors(sites[0], sites[1])
+        assert truth <= vectors
+
+    def test_banerjee_gcd_full(self):
+        ctx, pair, _ = miv_fixture("2*i + 2*j", "2*i + 2*j - 1")
+        outcome = banerjee_gcd_test(pair, ctx)
+        assert outcome.independent
+
+    def test_couplings_restrict_vectors(self):
+        ctx, pair, sites = miv_fixture("i + j", "i + j", n=4)
+        outcome = banerjee_gcd_test(pair, ctx)
+        assert not outcome.independent
+        assert outcome.couplings
+        indices, vectors = outcome.couplings[0]
+        assert indices == ("i", "j")
+        truth = brute_force_vectors(sites[0], sites[1])
+        assert truth <= vectors
+
+    @given(
+        st.integers(-2, 2), st.integers(-2, 2),
+        st.integers(-2, 2), st.integers(-2, 2),
+        st.integers(-6, 6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_hierarchy_soundness(self, a1, b1, a2, b2, c):
+        write_sub = f"{a1}*i + {b1}*j"
+        read_sub = f"{a2}*i + {b2}*j + {c}"
+        ctx, pair, sites = miv_fixture(write_sub, read_sub, n=5)
+        truth = brute_force_vectors(sites[0], sites[1])
+        outcome = banerjee_gcd_test(pair, ctx)
+        if not outcome.applicable:
+            return
+        if outcome.independent:
+            assert not truth, (write_sub, read_sub)
+        elif outcome.couplings:
+            indices, vectors = outcome.couplings[0]
+            positions = [ctx.common_indices.index(name) for name in indices]
+            projected = {tuple(v[p] for p in positions) for v in truth}
+            assert projected <= vectors, (write_sub, read_sub)
+
+
+class TestSymbolicBanerjee:
+    def test_unknown_symbol_conservative(self):
+        ctx, pair, _ = miv_fixture("i + j", "i + j + n")
+        outcome = banerjee_test(pair, ctx)
+        assert not outcome.independent
+
+    def test_symbol_range_disproves(self):
+        symbols = SymbolEnv().assume("n", lo=100)
+        src = (
+            "do i = 1, 8\n do j = 1, 8\n"
+            "  a(i + j) = a(i + j + n)\n enddo\nenddo"
+        )
+        ctx = pair_context(src, "a", symbols)
+        outcome = banerjee_test(ctx.subscripts[0], ctx)
+        assert outcome.independent
+
+
+class TestAsymmetricTermBounds:
+    """Direction-constrained Banerjee bounds with unequal occurrence ranges
+    (arising from the Delta test's range tightening)."""
+
+    def test_exact_on_clipped_rectangle(self):
+        import itertools as it
+
+        from repro.single.miv import _term_bounds
+        from repro.symbolic.ranges import Interval
+
+        for x, y in it.product(range(-2, 3), repeat=2):
+            for direction in (Direction.LT, Direction.EQ, Direction.GT, None):
+                src = Interval(1, 3)
+                sink = Interval(2, 7)
+                bounds = _term_bounds(x, y, src, sink, direction)
+                values = []
+                for u in range(1, 4):
+                    for v in range(2, 8):
+                        if direction is Direction.LT and not u < v:
+                            continue
+                        if direction is Direction.EQ and u != v:
+                            continue
+                        if direction is Direction.GT and not u > v:
+                            continue
+                        values.append(x * u + y * v)
+                if not values:
+                    assert bounds.is_empty()
+                else:
+                    assert bounds.lo == min(values), (x, y, direction)
+                    assert bounds.hi == max(values), (x, y, direction)
+
+    def test_disjoint_eq_region_empty(self):
+        from repro.single.miv import _term_bounds
+        from repro.symbolic.ranges import Interval
+
+        bounds = _term_bounds(
+            1, 1, Interval(1, 3), Interval(5, 9), Direction.EQ
+        )
+        assert bounds.is_empty()
+
+    def test_gt_infeasible_when_sink_above(self):
+        from repro.single.miv import _term_bounds
+        from repro.symbolic.ranges import Interval
+
+        bounds = _term_bounds(
+            1, -1, Interval(1, 3), Interval(4, 9), Direction.GT
+        )
+        assert bounds.is_empty()

@@ -1,0 +1,113 @@
+"""Unit tests for loop-step normalization."""
+
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites, loops_in
+from repro.ir.normalize import normalize_steps
+from repro.ir.program import Program, Routine
+from repro.ir.normalize import normalize_program
+
+from tests.oracle import eval_expr
+
+
+def touched_cells(nodes, env):
+    """Set of (array, subscript values) written by executing the nest."""
+    cells = set()
+
+    def run(items, bindings):
+        for item in items:
+            if hasattr(item, "index"):  # Loop
+                lower = eval_expr(item.lower, bindings)
+                upper = eval_expr(item.upper, bindings)
+                step = item.step
+                values = range(lower, upper + (1 if step > 0 else -1), step)
+                for value in values:
+                    inner = dict(bindings)
+                    inner[item.index] = value
+                    run(item.body, inner)
+            elif hasattr(item, "condition"):  # Conditional: take the body
+                run(item.body, bindings)
+            elif hasattr(item, "lhs"):
+                ref = item.lhs
+                if hasattr(ref, "subscripts"):
+                    cells.add(
+                        (ref.array,)
+                        + tuple(eval_expr(s, bindings) for s in ref.subscripts)
+                    )
+
+    run(nodes, dict(env))
+    return cells
+
+
+class TestNormalizeSteps:
+    def test_unit_step_unchanged(self):
+        nodes = parse_fragment("do i = 1, 10\n a(i) = 0\nenddo")
+        normalized = normalize_steps(nodes)
+        loop = normalized[0]
+        assert loop.index == "i"
+        assert loop.step == 1
+
+    def test_stride_two_touches_same_cells(self):
+        nodes = parse_fragment("do i = 1, 9, 2\n a(i) = 0\nenddo")
+        normalized = normalize_steps(nodes)
+        assert touched_cells(nodes, {}) == touched_cells(normalized, {})
+        assert all(l.step == 1 for l in loops_in(normalized))
+
+    def test_negative_step_touches_same_cells(self):
+        nodes = parse_fragment("do i = 10, 1, -1\n a(i) = 0\nenddo")
+        normalized = normalize_steps(nodes)
+        assert touched_cells(nodes, {}) == touched_cells(normalized, {})
+
+    def test_stride_three_non_divisible(self):
+        nodes = parse_fragment("do i = 1, 10, 3\n a(i) = 0\nenddo")
+        normalized = normalize_steps(nodes)
+        # 1, 4, 7, 10
+        assert touched_cells(normalized, {}) == {("a", 1), ("a", 4), ("a", 7), ("a", 10)}
+
+    def test_nested_strides(self):
+        src = """
+do i = 1, 8, 2
+  do j = 2, 10, 4
+    a(i, j) = 0
+  enddo
+enddo
+"""
+        nodes = parse_fragment(src)
+        normalized = normalize_steps(nodes)
+        assert touched_cells(nodes, {}) == touched_cells(normalized, {})
+
+    def test_new_index_renamed(self):
+        nodes = parse_fragment("do i = 1, 9, 2\n a(i) = 0\nenddo")
+        normalized = normalize_steps(nodes)
+        assert normalized[0].index == "i$"
+
+    def test_inner_reference_rewritten(self):
+        nodes = parse_fragment("do i = 2, 10, 2\n a(i/2) = a(i) \nenddo")
+        normalized = normalize_steps(nodes)
+        sites = collect_access_sites(normalized)
+        # i := 2 + 2*i$, so a(i) reads cells 2, 4, ... and a(i/2) writes 1, 2, ...
+        values = touched_cells(normalized, {})
+        assert values == {("a", k) for k in range(1, 6)}
+
+    def test_normalize_program_wrapper(self):
+        nodes = parse_fragment("do i = 1, 9, 2\n a(i) = 0\nenddo")
+        program = Program("p", [Routine("r", nodes, 3)], "suite")
+        normalized = normalize_program(program)
+        assert normalized.suite == "suite"
+        assert normalized.routines[0].source_lines == 3
+        assert all(l.step == 1 for l in loops_in(normalized.routines[0].body))
+
+    def test_conditional_body_normalized(self):
+        src = """
+do i = 1, 9, 2
+  if (x .gt. 0) then
+     a(i) = 0
+  endif
+enddo
+"""
+        normalized = normalize_steps(parse_fragment(src))
+        assert touched_cells(parse_fragment(src), {}) == {
+            ("a", 1), ("a", 3), ("a", 5), ("a", 7), ("a", 9),
+        }
+        # normalized conditional body still writes the same cells
+        sites = collect_access_sites(normalized)
+        assert sites[0].ref.array == "a"

@@ -1,0 +1,244 @@
+"""Unit tests for the Fortran-subset parser."""
+
+import pytest
+
+from repro.fortran.errors import FortranSyntaxError
+from repro.fortran.parser import (
+    parse_expression,
+    parse_fragment,
+    parse_program,
+    parse_reference,
+)
+from repro.ir.expr import Call, Const, IndexedLoad, RealConst, Var, to_linear
+from repro.ir.loop import ArrayRef, Assign, Conditional, Loop, ScalarRef
+from repro.symbolic.linexpr import LinearExpr
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2*i - j/1")
+        assert to_linear(expr) == LinearExpr({"i": 2, "j": -1}, 1)
+
+    def test_parentheses(self):
+        expr = parse_expression("2*(i + 3)")
+        assert to_linear(expr) == LinearExpr({"i": 2}, 6)
+
+    def test_unary_minus(self):
+        expr = parse_expression("-i + 1")
+        assert to_linear(expr) == LinearExpr({"i": -1}, 1)
+
+    def test_array_load(self):
+        expr = parse_expression("a(i, j+1)")
+        assert isinstance(expr, IndexedLoad)
+        assert expr.array == "a"
+        assert len(expr.subscripts) == 2
+
+    def test_intrinsic_becomes_call(self):
+        expr = parse_expression("sqrt(x)")
+        assert isinstance(expr, Call)
+        assert expr.name == "sqrt"
+
+    def test_power_becomes_call(self):
+        expr = parse_expression("i**2")
+        assert isinstance(expr, Call)
+        assert expr.name == "pow"
+
+    def test_real_literal(self):
+        expr = parse_expression("0.25")
+        assert isinstance(expr, RealConst)
+
+    def test_d_exponent(self):
+        expr = parse_expression("1.5d2")
+        assert isinstance(expr, RealConst)
+        assert expr.value == 150.0
+
+    def test_trailing_tokens_raise(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_expression("i + 1 j")
+
+    def test_reference_array(self):
+        ref = parse_reference("a(i)")
+        assert isinstance(ref, ArrayRef)
+
+    def test_reference_scalar(self):
+        ref = parse_reference("x")
+        assert isinstance(ref, ScalarRef)
+
+
+class TestStatements:
+    def test_assignment(self):
+        nodes = parse_fragment("a(i) = b(i) + 1")
+        assert len(nodes) == 1
+        stmt = nodes[0]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.lhs, ArrayRef)
+
+    def test_scalar_assignment(self):
+        nodes = parse_fragment("t = a(k, j)")
+        assert isinstance(nodes[0].lhs, ScalarRef)
+
+    def test_do_enddo(self):
+        nodes = parse_fragment("do i = 1, n\n a(i) = 0\nenddo")
+        loop = nodes[0]
+        assert isinstance(loop, Loop)
+        assert loop.index == "i"
+        assert len(loop.body) == 1
+
+    def test_do_end_do_spaced(self):
+        nodes = parse_fragment("do i = 1, n\n a(i) = 0\nend do")
+        assert isinstance(nodes[0], Loop)
+
+    def test_do_with_step(self):
+        nodes = parse_fragment("do i = 1, n, 2\n a(i) = 0\nenddo")
+        assert nodes[0].step == 2
+
+    def test_do_negative_step(self):
+        nodes = parse_fragment("do i = n, 1, -1\n a(i) = 0\nenddo")
+        assert nodes[0].step == -1
+
+    def test_labeled_do_continue(self):
+        src = """
+      do 10 i = 1, n
+         a(i) = 0
+   10 continue
+"""
+        nodes = parse_fragment(src)
+        assert isinstance(nodes[0], Loop)
+        assert len(nodes[0].body) == 1
+
+    def test_shared_label_closes_both(self):
+        src = """
+      do 10 i = 1, n
+      do 10 j = 1, n
+         a(i, j) = 0
+   10 continue
+      b(1) = 1
+"""
+        nodes = parse_fragment(src)
+        assert len(nodes) == 2
+        outer = nodes[0]
+        assert isinstance(outer, Loop) and outer.index == "i"
+        inner = outer.body[0]
+        assert isinstance(inner, Loop) and inner.index == "j"
+
+    def test_labeled_assignment_closes_loop(self):
+        src = """
+      do 10 i = 1, n
+   10 a(i) = a(i) + 1
+      b(1) = 2
+"""
+        nodes = parse_fragment(src)
+        assert len(nodes) == 2
+        assert isinstance(nodes[0], Loop)
+        assert len(nodes[0].body) == 1
+
+    def test_block_if(self):
+        src = """
+if (x .gt. 0) then
+   a(i) = 1
+endif
+"""
+        nodes = parse_fragment(src)
+        cond = nodes[0]
+        assert isinstance(cond, Conditional)
+        assert len(cond.body) == 1
+
+    def test_if_else(self):
+        src = """
+if (x .gt. 0) then
+   a(i) = 1
+else
+   a(i) = 2
+endif
+"""
+        nodes = parse_fragment(src)
+        assert len(nodes) == 2
+        assert all(isinstance(n, Conditional) for n in nodes)
+
+    def test_logical_if(self):
+        nodes = parse_fragment("if (x .lt. 0) a(i) = 0")
+        cond = nodes[0]
+        assert isinstance(cond, Conditional)
+        assert isinstance(cond.body[0], Assign)
+
+    def test_declarations_skipped(self):
+        src = """
+      integer n, i
+      real a(100)
+      dimension b(10)
+      a(1) = 0
+"""
+        nodes = parse_fragment(src)
+        assert len(nodes) == 1
+
+    def test_io_and_calls_skipped(self):
+        src = """
+      call foo(a, b)
+      write(6, 100) x
+      goto 20
+      a(1) = 0
+"""
+        nodes = parse_fragment(src)
+        assert len(nodes) == 1
+
+    def test_do_while_rejected(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_fragment("do while (x .gt. 0)\n x = x - 1\nenddo")
+
+    def test_unclosed_loop_raises(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_fragment("do i = 1, n\n a(i) = 0")
+
+    def test_mismatched_close_raises(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_fragment("do i = 1, n\n a(i) = 0\nendif")
+
+    def test_non_constant_step_raises(self):
+        with pytest.raises(FortranSyntaxError):
+            parse_fragment("do i = 1, n, k\n a(i) = 0\nenddo")
+
+
+class TestPrograms:
+    def test_multiple_units(self):
+        src = """
+      subroutine one(a, n)
+      real a(n)
+      do 10 i = 1, n
+         a(i) = 0
+   10 continue
+      end
+      subroutine two(b)
+      b(1) = 1
+      end
+"""
+        program = parse_program(src, name="test")
+        assert len(program.routines) == 2
+        assert program.routines[0].name == "one"
+        assert program.routines[1].name == "two"
+
+    def test_typed_function_header(self):
+        src = """
+      real function f(x)
+      f = x
+      end
+"""
+        program = parse_program(src)
+        assert program.routines[0].name == "f"
+
+    def test_bare_fragment_is_one_routine(self):
+        program = parse_program("a(1) = 2")
+        assert len(program.routines) == 1
+
+    def test_source_lines_counted(self):
+        src = """
+      subroutine one(a)
+      a(1) = 0
+      a(2) = 0
+      end
+"""
+        program = parse_program(src)
+        assert program.routines[0].source_lines >= 3
+
+    def test_suite_recorded(self):
+        program = parse_program("a(1) = 2", suite="spec")
+        assert program.suite == "spec"

@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.symbolic.ranges."""
+
+from fractions import Fraction
+
+from hypothesis import given, strategies as st
+
+from repro.symbolic.ranges import (
+    Interval,
+    NEG_INF,
+    POS_INF,
+    ceil_div,
+    ceil_frac,
+    floor_div,
+    floor_frac,
+    is_finite,
+)
+
+
+class TestDivisionHelpers:
+    @given(st.integers(-50, 50), st.integers(-10, 10).filter(bool))
+    def test_floor_ceil_div(self, a, b):
+        exact = Fraction(a, b)
+        q = floor_div(a, b)
+        r = ceil_div(a, b)
+        assert q <= exact < q + 1
+        assert r - 1 < exact <= r
+
+    def test_negative_divisor(self):
+        assert floor_div(7, -2) == -4
+        assert ceil_div(7, -2) == -3
+
+    def test_frac_rounding(self):
+        assert floor_frac(Fraction(7, 2)) == 3
+        assert ceil_frac(Fraction(7, 2)) == 4
+        assert floor_frac(Fraction(-7, 2)) == -4
+        assert ceil_frac(Fraction(-7, 2)) == -3
+        assert floor_frac(5) == ceil_frac(5) == 5
+
+
+class TestIntervalBasics:
+    def test_point(self):
+        p = Interval.point(3)
+        assert p.contains(3) and not p.contains(4)
+        assert p.integer_width() == 1
+
+    def test_empty(self):
+        assert Interval.empty().is_empty()
+        assert not Interval.empty().contains(0)
+        assert Interval.empty().integer_width() == 0
+
+    def test_unbounded(self):
+        u = Interval.unbounded()
+        assert u.contains(10**12) and u.contains(-(10**12))
+        assert not u.is_bounded()
+        assert u.integer_width() is None
+        assert u.contains_integer()
+
+    def test_is_finite(self):
+        assert is_finite(3) and is_finite(Fraction(1, 2))
+        assert not is_finite(POS_INF) and not is_finite(NEG_INF)
+
+    def test_contains_integer_fractional(self):
+        assert not Interval(Fraction(1, 3), Fraction(2, 3)).contains_integer()
+        assert Interval(Fraction(1, 2), Fraction(3, 2)).contains_integer()
+
+
+class TestIntervalArithmetic:
+    def test_add(self):
+        assert Interval(1, 2) + Interval(10, 20) == Interval(11, 22)
+
+    def test_neg_sub(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+        assert Interval(5, 6) - Interval(1, 2) == Interval(3, 5)
+
+    def test_scale_negative_flips(self):
+        assert Interval(1, 2).scale(-3) == Interval(-6, -3)
+
+    def test_scale_zero_of_infinite(self):
+        assert Interval(NEG_INF, POS_INF).scale(0) == Interval(0, 0)
+
+    def test_scale_infinite(self):
+        assert Interval(1, POS_INF).scale(2) == Interval(2, POS_INF)
+        assert Interval(1, POS_INF).scale(-1) == Interval(NEG_INF, -1)
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(10) == Interval(11, 12)
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+        assert Interval(1, 2).intersect(Interval(3, 4)).is_empty()
+
+    def test_hull(self):
+        assert Interval(1, 2).hull(Interval(5, 6)) == Interval(1, 6)
+        assert Interval.empty().hull(Interval(1, 2)) == Interval(1, 2)
+
+    def test_empty_propagates(self):
+        assert (Interval.empty() + Interval(1, 2)).is_empty()
+        assert Interval.empty().scale(2).is_empty()
+
+
+intervals = st.builds(
+    lambda a, w: Interval(a, a + w), st.integers(-20, 20), st.integers(0, 10)
+)
+
+
+class TestIntervalProperties:
+    @given(intervals, intervals)
+    def test_add_is_minkowski_sum(self, a, b):
+        total = a + b
+        for x in (a.lo, a.hi):
+            for y in (b.lo, b.hi):
+                assert total.contains(x + y)
+
+    @given(intervals, st.integers(-5, 5))
+    def test_scale_contains_scaled_points(self, iv, k):
+        scaled = iv.scale(k)
+        assert scaled.contains(iv.lo * k)
+        assert scaled.contains(iv.hi * k)
+
+    @given(intervals, intervals)
+    def test_intersect_subset_of_both(self, a, b):
+        meet = a.intersect(b)
+        if not meet.is_empty():
+            assert a.contains(meet.lo) and b.contains(meet.lo)
+            assert a.contains(meet.hi) and b.contains(meet.hi)
+
+    @given(intervals, intervals)
+    def test_hull_superset_of_both(self, a, b):
+        join = a.hull(b)
+        assert join.contains(a.lo) and join.contains(b.hi)

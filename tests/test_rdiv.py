@@ -1,0 +1,73 @@
+"""Unit and oracle tests for the RDIV test (Section 4.4)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites
+from repro.single.rdiv import rdiv_test
+
+from tests.helpers import pair_context
+from tests.oracle import brute_force_dependent
+
+
+def rdiv_fixture(write_sub, read_sub, i_hi=10, j_hi=10):
+    src = (
+        f"do i = 1, {i_hi}\n do j = 1, {j_hi}\n"
+        f"  a({write_sub}) = a({read_sub})\n enddo\nenddo"
+    )
+    ctx = pair_context(src, "a")
+    return ctx, ctx.subscripts[0], src
+
+
+class TestRDIV:
+    def test_overlapping_ranges_dependent(self):
+        ctx, pair, _ = rdiv_fixture("i", "j")
+        outcome = rdiv_test(pair, ctx)
+        assert outcome.applicable and not outcome.independent
+
+    def test_disjoint_offsets_independent(self):
+        # i + 20 can never equal j with both in [1, 10]
+        ctx, pair, _ = rdiv_fixture("i+20", "j")
+        outcome = rdiv_test(pair, ctx)
+        assert outcome.independent and outcome.exact
+
+    def test_different_bounds_used(self):
+        # i in [1, 5]; j + 5 in [6, 15]: disjoint.
+        ctx, pair, _ = rdiv_fixture("i", "j+5", i_hi=5, j_hi=10)
+        outcome = rdiv_test(pair, ctx)
+        assert outcome.independent
+
+    def test_parity_conflict_independent(self):
+        ctx, pair, _ = rdiv_fixture("2*i", "2*j+1")
+        outcome = rdiv_test(pair, ctx)
+        assert outcome.independent
+
+    def test_not_applicable_for_siv(self):
+        src = "do i = 1, 10\n a(i) = a(i+1)\nenddo"
+        ctx = pair_context(src, "a")
+        assert not rdiv_test(ctx.subscripts[0], ctx).applicable
+
+    def test_symbolic_constant_not_applicable(self):
+        ctx, pair, _ = rdiv_fixture("i+n", "j")
+        assert not rdiv_test(pair, ctx).applicable
+
+    @given(
+        st.integers(-2, 2).filter(bool),
+        st.integers(-6, 6),
+        st.integers(-2, 2).filter(bool),
+        st.integers(-6, 6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, a1, c1, a2, c2):
+        write_sub = f"{a1}*i + {c1}"
+        read_sub = f"{a2}*j + {c2}"
+        ctx, pair, src = rdiv_fixture(write_sub, read_sub, 6, 6)
+        outcome = rdiv_test(pair, ctx)
+        assert outcome.applicable
+        sites = [
+            s
+            for s in collect_access_sites(parse_fragment(src))
+            if s.ref.array == "a"
+        ]
+        truth = brute_force_dependent(sites[0], sites[1])
+        assert outcome.independent == (not truth), (write_sub, read_sub)

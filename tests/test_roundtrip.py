@@ -1,0 +1,53 @@
+"""Round-trip and structural property tests for the front end and IR."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.generator import random_nest
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites, format_body, loops_in
+from repro.ir.normalize import normalize_steps
+
+from tests.test_normalize import touched_cells
+
+
+class TestFormatParseRoundTrip:
+    @given(st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_format_is_reparseable_fixpoint(self, seed):
+        """format_body output parses back to structurally identical IR."""
+        nodes = random_nest(seed, depth=2, statements=3)
+        text = format_body(nodes)
+        reparsed = parse_fragment(text)
+        assert format_body(reparsed) == text
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_sites(self, seed):
+        nodes = random_nest(seed, depth=2, statements=3)
+        reparsed = parse_fragment(format_body(nodes))
+        original_sites = [
+            (s.ref.array, s.is_write, s.indices)
+            for s in collect_access_sites(nodes)
+        ]
+        reparsed_sites = [
+            (s.ref.array, s.is_write, s.indices)
+            for s in collect_access_sites(reparsed)
+        ]
+        assert original_sites == reparsed_sites
+
+
+class TestNormalizeProperty:
+    @given(
+        st.integers(-10, 10),
+        st.integers(0, 20),
+        st.sampled_from([-3, -2, -1, 1, 2, 3]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_random_strides_touch_same_cells(self, lo, width, step):
+        hi = lo + width
+        first, last = (lo, hi) if step > 0 else (hi, lo)
+        src = f"do i = {first}, {last}, {step}\n a(2*i+1) = 0\nenddo"
+        nodes = parse_fragment(src)
+        normalized = normalize_steps(nodes)
+        assert touched_cells(nodes, {}) == touched_cells(normalized, {})
+        assert all(l.step == 1 for l in loops_in(normalized))

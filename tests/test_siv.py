@@ -1,0 +1,256 @@
+"""Unit and oracle tests for the SIV tests (Section 4.2).
+
+The exhaustive classes at the bottom compare every special-case test
+against brute-force enumeration over small concrete loops: verdicts,
+direction sets, and exactness must all match.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.classify.pairs import PairContext
+from repro.classify.subscript import SubscriptKind, classify, siv_shape
+from repro.dirvec.direction import Direction
+from repro.fortran.parser import parse_fragment
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import collect_access_sites
+from repro.single.siv import (
+    exact_siv_test,
+    siv_test,
+    strong_siv_test,
+    weak_crossing_siv_test,
+    weak_zero_siv_test,
+)
+
+from tests.helpers import pair_context
+from tests.oracle import brute_force_vectors
+
+
+def siv_fixture(write_sub, read_sub, lo=1, hi=10):
+    """Context + pair for ``a(write_sub) = a(read_sub)`` over one loop.
+
+    The pair is (read as source, write as sink) per execution order.
+    """
+    src = f"do i = {lo}, {hi}\n a({write_sub}) = a({read_sub})\nenddo"
+    ctx = pair_context(src, "a")
+    return ctx, ctx.subscripts[0]
+
+
+def oracle_directions(write_sub, read_sub, lo=1, hi=10):
+    src = f"do i = {lo}, {hi}\n a({write_sub}) = a({read_sub})\nenddo"
+    sites = [s for s in collect_access_sites(parse_fragment(src)) if s.ref.array == "a"]
+    return brute_force_vectors(sites[0], sites[1])
+
+
+class TestStrongSIV:
+    def test_distance_within_bounds(self):
+        ctx, pair = siv_fixture("i+1", "i")
+        shape = siv_shape(pair, ctx, "i")
+        outcome = strong_siv_test(shape, ctx)
+        assert not outcome.independent
+        assert outcome.exact
+        # source is the read a(i); sink the write a(i+1): i' = i - 1 -> d=-1?
+        constraint = outcome.constraints["i"]
+        assert constraint.distance == -1
+        assert constraint.directions == frozenset((Direction.GT,))
+
+    def test_non_integer_distance_independent(self):
+        ctx, pair = siv_fixture("2*i", "2*i+1")
+        outcome = strong_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent and outcome.exact
+
+    def test_distance_exceeds_bounds_independent(self):
+        ctx, pair = siv_fixture("i+20", "i", 1, 10)
+        outcome = strong_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_symbolic_bound_conservative(self):
+        src = "do i = 1, n\n a(i+20) = a(i)\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = strong_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert not outcome.independent  # n unknown: distance 20 may fit
+
+    def test_symbolic_distance(self):
+        src = "do i = 1, 10\n a(i+n) = a(i)\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = strong_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert not outcome.independent
+        assert "i" in outcome.constraints
+
+    def test_symbolic_distance_with_range_independent(self):
+        symbols = SymbolEnv().assume("n", lo=50)
+        src = "do i = 1, 10\n a(i+n) = a(i)\nenddo"
+        ctx = pair_context(src, "a", symbols)
+        outcome = strong_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_not_applicable_for_weak(self):
+        ctx, pair = siv_fixture("2*i", "i")
+        outcome = strong_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.applicable
+
+    def test_non_divisible_symbolic_sign(self):
+        # distance = n/2 (not divisible): directions from the interval of n.
+        symbols = SymbolEnv().assume("n", lo=2, hi=8)
+        src = "do i = 1, 100\n a(2*i+n) = a(2*i)\nenddo"
+        ctx = pair_context(src, "a", symbols)
+        outcome = strong_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert not outcome.independent
+        # source read a(2i), sink write a(2i+n): i' = i - n/2 < i: only GT
+        assert outcome.constraints["i"].directions == frozenset((Direction.GT,))
+
+
+class TestWeakZeroSIV:
+    def test_in_range_dependent(self):
+        ctx, pair = siv_fixture("i", "1")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.independent and outcome.exact
+        assert outcome.notes["boundary"] == "first"
+
+    def test_out_of_range_independent(self):
+        ctx, pair = siv_fixture("i", "20")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent and outcome.exact
+
+    def test_non_integer_independent(self):
+        ctx, pair = siv_fixture("2*i", "5")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_last_iteration_boundary(self):
+        ctx, pair = siv_fixture("i", "10")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.notes["boundary"] == "last"
+
+    def test_interior_no_boundary_note(self):
+        ctx, pair = siv_fixture("i", "5")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert "boundary" not in outcome.notes
+
+    def test_symbolic_target_conservative(self):
+        src = "do i = 1, 10\n a(i) = a(n)\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = weak_zero_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert not outcome.independent
+
+    def test_symbolic_target_out_of_range(self):
+        symbols = SymbolEnv().assume("n", lo=100)
+        src = "do i = 1, 10\n a(i) = a(n)\nenddo"
+        ctx = pair_context(src, "a", symbols)
+        outcome = weak_zero_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_not_applicable_both_nonzero(self):
+        ctx, pair = siv_fixture("i", "i+1")
+        outcome = weak_zero_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.applicable
+
+
+class TestWeakCrossingSIV:
+    def test_paper_cdl_example(self):
+        # a(i) = a(n-i+1) with n concrete (= 10): crossing at (N+1)/2.
+        ctx, pair = siv_fixture("i", "11-i", 1, 10)
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.independent and outcome.exact
+        assert outcome.notes["crossing_sum"] == 11
+
+    def test_out_of_range_independent(self):
+        ctx, pair = siv_fixture("i", "-i+100", 1, 10)
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_non_half_integer_independent(self):
+        ctx, pair = siv_fixture("2*i", "-2*i+5", 1, 10)
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_even_sum_includes_eq(self):
+        ctx, pair = siv_fixture("i", "-i+10", 1, 10)
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert Direction.EQ in outcome.constraints["i"].directions
+
+    def test_odd_sum_excludes_eq(self):
+        ctx, pair = siv_fixture("i", "-i+11", 1, 10)
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert Direction.EQ not in outcome.constraints["i"].directions
+
+    def test_not_applicable_same_sign(self):
+        ctx, pair = siv_fixture("i", "i+1")
+        outcome = weak_crossing_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.applicable
+
+
+class TestExactSIV:
+    def test_general_dependent(self):
+        ctx, pair = siv_fixture("2*i", "i+5", 1, 10)
+        outcome = exact_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert not outcome.independent and outcome.exact
+
+    def test_general_independent(self):
+        # 4i vs 2i+1: parity conflict
+        ctx, pair = siv_fixture("4*i", "2*i+1", 1, 10)
+        outcome = exact_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_bounds_sensitive(self):
+        # 2i = i + 100 -> i = 100, outside [1, 10]
+        ctx, pair = siv_fixture("2*i", "i+100", 1, 10)
+        outcome = exact_siv_test(siv_shape(pair, ctx, "i"), ctx)
+        assert outcome.independent
+
+    def test_symbolic_not_applicable(self):
+        src = "do i = 1, 10\n a(2*i) = a(i+n)\nenddo"
+        ctx = pair_context(src, "a")
+        outcome = exact_siv_test(siv_shape(ctx.subscripts[0], ctx, "i"), ctx)
+        assert not outcome.applicable
+
+
+class TestDispatch:
+    def test_dispatches_each_kind(self):
+        cases = {
+            "strong-siv": ("i+1", "i"),
+            "weak-zero-siv": ("i", "1"),
+            "weak-crossing-siv": ("i", "-i+5"),
+            "exact-siv": ("2*i", "i+1"),
+        }
+        for expected, (w, r) in cases.items():
+            ctx, pair = siv_fixture(w, r)
+            outcome = siv_test(pair, ctx)
+            assert outcome.test == expected, (w, r)
+
+    def test_not_applicable_for_miv(self):
+        src = "do i=1,5\n do j=1,5\n a(i+j) = a(i+j)\n enddo\nenddo"
+        ctx = pair_context(src, "a")
+        assert not siv_test(ctx.subscripts[0], ctx).applicable
+
+
+coeffs = st.integers(-3, 3)
+consts = st.integers(-8, 8)
+
+
+class TestOracleExhaustive:
+    """Every SIV verdict must match brute force on concrete loops."""
+
+    @given(coeffs, consts, coeffs, consts)
+    @settings(max_examples=300, deadline=None)
+    def test_siv_matches_brute_force(self, a1, c1, a2, c2):
+        write_sub = f"{a1}*i + {c1}" if a1 else str(c1)
+        read_sub = f"{a2}*i + {c2}" if a2 else str(c2)
+        if a1 == 0 and a2 == 0:
+            return  # ZIV, not SIV
+        ctx, pair = siv_fixture(write_sub, read_sub, 1, 8)
+        kind = classify(pair, ctx)
+        assert kind.is_siv
+        outcome = siv_test(pair, ctx)
+        truth = oracle_directions(write_sub, read_sub, 1, 8)
+        if outcome.independent:
+            assert not truth, (write_sub, read_sub)
+        else:
+            assert truth or not outcome.exact, (write_sub, read_sub)
+            reported = outcome.constraints["i"].directions
+            actual = {v[0] for v in truth}
+            assert actual <= reported, (write_sub, read_sub)
+            if outcome.exact:
+                assert actual == reported, (write_sub, read_sub)

@@ -1,0 +1,167 @@
+"""Tests for the empirical study harness: Tables 1-3 and the comparisons."""
+
+import pytest
+
+from repro.classify.subscript import SubscriptKind
+from repro.corpus.loader import default_symbols, load_program
+from repro.study.stats import collect_program_stats, suite_totals
+from repro.study.tablefmt import render_table
+from repro.study.tables import (
+    corpus_stats,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def linpack_stats():
+    return corpus_stats(["linpack"])
+
+
+@pytest.fixture(scope="module")
+def eispack_table3():
+    return table3(["eispack"])
+
+
+class TestProgramStats:
+    def test_dgefa_shape(self):
+        symbols = default_symbols()
+        program = load_program("linpack", "dgefa")
+        stats = collect_program_stats(program, symbols)
+        assert stats.pairs_tested > 0
+        assert stats.dimension_histogram[2] > 0
+        assert stats.kind_counts[SubscriptKind.SIV_STRONG] > 0
+
+    def test_nonlinear_counted(self):
+        symbols = default_symbols()
+        program = load_program("perfect", "trfd")
+        stats = collect_program_stats(program, symbols)
+        assert stats.nonlinear > 0
+
+    def test_totals_merge(self):
+        symbols = default_symbols()
+        programs = [
+            collect_program_stats(load_program("linpack", name), symbols)
+            for name in ("daxpy", "dgefa")
+        ]
+        total = suite_totals(programs, "linpack")
+        assert total.pairs_tested == sum(p.pairs_tested for p in programs)
+        assert total.lines == sum(p.lines for p in programs)
+
+    def test_consistency_partition_counts(self, linpack_stats):
+        for stats in linpack_stats["linpack"]:
+            assert (
+                stats.separable + stats.coupled + stats.nonlinear
+                == stats.total_subscripts
+            )
+
+
+class TestTables:
+    def test_table1_rows_include_totals(self, linpack_stats):
+        rows = table1(linpack_stats)
+        names = [r.name for r in rows]
+        assert "TOTAL" in names
+
+    def test_table2_totals_match_table1(self, linpack_stats):
+        rows = table2(linpack_stats)
+        total_row = rows[0]
+        table1_total = suite_totals(linpack_stats["linpack"], "linpack")
+        assert total_row.total() == table1_total.total_subscripts
+
+    def test_table3_counts(self, eispack_table3):
+        row = eispack_table3[0]
+        assert row.suite == "eispack"
+        assert row.pairs_tested > 0
+        # the paper's claim: the Delta test fires on eispack's coupled refs
+        assert row.recorder.applications["delta"] > 0
+        # and independences are proved
+        assert row.pairs_independent > 0
+
+    def test_independences_bounded_by_applications(self, eispack_table3):
+        recorder = eispack_table3[0].recorder
+        for name, independences in recorder.independences.items():
+            assert independences <= recorder.applications[name]
+
+    def test_renderers_produce_text(self, linpack_stats):
+        assert "Table 1" in render_table1(table1(linpack_stats))
+        assert "Table 2" in render_table2(table2(linpack_stats))
+
+    def test_render_table3_smoke(self, eispack_table3):
+        text = render_table3(eispack_table3)
+        assert "eispack" in text
+
+
+class TestHeadlineClaims:
+    def test_strong_siv_dominates(self):
+        """Paper: most subscripts are ZIV or strong SIV."""
+        stats = corpus_stats()
+        total = suite_totals(
+            [s for rows in stats.values() for s in rows], "all"
+        )
+        simple = (
+            total.kind_counts[SubscriptKind.ZIV]
+            + total.kind_counts[SubscriptKind.SIV_STRONG]
+        )
+        assert simple > total.total_subscripts / 2
+
+    def test_most_pairs_low_dimensional(self):
+        """Paper: tested reference pairs are overwhelmingly 1-D or 2-D."""
+        stats = corpus_stats()
+        total = suite_totals(
+            [s for rows in stats.values() for s in rows], "all"
+        )
+        low = total.dimension_histogram[1] + total.dimension_histogram[2]
+        assert low >= 0.9 * total.pairs_tested
+
+    def test_delta_beats_subscript_by_subscript_on_eispack(self):
+        """Paper Section 7.4: multiple-subscript testing proves more coupled
+        independences than subscript-by-subscript testing on eispack."""
+        from repro.baselines.subscript_by_subscript import (
+            test_dependence_subscript_by_subscript,
+        )
+        from repro.corpus.loader import load_suite
+        from repro.graph.depgraph import build_dependence_graph
+
+        symbols = default_symbols()
+        delta_count = sxs_count = 0
+        for program in load_suite("eispack"):
+            for routine in program.routines:
+                graph = build_dependence_graph(routine.body, symbols=symbols)
+                delta_count += graph.independent_pairs
+                baseline = build_dependence_graph(
+                    routine.body,
+                    symbols=symbols,
+                    tester=test_dependence_subscript_by_subscript,
+                )
+                sxs_count += baseline.independent_pairs
+        assert delta_count > sxs_count
+
+
+class TestTableFmt:
+    def test_alignment(self):
+        text = render_table(("name", "value"), [("a", 1), ("long-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines[0:1])) == 1
+
+    def test_title(self):
+        text = render_table(("h",), [("x",)], title="My Table")
+        assert text.startswith("My Table\n========")
+
+
+class TestVectorSummary:
+    def test_summary_shape(self):
+        from repro.study.vectorstats import render_vector_summary, vector_summary
+
+        rows = vector_summary(["linpack"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.loops > 0
+        assert 0 <= row.parallel_loops <= row.loops
+        assert row.vector_statements <= row.statements
+        text = render_vector_summary(rows)
+        assert "linpack" in text

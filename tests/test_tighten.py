@@ -1,0 +1,118 @@
+"""Tests for FME-style range tightening in the Delta test (Section 5.3)."""
+
+from repro.classify.pairs import PairContext
+from repro.classify.partition import coupled_groups, partition_subscripts
+from repro.delta.constraints import DistanceConstraint, LineConstraint, PointConstraint
+from repro.delta.delta import DeltaOptions, delta_test
+from repro.delta.tighten import integerize, ranges_from_constraint, tighten_ranges
+from repro.fortran.parser import parse_fragment
+from repro.ir.loop import collect_access_sites
+from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.ranges import Interval
+
+from tests.helpers import pair_context
+from tests.oracle import brute_force_vectors
+
+
+def const(value):
+    return LinearExpr.constant(value)
+
+
+class TestRangeProjection:
+    def test_integerize(self):
+        from fractions import Fraction
+
+        iv = Interval(Fraction(1, 2), Fraction(7, 2))
+        assert integerize(iv) == Interval(1, 3)
+        assert integerize(Interval(1, 5)) == Interval(1, 5)
+
+    def test_distance_projects_both_ways(self):
+        ctx = pair_context("do i = 1, 10\n a(i, i) = a(i, i)\nenddo", "a")
+        overrides = ranges_from_constraint(
+            "i", DistanceConstraint(const(3)), ctx, {}
+        )
+        assert overrides["i'"] == Interval(4, 13)
+        assert overrides["i"] == Interval(-2, 7)
+
+    def test_pinning_line(self):
+        ctx = pair_context("do i = 1, 10\n a(i, i) = a(i, i)\nenddo", "a")
+        overrides = ranges_from_constraint(
+            "i", LineConstraint(2, 0, const(6)), ctx, {}
+        )
+        assert overrides["i"] == Interval(3, 3)
+
+    def test_general_line_projects(self):
+        # i + i' = 8 with i' in [1, 10] -> i in [-2, 7]
+        ctx = pair_context("do i = 1, 10\n a(i, i) = a(i, i)\nenddo", "a")
+        overrides = ranges_from_constraint(
+            "i", LineConstraint(1, 1, const(8)), ctx, {}
+        )
+        assert overrides["i"] == Interval(-2, 7)
+
+    def test_point_constraint(self):
+        ctx = pair_context("do i = 1, 10\n a(i, i) = a(i, i)\nenddo", "a")
+        overrides = ranges_from_constraint(
+            "i", PointConstraint(const(2), const(5)), ctx, {}
+        )
+        assert overrides["i"] == Interval.point(2)
+        assert overrides["i'"] == Interval.point(5)
+
+    def test_fixpoint_composition(self):
+        ctx = pair_context("do i = 1, 10\n a(i, i) = a(i, i)\nenddo", "a")
+        overrides = tighten_ranges(
+            {"i": DistanceConstraint(const(6))}, ctx
+        )
+        # i' = i + 6 with both in [1, 10]: i in [1, 4], i' in [7, 10]
+        assert overrides["i"].intersect(Interval(1, 10)) == Interval(1, 4)
+        assert overrides["i'"].intersect(Interval(1, 10)) == Interval(7, 10)
+
+
+def group_of(src):
+    sites = [
+        s for s in collect_access_sites(parse_fragment(src)) if s.ref.array == "a"
+    ]
+    ctx = PairContext(sites[0], sites[1])
+    groups = coupled_groups(partition_subscripts(ctx.subscripts, ctx))
+    return ctx, groups[0].pairs, sites
+
+
+class TestTighteningPrecision:
+    SRC = (
+        "do i = 1, 5\n do j = 1, 4\n"
+        "  a(i, i + j) = a(5, j)\n"
+        " enddo\nenddo"
+    )
+
+    def test_ground_truth_independent(self):
+        _, _, sites = group_of(self.SRC)
+        assert not brute_force_vectors(sites[0], sites[1])
+
+    def test_tightening_proves_independence(self):
+        ctx, pairs, _ = group_of(self.SRC)
+        outcome = delta_test(pairs, ctx, options=DeltaOptions(tighten=True))
+        assert outcome.independent
+
+    def test_tightening_alone_suffices(self):
+        """With substitution off, range tightening still pins the sink
+        occurrence and lets Banerjee refute the MIV subscript."""
+        ctx, pairs, _ = group_of(self.SRC)
+        outcome = delta_test(
+            pairs, ctx, options=DeltaOptions(propagate=False, tighten=True)
+        )
+        assert outcome.independent
+
+    def test_without_either_conservative(self):
+        ctx, pairs, _ = group_of(self.SRC)
+        outcome = delta_test(
+            pairs, ctx, options=DeltaOptions(propagate=False, tighten=False)
+        )
+        assert not outcome.independent
+
+    def test_empty_tightened_range_is_independence(self):
+        # distance 20 in a 10-iteration loop: projection empties the range
+        # (the strong SIV test also catches this; tightening must agree).
+        ctx, pairs, _ = group_of(
+            "do i = 1, 10\n a(i + 20, i) = a(i, i)\nenddo"
+        )
+        outcome = delta_test(pairs, ctx)
+        assert outcome.independent

@@ -1,0 +1,148 @@
+"""Unit tests for the transformation-legality consumers."""
+
+from repro.fortran.parser import parse_fragment
+from repro.graph.depgraph import build_dependence_graph
+from repro.ir.loop import loops_in
+from repro.transform.interchange import check_interchange, interchange_legal
+from repro.transform.parallel import find_parallel_loops, parallel_loop_count
+from repro.transform.peel import find_peeling_opportunities
+from repro.transform.split import find_splitting_opportunities
+
+
+class TestParallelDetection:
+    def test_doall_loop(self):
+        verdicts = find_parallel_loops(
+            parse_fragment("do i = 1, 9\n a(i) = b(i)\nenddo")
+        )
+        assert len(verdicts) == 1 and verdicts[0].parallel
+
+    def test_recurrence_serial(self):
+        verdicts = find_parallel_loops(
+            parse_fragment("do i = 2, 9\n a(i) = a(i-1)\nenddo")
+        )
+        assert not verdicts[0].parallel
+        assert verdicts[0].blocking_edges
+
+    def test_wavefront_inner_parallel(self):
+        # paper's Livermore example: both loops carry a dependence
+        src = (
+            "do i = 2, 9\n do j = 2, 9\n"
+            "  a(i, j) = a(i-1, j) + a(i, j-1)\n enddo\nenddo"
+        )
+        verdicts = find_parallel_loops(parse_fragment(src))
+        assert [v.parallel for v in verdicts] == [False, False]
+
+    def test_outer_carried_inner_parallel(self):
+        src = "do i = 2, 9\n do j = 1, 9\n a(i, j) = a(i-1, j)\n enddo\nenddo"
+        verdicts = find_parallel_loops(parse_fragment(src))
+        by_index = {v.loop.index: v.parallel for v in verdicts}
+        assert by_index == {"i": False, "j": True}
+
+    def test_parallel_count(self):
+        src = "do i = 1, 9\n a(i) = b(i)\nenddo\ndo k = 2, 9\n c(k) = c(k-1)\nenddo"
+        assert parallel_loop_count(parse_fragment(src)) == 1
+
+
+class TestInterchange:
+    def test_legal_for_stencil(self):
+        # distances (1, 0) and (0, 1): no (<, >) vector
+        src = (
+            "do i = 2, 9\n do j = 2, 9\n"
+            "  a(i, j) = a(i-1, j) + a(i, j-1)\n enddo\nenddo"
+        )
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        verdict = check_interchange(nodes, loops[0], loops[1])
+        assert verdict.legal
+
+    def test_illegal_skewed(self):
+        # a(i, j) = a(i-1, j+1): distance (1, -1) -> direction (<, >)
+        src = "do i = 2, 9\n do j = 1, 8\n a(i, j) = a(i-1, j+1)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        verdict = check_interchange(nodes, loops[0], loops[1])
+        assert not verdict.legal
+        assert verdict.violations
+
+    def test_unrelated_loops_ignored(self):
+        src = (
+            "do i = 2, 9\n a(i) = a(i-1)\nenddo\n"
+            "do k = 1, 9\n do l = 1, 9\n b(k, l) = b(k, l)\n enddo\nenddo"
+        )
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        graph = build_dependence_graph(nodes)
+        verdict = interchange_legal(graph, loops[1], loops[2])
+        assert verdict.legal
+
+
+class TestPeeling:
+    def test_first_iteration_peel(self):
+        # the paper's tomcatv shape: use of a(1) pins a dependence to i=1
+        src = "do i = 1, 9\n b(i) = a(1)\n a(i) = c(i)\nenddo"
+        suggestions = find_peeling_opportunities(parse_fragment(src))
+        assert suggestions
+        assert suggestions[0].which == "first"
+        assert suggestions[0].iteration == 1
+
+    def test_last_iteration_peel(self):
+        src = "do i = 1, 9\n b(i) = a(9)\n a(i) = c(i)\nenddo"
+        suggestions = find_peeling_opportunities(parse_fragment(src))
+        assert any(s.which == "last" for s in suggestions)
+
+    def test_no_peel_for_interior(self):
+        src = "do i = 1, 9\n b(i) = a(5)\n a(i) = c(i)\nenddo"
+        suggestions = find_peeling_opportunities(parse_fragment(src))
+        assert not suggestions
+
+
+class TestSplitting:
+    def test_crossing_split(self):
+        # the paper's CDL example: a(i) = a(n-i+1) with n = 10
+        src = "do i = 1, 10\n a(i) = a(11-i)\nenddo"
+        suggestions = find_splitting_opportunities(parse_fragment(src))
+        assert suggestions
+        from fractions import Fraction
+
+        assert suggestions[0].crossing_iteration == Fraction(11, 2)
+
+    def test_no_split_without_crossing(self):
+        src = "do i = 1, 10\n a(i) = a(i-1)\nenddo"
+        assert not find_splitting_opportunities(parse_fragment(src))
+
+
+class TestInterchangeAdvice:
+    def test_profitable_swap(self):
+        # inner j carries the dependence, outer i is free: swap pays off.
+        src = "do i = 1, 9\n do j = 2, 9\n a(i, j) = a(i, j-1)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        graph = build_dependence_graph(nodes)
+        from repro.transform.interchange import interchange_advice
+
+        advice = interchange_advice(graph, loops[0], loops[1])
+        assert advice.verdict.legal
+        assert advice.profitable
+
+    def test_not_profitable_when_inner_free(self):
+        src = "do i = 2, 9\n do j = 1, 9\n a(i, j) = a(i-1, j)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        graph = build_dependence_graph(nodes)
+        from repro.transform.interchange import interchange_advice
+
+        advice = interchange_advice(graph, loops[0], loops[1])
+        assert advice.verdict.legal
+        assert not advice.profitable
+
+    def test_illegal_never_profitable(self):
+        src = "do i = 2, 9\n do j = 1, 8\n a(i, j) = a(i-1, j+1)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        loops = list(loops_in(nodes))
+        graph = build_dependence_graph(nodes)
+        from repro.transform.interchange import interchange_advice
+
+        advice = interchange_advice(graph, loops[0], loops[1])
+        assert not advice.verdict.legal
+        assert not advice.profitable
+        assert "illegal" in str(advice)

@@ -1,0 +1,97 @@
+"""Tests for Allen-Kennedy layered vectorization."""
+
+from repro.fortran.parser import parse_fragment
+from repro.transform.vectorize import vectorize
+
+
+def stmt_ids(nodes):
+    from repro.ir.loop import walk_nodes, Assign
+
+    return [s.stmt_id for _, s in walk_nodes(nodes) if isinstance(s, Assign)]
+
+
+class TestVectorize:
+    def test_fully_vectorizable(self):
+        nodes = parse_fragment("do i = 1, 9\n a(i) = b(i) + 1\nenddo")
+        report = vectorize(nodes)
+        assert report.vectorized == set(stmt_ids(nodes))
+        assert "FORALL" in report.text
+        assert "DO" not in report.text
+
+    def test_recurrence_serialized(self):
+        nodes = parse_fragment("do i = 2, 9\n a(i) = a(i-1)\nenddo")
+        report = vectorize(nodes)
+        assert report.serialized == set(stmt_ids(nodes))
+        assert "DO i" in report.text
+        assert "FORALL" not in report.text
+
+    def test_outer_recurrence_inner_vector(self):
+        src = "do i = 2, 9\n do j = 1, 9\n a(i, j) = a(i-1, j)\n enddo\nenddo"
+        nodes = parse_fragment(src)
+        report = vectorize(nodes)
+        # loop i serialized, statement vectorized over j
+        assert "DO i" in report.text
+        assert "FORALL (j" in report.text
+        assert report.vectorized == set(stmt_ids(nodes))
+
+    def test_loop_distribution(self):
+        """S1 feeds S2 across iterations: distribution orders S1's loop
+        before S2's, both vectorized."""
+        src = """
+do i = 2, 9
+  a(i) = b(i)
+  c(i) = a(i-1)
+enddo
+"""
+        nodes = parse_fragment(src)
+        report = vectorize(nodes)
+        ids = stmt_ids(nodes)
+        assert report.vectorized == set(ids)
+        first = report.text.index("a(i) = ")
+        second = report.text.index("c(i) = ")
+        assert first < second
+
+    def test_cycle_keeps_statements_together(self):
+        src = """
+do i = 2, 9
+  a(i) = b(i-1)
+  b(i) = a(i-1)
+enddo
+"""
+        nodes = parse_fragment(src)
+        report = vectorize(nodes)
+        assert report.serialized == set(stmt_ids(nodes))
+        assert report.text.count("DO i") == 1
+
+    def test_wavefront_all_serial(self):
+        src = (
+            "do i = 2, 9\n do j = 2, 9\n"
+            "  a(i, j) = a(i-1, j) + a(i, j-1)\n enddo\nenddo"
+        )
+        report = vectorize(parse_fragment(src))
+        assert "DO i" in report.text and "DO j" in report.text
+        assert not report.vectorized
+
+    def test_statements_outside_loops(self):
+        nodes = parse_fragment("a(1) = 2\nb(1) = a(1)")
+        report = vectorize(nodes)
+        assert "FORALL" not in report.text
+        assert len(report.lines) == 2
+
+    def test_mixed_depths(self):
+        src = """
+x(1) = 0
+do i = 1, 9
+  a(i) = x(1) + b(i)
+enddo
+"""
+        nodes = parse_fragment(src)
+        report = vectorize(nodes)
+        assert "x(1) = 0" in report.text
+        assert "FORALL (i" in report.text
+        # the definition of x(1) must precede its vectorized use
+        assert report.text.index("x(1) = 0") < report.text.index("FORALL")
+
+    def test_report_str(self):
+        report = vectorize(parse_fragment("do i=1,3\n a(i)=0\nenddo"))
+        assert str(report) == report.text

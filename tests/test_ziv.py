@@ -1,0 +1,62 @@
+"""Unit tests for the ZIV test (Section 4.1)."""
+
+from repro.ir.context import SymbolEnv
+from repro.single.ziv import ziv_test
+
+from tests.helpers import pair_context
+
+
+def run_ziv(src, symbols=None):
+    ctx = pair_context(src, "a", symbols)
+    return ziv_test(ctx.subscripts[0], ctx)
+
+
+class TestConstantZIV:
+    def test_distinct_constants_independent(self):
+        outcome = run_ziv("do i = 1, 10\n a(1) = a(2)\nenddo")
+        assert outcome.independent and outcome.exact
+
+    def test_equal_constants_dependent(self):
+        outcome = run_ziv("do i = 1, 10\n a(3) = a(3)\nenddo")
+        assert not outcome.independent
+        assert outcome.exact
+        assert not outcome.constraints  # no direction info from ZIV
+
+    def test_folded_expressions(self):
+        outcome = run_ziv("do i = 1, 10\n a(2+3) = a(10-5)\nenddo")
+        assert not outcome.independent
+
+
+class TestSymbolicZIV:
+    def test_cancelling_symbols_dependent(self):
+        outcome = run_ziv("do i = 1, 10\n a(n) = a(n)\nenddo")
+        assert not outcome.independent
+
+    def test_symbolic_difference_nonzero_independent(self):
+        # n+1 vs n+2 simplifies to the nonzero constant -1.
+        outcome = run_ziv("do i = 1, 10\n a(n+1) = a(n+2)\nenddo")
+        assert outcome.independent
+
+    def test_unknown_symbol_conservative(self):
+        # n vs m: could be equal for some values.
+        outcome = run_ziv("do i = 1, 10\n a(n) = a(m)\nenddo")
+        assert not outcome.independent
+        assert not outcome.exact
+
+    def test_symbol_range_proves_independence(self):
+        # a(n) vs a(0) with n >= 1: n - 0 can never be 0.
+        symbols = SymbolEnv().assume("n", lo=1)
+        outcome = run_ziv("do i = 1, 10\n a(n) = a(0)\nenddo", symbols)
+        assert outcome.independent
+
+    def test_scaled_symbol_difference(self):
+        # 2n vs 2n + 1
+        outcome = run_ziv("do i = 1, 10\n a(2*n) = a(2*n+1)\nenddo")
+        assert outcome.independent
+
+
+class TestApplicability:
+    def test_nonlinear_not_applicable(self):
+        ctx = pair_context("do i = 1, 10\n a(k(1)) = a(2)\nenddo", "a")
+        outcome = ziv_test(ctx.subscripts[0], ctx)
+        assert not outcome.applicable
