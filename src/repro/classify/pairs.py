@@ -117,6 +117,16 @@ class PairContext:
     # ------------------------------------------------------------------
 
     @property
+    def src_context(self) -> LoopContext:
+        """The source side's full loop context (all enclosing loops)."""
+        return self._src_ctx
+
+    @property
+    def sink_context(self) -> LoopContext:
+        """The sink side's full loop context (all enclosing loops)."""
+        return self._sink_ctx
+
+    @property
     def rank_mismatch(self) -> bool:
         """True when the two references have different dimensionality.
 
@@ -231,8 +241,23 @@ class PairContext:
         )
 
 
+#: Value-keyed linearization memo.  Expression trees are immutable and hash
+#: by value, so structurally equal subscripts (ubiquitous across the pairs
+#: of one routine) share a single ``to_linear`` walk.  Bounded and cleared
+#: wholesale like the loop-context cache — entries are cheap to rebuild.
+_LINEAR_CACHE: Dict[Expr, Optional[LinearExpr]] = {}
+_MISSING = object()
+
+
 def _linear_or_none(expr: Expr) -> Optional[LinearExpr]:
+    cached = _LINEAR_CACHE.get(expr, _MISSING)
+    if cached is not _MISSING:
+        return cached
     try:
-        return to_linear(expr)
+        linear: Optional[LinearExpr] = to_linear(expr)
     except NonlinearExpressionError:
-        return None
+        linear = None
+    if len(_LINEAR_CACHE) > 8192:
+        _LINEAR_CACHE.clear()
+    _LINEAR_CACHE[expr] = linear
+    return linear

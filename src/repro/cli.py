@@ -21,8 +21,8 @@ from repro.corpus.loader import (
     available_suites,
     default_symbols,
 )
+from repro.engine import DependenceEngine
 from repro.fortran.parser import parse_program
-from repro.graph.depgraph import build_dependence_graph
 from repro.instrument import TestRecorder
 from repro.ir.normalize import normalize_program
 from repro.transform.parallel import find_parallel_loops
@@ -47,10 +47,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     analyze.add_argument(
         "--counts", action="store_true", help="print per-test application counts"
     )
+    analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="test reference pairs over N worker processes (default 1)",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the canonical-pair verdict cache",
+    )
 
     study = sub.add_parser("study", help="regenerate the paper's tables")
     study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
     study.add_argument("--suite", action="append", default=None)
+    study.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="test reference pairs over N worker processes (default 1)",
+    )
 
     vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
     vector.add_argument("file", type=Path)
@@ -69,10 +81,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2
 
 
+def _read_source(path: Path) -> Optional[str]:
+    """Read an input file; on failure print a clean error and return None."""
+    try:
+        return path.read_text()
+    except OSError as exc:
+        reason = exc.strerror or str(exc)
+        print(f"repro-deps: cannot read '{path}': {reason}", file=sys.stderr)
+        return None
+
+
 def _vectorize(args: argparse.Namespace) -> int:
     from repro.transform.vectorize import vectorize
 
-    source = args.file.read_text()
+    source = _read_source(args.file)
+    if source is None:
+        return 1
     program = normalize_program(parse_program(source, name=args.file.stem))
     symbols = default_symbols()
     for routine in program.routines:
@@ -85,15 +109,18 @@ def _vectorize(args: argparse.Namespace) -> int:
 
 
 def _analyze(args: argparse.Namespace) -> int:
-    source = args.file.read_text()
+    source = _read_source(args.file)
+    if source is None:
+        return 1
     program = normalize_program(parse_program(source, name=args.file.stem))
     symbols = default_symbols()
+    engine = DependenceEngine(
+        symbols=symbols, jobs=max(args.jobs, 1), use_cache=not args.no_cache
+    )
     recorder = TestRecorder()
     for routine in program.routines:
         print(f"== routine {routine.name} ==")
-        graph = build_dependence_graph(
-            routine.body, symbols=symbols, recorder=recorder
-        )
+        graph = engine.build_graph(routine.body, recorder=recorder)
         print(graph)
         for verdict in find_parallel_loops(routine.body, symbols, graph):
             print(verdict)
@@ -110,6 +137,8 @@ def _analyze(args: argparse.Namespace) -> int:
     if args.counts:
         print("test applications:")
         print(recorder)
+        if not args.no_cache:
+            print(engine.stats)
     return 0
 
 
@@ -117,14 +146,17 @@ def _study(args: argparse.Namespace) -> int:
     from repro.study.report import full_report
     from repro.study.tables import render_table1, render_table2, render_table3
 
+    jobs = max(args.jobs, 1)
     if args.table == 1:
         print(render_table1())
     elif args.table == 2:
         print(render_table2())
     elif args.table == 3:
-        print(render_table3())
+        from repro.study.tables import table3
+
+        print(render_table3(table3(jobs=jobs)))
     else:
-        print(full_report(args.suite))
+        print(full_report(args.suite, jobs=jobs))
     return 0
 
 

@@ -73,14 +73,21 @@ def test_dependence(
     symbols: Optional[SymbolEnv] = None,
     recorder: Optional[TestRecorder] = None,
     delta_options: DeltaOptions = DEFAULT_OPTIONS,
+    context: Optional[PairContext] = None,
 ) -> DependenceResult:
-    """Run the full partition-based algorithm on one ordered reference pair."""
+    """Run the full partition-based algorithm on one ordered reference pair.
+
+    A prebuilt ``context`` for the pair may be passed to avoid constructing
+    it twice (the caching engine builds one to derive the canonical key and
+    hands it through here on a miss).
+    """
     if src_site.ref.array != sink_site.ref.array:
         raise ValueError(
             f"references name different arrays: "
             f"{src_site.ref.array} vs {sink_site.ref.array}"
         )
-    context = PairContext(src_site, sink_site, symbols)
+    if context is None:
+        context = PairContext(src_site, sink_site, symbols)
     info = DependenceInfo(context.common_indices)
     result = DependenceResult(context, independent=False, info=info, exact=True)
     if context.rank_mismatch:

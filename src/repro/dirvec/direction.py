@@ -85,7 +85,7 @@ def format_directions(directions: FrozenSet[Direction]) -> str:
     return "".join(sorted(d.value for d in directions))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexConstraint:
     """What is known about one common-loop index of a dependence.
 

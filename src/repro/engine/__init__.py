@@ -1,0 +1,50 @@
+"""High-throughput dependence engine.
+
+The paper's empirical observation — real programs are dominated by a small
+number of structurally identical subscript shapes — makes corpus-wide
+dependence testing an ideal memoization target, and the pair population is
+embarrassingly parallel.  This package exploits both:
+
+* :mod:`repro.engine.canonical` — alpha-renames a
+  :class:`~repro.classify.pairs.PairContext` into a hashable *canonical
+  pair key* so structurally identical pairs share one test, and converts
+  driver results to/from a name-free canonical form that can cross cache
+  and process boundaries;
+* :mod:`repro.engine.cache` — an LRU cache over
+  :func:`~repro.core.driver.test_dependence` keyed by canonical pair keys,
+  with hit/miss/eviction counters in an :class:`EngineStats`;
+* :mod:`repro.engine.parallel` — a process-pool graph builder that chunks
+  the candidate-pair stream, tests only one representative per canonical
+  key in the workers, and merges per-worker
+  :class:`~repro.instrument.TestRecorder` counters losslessly;
+* :mod:`repro.engine.engine` — the :class:`DependenceEngine` facade the
+  CLI, the study harness, and the benchmarks drive.
+
+All three builders (serial, cached, parallel) produce byte-identical
+dependence graphs and recorder statistics; ``tests/test_engine.py`` holds
+the parity property tests.
+"""
+
+from repro.engine.canonical import (
+    CacheEntry,
+    canonical_pair_key,
+    canonicalize_result,
+    rehydrate_result,
+    rename_map,
+)
+from repro.engine.cache import CachedDriver
+from repro.engine.engine import DependenceEngine
+from repro.engine.parallel import build_dependence_graph_parallel
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "CacheEntry",
+    "CachedDriver",
+    "DependenceEngine",
+    "EngineStats",
+    "build_dependence_graph_parallel",
+    "canonical_pair_key",
+    "canonicalize_result",
+    "rehydrate_result",
+    "rename_map",
+]

@@ -1,0 +1,153 @@
+"""An LRU outcome cache over the partition-based driver.
+
+:class:`CachedDriver` is a drop-in ``tester`` for
+:func:`~repro.graph.depgraph.build_dependence_graph`: it matches the
+signature of :func:`~repro.core.driver.test_dependence` but memoizes
+verdicts by canonical pair key, so the thousands of structurally identical
+reference pairs of a corpus run share one test each.
+
+Recorder parity is exact: every miss runs the real driver against a
+private :class:`~repro.instrument.TestRecorder` and stores the counter
+delta in the entry; hits and misses alike merge that delta into the
+caller's recorder, so Table 3 statistics are byte-identical to a serial
+uncached run.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.classify.pairs import PairContext
+from repro.core.driver import DependenceResult, test_dependence
+from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.engine.canonical import (
+    CacheEntry,
+    CanonicalKey,
+    canonical_pair_key,
+    canonicalize_result,
+    rehydrate_result,
+    rename_map,
+)
+from repro.engine.stats import EngineStats
+from repro.instrument import TestRecorder
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import AccessSite
+
+#: Default number of canonical entries kept; the whole kernel corpus needs
+#: a few hundred, so the default effectively never evicts in practice.
+DEFAULT_CAPACITY = 65536
+
+
+class CachedDriver:
+    """Memoizing dependence tester with an LRU eviction policy.
+
+    Usable directly as ``tester=`` for the serial graph builder, and as
+    the shared verdict store of the parallel builder (which seeds it with
+    worker-produced entries).
+    """
+
+    def __init__(
+        self,
+        symbols: Optional[SymbolEnv] = None,
+        capacity: int = DEFAULT_CAPACITY,
+        delta_options: DeltaOptions = DEFAULT_OPTIONS,
+        stats: Optional[EngineStats] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.symbols = symbols
+        self.capacity = capacity
+        self.delta_options = delta_options
+        self.stats = stats if stats is not None else EngineStats()
+        self._entries: "OrderedDict[CanonicalKey, CacheEntry]" = OrderedDict()
+
+    # -- cache primitives ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def contains(self, key: CanonicalKey) -> bool:
+        """True when ``key`` is resident (does not touch LRU order)."""
+        return key in self._entries
+
+    def lookup(self, key: CanonicalKey) -> Optional[CacheEntry]:
+        """Fetch an entry and mark it most recently used; counts hit/miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(self, key: CanonicalKey, entry: CacheEntry) -> None:
+        """Insert an entry, evicting the least recently used past capacity."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def seed(self, key: CanonicalKey, entry: CacheEntry) -> None:
+        """Adopt a worker-produced entry without counting a miss."""
+        if key not in self._entries:
+            self.stats.seeded += 1
+        self.store(key, entry)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept; see ``stats.reset``)."""
+        self._entries.clear()
+
+    # -- the tester interface --------------------------------------------
+
+    def prepare(
+        self,
+        src_site: AccessSite,
+        sink_site: AccessSite,
+        symbols: Optional[SymbolEnv] = None,
+    ) -> Tuple[PairContext, Dict[str, str], CanonicalKey]:
+        """Build the context, rename map, and canonical key for one pair."""
+        context = PairContext(
+            src_site, sink_site, symbols if symbols is not None else self.symbols
+        )
+        mapping = rename_map(context)
+        return context, mapping, canonical_pair_key(context, mapping)
+
+    def resolve(
+        self,
+        context: PairContext,
+        mapping: Dict[str, str],
+        key: CanonicalKey,
+        recorder: Optional[TestRecorder] = None,
+    ) -> DependenceResult:
+        """Serve a prepared pair from cache, testing (and filling) on miss."""
+        entry = self.lookup(key)
+        if entry is not None:
+            if recorder is not None:
+                recorder.merge(entry.recorder)
+            return rehydrate_result(entry, context, mapping)
+        local = TestRecorder()
+        result = test_dependence(
+            context.src_site,
+            context.sink_site,
+            symbols=context.symbols,
+            recorder=local,
+            delta_options=self.delta_options,
+            context=context,
+        )
+        self.store(key, canonicalize_result(result, mapping, local))
+        if recorder is not None:
+            recorder.merge(local)
+        return result
+
+    def __call__(
+        self,
+        src_site: AccessSite,
+        sink_site: AccessSite,
+        symbols: Optional[SymbolEnv] = None,
+        recorder: Optional[TestRecorder] = None,
+    ) -> DependenceResult:
+        """Drop-in replacement for :func:`~repro.core.driver.test_dependence`."""
+        context, mapping, key = self.prepare(src_site, sink_site, symbols)
+        return self.resolve(context, mapping, key, recorder)

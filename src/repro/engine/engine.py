@@ -1,0 +1,117 @@
+"""The :class:`DependenceEngine` facade.
+
+One object owns the policy knobs — caching on/off, worker count, cache
+capacity, Delta options — and picks the right builder for each
+``build_graph`` call:
+
+* ``jobs <= 1``, cache off → the plain serial builder (baseline);
+* ``jobs <= 1``, cache on → serial builder with the
+  :class:`~repro.engine.cache.CachedDriver` plugged in as its tester;
+* ``jobs > 1`` → the process-pool builder, sharing this engine's driver
+  so the cache stays warm across calls.
+
+The engine is long-lived by design: the study harness builds one graph
+per kernel of a corpus through a single engine, so canonical entries
+accumulate across kernels and the corpus-wide hit rate climbs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.engine.cache import DEFAULT_CAPACITY, CachedDriver
+from repro.engine.parallel import (
+    DEFAULT_CHUNKSIZE,
+    build_dependence_graph_parallel,
+    make_pool,
+)
+from repro.engine.stats import EngineStats
+from repro.graph.depgraph import DependenceGraph, build_dependence_graph
+from repro.instrument import TestRecorder
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import Node
+
+
+class DependenceEngine:
+    """Configurable front end over the serial, cached, and parallel builders."""
+
+    def __init__(
+        self,
+        symbols: Optional[SymbolEnv] = None,
+        jobs: int = 1,
+        cache_size: int = DEFAULT_CAPACITY,
+        use_cache: bool = True,
+        delta_options: DeltaOptions = DEFAULT_OPTIONS,
+        chunksize: int = DEFAULT_CHUNKSIZE,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.symbols = symbols
+        self.jobs = jobs
+        self.use_cache = use_cache
+        self.chunksize = chunksize
+        self.driver = CachedDriver(
+            symbols=symbols, capacity=cache_size, delta_options=delta_options
+        )
+        self._pool = None
+
+    @property
+    def stats(self) -> EngineStats:
+        """The engine's cache/fan-out counters (live, not a snapshot)."""
+        return self.driver.stats
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later build recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "DependenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def build_graph(
+        self,
+        nodes: Sequence[Node],
+        recorder: Optional[TestRecorder] = None,
+        include_input: bool = False,
+        symbols: Optional[SymbolEnv] = None,
+    ) -> DependenceGraph:
+        """Build the dependence graph of a statement list.
+
+        ``symbols`` overrides the engine-level environment for this call
+        (the cache stays shared — symbol ranges are part of every key, so
+        mixing environments cannot cross-contaminate entries).
+        """
+        env = symbols if symbols is not None else self.symbols
+        if self.jobs > 1:
+            if self._pool is None:
+                self._pool = make_pool(self.jobs, self.driver.delta_options)
+            return build_dependence_graph_parallel(
+                nodes,
+                symbols=env,
+                recorder=recorder,
+                include_input=include_input,
+                jobs=self.jobs,
+                driver=self.driver,
+                chunksize=self.chunksize,
+                dedup=self.use_cache,
+                pool=self._pool,
+            )
+        if not self.use_cache:
+            return build_dependence_graph(
+                nodes,
+                symbols=env,
+                recorder=recorder,
+                include_input=include_input,
+            )
+        return build_dependence_graph(
+            nodes,
+            symbols=env,
+            recorder=recorder,
+            include_input=include_input,
+            tester=self.driver,
+        )

@@ -1,0 +1,215 @@
+"""Parallel dependence-graph construction over a process pool.
+
+The candidate-pair population of a statement list is embarrassingly
+parallel: every pair's test is independent.  This builder
+
+1. prepares every pair in the parent (context + canonical key — cheap),
+2. deduplicates by canonical key and ships only one representative per
+   *missing* key to the pool, in chunks of ``(site_index, site_index)``
+   tuples bundled with the statement list they index into,
+3. adopts the returned canonical :class:`~repro.engine.canonical.CacheEntry`
+   objects into the shared :class:`~repro.engine.cache.CachedDriver`, and
+4. resolves every pair through the now-hot cache, building edges in the
+   parent so they reference the parent's own loop and site objects.
+
+Because workers return only canonical entries (never contexts or loops),
+nothing in the assembled graph depends on worker-process object identity;
+per-pair recorder deltas are merged with
+:meth:`~repro.instrument.TestRecorder.merge`, keeping Table 3 counters
+byte-identical to a serial run.
+
+A caller-supplied pool (see :func:`make_pool`) is reused across builds —
+:class:`~repro.engine.engine.DependenceEngine` keeps one for its
+lifetime, so a corpus-wide study pays the pool startup cost once, not
+once per routine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classify.pairs import PairContext
+from repro.core.driver import test_dependence
+from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.engine.cache import CachedDriver
+from repro.engine.canonical import (
+    CacheEntry,
+    CanonicalKey,
+    canonicalize_result,
+    rehydrate_result,
+    rename_map,
+)
+from repro.graph.depgraph import (
+    DependenceEdge,
+    DependenceGraph,
+    edges_from_result,
+    iter_candidate_pairs,
+)
+from repro.instrument import TestRecorder
+from repro.ir.context import SymbolEnv
+from repro.ir.loop import Node, collect_access_sites
+
+#: Pairs per worker task; large enough to amortize dispatch overhead,
+#: small enough to load-balance uneven test costs.
+DEFAULT_CHUNKSIZE = 32
+
+# Per-worker Delta options, installed once by the pool initializer.
+_WORKER: dict = {"delta_options": DEFAULT_OPTIONS}
+
+
+def _init_worker(delta_options: DeltaOptions) -> None:
+    _WORKER["delta_options"] = delta_options
+
+
+def make_pool(
+    jobs: int, delta_options: DeltaOptions = DEFAULT_OPTIONS
+) -> ProcessPoolExecutor:
+    """A worker pool configured for :func:`build_dependence_graph_parallel`."""
+    return ProcessPoolExecutor(
+        max_workers=jobs, initializer=_init_worker, initargs=(delta_options,)
+    )
+
+
+def _test_chunk(
+    task: Tuple[Sequence[Node], Optional[SymbolEnv], List[Tuple[int, int]]]
+) -> List[CacheEntry]:
+    """Test a chunk of pairs (by site index); return canonical entries.
+
+    The statement list rides along with each chunk, so one long-lived pool
+    serves builds over any number of different routines.  Sites are
+    re-collected locally; ``collect_access_sites`` is deterministic, so
+    site indices agree with the parent's.
+    """
+    nodes, symbols, chunk = task
+    sites = collect_access_sites(nodes)
+    delta_options = _WORKER["delta_options"]
+    entries: List[CacheEntry] = []
+    for src_index, sink_index in chunk:
+        src, sink = sites[src_index], sites[sink_index]
+        context = PairContext(src, sink, symbols)
+        mapping = rename_map(context)
+        local = TestRecorder()
+        result = test_dependence(
+            src,
+            sink,
+            symbols=symbols,
+            recorder=local,
+            delta_options=delta_options,
+            context=context,
+        )
+        entries.append(canonicalize_result(result, mapping, local))
+    return entries
+
+
+def _chunked(items: List, size: int) -> List[List]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def build_dependence_graph_parallel(
+    nodes: Sequence[Node],
+    symbols: Optional[SymbolEnv] = None,
+    recorder: Optional[TestRecorder] = None,
+    include_input: bool = False,
+    jobs: int = 2,
+    driver: Optional[CachedDriver] = None,
+    chunksize: int = DEFAULT_CHUNKSIZE,
+    dedup: bool = True,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> DependenceGraph:
+    """Test all candidate pairs of a statement list over a process pool.
+
+    ``driver`` supplies (and outlives) the verdict cache, so repeated
+    calls — e.g. one per routine of a corpus — keep accumulating shared
+    entries; omitted, a private one is created for the call.  ``pool`` is
+    an executor from :func:`make_pool` to reuse across calls; omitted, a
+    fresh one is spun up and torn down.  ``dedup`` mirrors the engine's
+    cache switch: when False every pair is shipped to the workers and
+    rehydrated individually, measuring pure fan-out.
+    """
+    if driver is None:
+        driver = CachedDriver(symbols)
+    sites = collect_access_sites(nodes)
+    pairs = list(iter_candidate_pairs(sites, include_input))
+    prepared = []
+    for first, second in pairs:
+        context, mapping, key = driver.prepare(first, second, symbols)
+        prepared.append((first, second, context, mapping, key))
+
+    edges: List[DependenceEdge] = []
+    tested = 0
+    independent = 0
+
+    if jobs <= 1 or not prepared:
+        # Degenerate pool: serve everything through the cache in-process.
+        for first, second, context, mapping, key in prepared:
+            tested += 1
+            result = driver.resolve(context, mapping, key, recorder)
+            if result.independent:
+                independent += 1
+            else:
+                edges.extend(edges_from_result(first, second, result))
+        return DependenceGraph(sites, edges, independent, tested, recorder)
+
+    if dedup:
+        # One representative (site-index pair) per canonical key not
+        # already resident in the cache.
+        missing: Dict[CanonicalKey, Tuple[int, int]] = {}
+        for first, second, _, _, key in prepared:
+            if key not in missing and not driver.contains(key):
+                missing[key] = (first.position, second.position)
+        work = list(missing.items())
+    else:
+        work = [
+            (key, (first.position, second.position))
+            for first, second, _, _, key in prepared
+        ]
+
+    entries_by_slot: List[Optional[CacheEntry]] = [None] * len(work)
+    if work:
+        driver.stats.dispatched += len(work)
+        tasks = [
+            (nodes, symbols, chunk)
+            for chunk in _chunked([spec for _, spec in work], chunksize)
+        ]
+        own_pool = pool is None
+        executor = pool if pool is not None else make_pool(
+            jobs, driver.delta_options
+        )
+        try:
+            slot = 0
+            for entries in executor.map(_test_chunk, tasks):
+                for entry in entries:
+                    entries_by_slot[slot] = entry
+                    slot += 1
+        finally:
+            if own_pool:
+                executor.shutdown()
+        if dedup:
+            for (key, _), entry in zip(work, entries_by_slot):
+                assert entry is not None
+                driver.seed(key, entry)
+
+    if dedup:
+        for first, second, context, mapping, key in prepared:
+            tested += 1
+            result = driver.resolve(context, mapping, key, recorder)
+            if result.independent:
+                independent += 1
+            else:
+                edges.extend(edges_from_result(first, second, result))
+    else:
+        for (first, second, context, mapping, _), entry in zip(
+            prepared, entries_by_slot
+        ):
+            tested += 1
+            assert entry is not None
+            if recorder is not None:
+                recorder.merge(entry.recorder)
+            result = rehydrate_result(entry, context, mapping)
+            if result.independent:
+                independent += 1
+            else:
+                edges.extend(edges_from_result(first, second, result))
+
+    return DependenceGraph(sites, edges, independent, tested, recorder)

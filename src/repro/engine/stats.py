@@ -1,0 +1,71 @@
+"""Engine observability: cache and fan-out counters.
+
+The study harness threads a :class:`~repro.instrument.TestRecorder`
+through the driver to count test applications (the paper's Table 3); the
+engine adds :class:`EngineStats` alongside it to count what the *cache*
+did — hits, misses, evictions — and how much work the parallel builder
+shipped to workers.  The benchmark harness serializes these into
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine (or one :class:`CachedDriver`) lifetime.
+
+    ``hits``/``misses`` count canonical-key lookups; ``evictions`` counts
+    LRU drops; ``seeded`` counts entries inserted by the parallel builder
+    (worker-produced results adopted without a local miss);
+    ``dispatched`` counts pairs actually tested in worker processes.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    seeded: int = 0
+    dispatched: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another stats object's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.seeded += other.seeded
+        self.dispatched += other.dispatched
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.evictions = 0
+        self.seeded = self.dispatched = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "seeded": self.seeded,
+            "dispatched": self.dispatched,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hits, {self.misses} misses "
+            f"({self.hit_rate:.1%} hit rate), {self.evictions} evictions"
+        )

@@ -5,6 +5,7 @@ from repro.graph.depgraph import (
     DependenceGraph,
     DependenceType,
     build_dependence_graph,
+    edges_from_result,
     iter_candidate_pairs,
     dependence_type,
     loop_key,
@@ -15,6 +16,7 @@ __all__ = [
     "DependenceGraph",
     "DependenceType",
     "build_dependence_graph",
+    "edges_from_result",
     "iter_candidate_pairs",
     "dependence_type",
     "loop_key",

@@ -83,17 +83,20 @@ class DependenceEdge:
         return frozenset(carrier_level(v) for v in self.vectors)
 
     def carrier_loops(self) -> FrozenSet[int]:
-        """``id()`` keys of loops that carry this dependence.
+        """Stable keys of the loops that carry this dependence.
 
-        Loop objects are not hashable by value, so identity keys are used;
-        :func:`loop_key` produces the same key.
+        Carrying loops are found by nesting position in the pair's
+        common-loop tuple (the vector position *is* the nesting level) and
+        keyed with :func:`loop_key`.  Keys are ordinary data rather than
+        ``id()`` values, so edges computed in a worker process still match
+        the parent's loop objects after crossing the pickle boundary.
         """
         loops = self.common_loops
         carried = set()
         for vector in self.vectors:
             level = carrier_level(vector)
             if level > 0:
-                carried.add(id(loops[level - 1]))
+                carried.add(loop_key(loops[level - 1]))
         return frozenset(carried)
 
     @property
@@ -120,8 +123,13 @@ class DependenceEdge:
 
 
 def loop_key(loop: Loop) -> int:
-    """The identity key used by :meth:`DependenceEdge.carrier_loops`."""
-    return id(loop)
+    """The stable key used by :meth:`DependenceEdge.carrier_loops`.
+
+    The key is the loop's construction serial (:attr:`Loop.uid`), which a
+    pickle round-trip preserves — unlike ``id()``, which changes whenever a
+    result crosses a process boundary.
+    """
+    return loop.uid
 
 
 @dataclass
@@ -229,13 +237,19 @@ def build_dependence_graph(
         if result.independent:
             independent += 1
             continue
-        edges.extend(_edges_from_result(first, second, result))
+        edges.extend(edges_from_result(first, second, result))
     return DependenceGraph(sites, edges, independent, tested, recorder)
 
 
-def _edges_from_result(
+def edges_from_result(
     first: AccessSite, second: AccessSite, result: DependenceResult
 ) -> Iterable[DependenceEdge]:
+    """Typed, oriented edges for one tested pair's driver result.
+
+    Splits the result's vectors into the forward and (reversed) backward
+    edge per the module docstring; the engine's cached/parallel builders
+    call this with rehydrated results to assemble identical graphs.
+    """
     vectors = result.direction_vectors
     depth = len(result.context.common_indices)
     forward: Set[DirectionVector] = set()

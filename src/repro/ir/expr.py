@@ -75,7 +75,7 @@ def as_expr(value: ExprLike) -> Expr:
     raise TypeError(f"cannot interpret {value!r} as an expression")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Const(Expr):
     """An integer literal."""
 
@@ -85,7 +85,7 @@ class Const(Expr):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Var(Expr):
     """A scalar variable: a loop index or a loop-invariant symbol."""
 
@@ -95,7 +95,7 @@ class Var(Expr):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RealConst(Expr):
     """A floating-point literal.
 
@@ -110,7 +110,7 @@ class RealConst(Expr):
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class _BinOp(Expr):
     left: Expr
     right: Expr
@@ -129,28 +129,32 @@ class _BinOp(Expr):
 class Add(_BinOp):
     """``left + right``."""
 
+    __slots__ = ()
     OP = "+"
 
 
 class Sub(_BinOp):
     """``left - right``."""
 
+    __slots__ = ()
     OP = "-"
 
 
 class Mul(_BinOp):
     """``left * right``."""
 
+    __slots__ = ()
     OP = "*"
 
 
 class Div(_BinOp):
     """``left / right`` — integer division; linear only when exact and by a constant."""
 
+    __slots__ = ()
     OP = "/"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Neg(Expr):
     """Unary minus."""
 
@@ -164,7 +168,7 @@ class Neg(Expr):
         return f"(-{self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IndexedLoad(Expr):
     """An array element used *inside an expression*, e.g. ``B(K(I))``.
 
@@ -186,7 +190,7 @@ class IndexedLoad(Expr):
         return f"{self.array}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Opaque(Expr):
     """A value the analyses must not reason about.
 
@@ -203,7 +207,7 @@ class Opaque(Expr):
         return f"{self.name}?"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Call(Expr):
     """An intrinsic or external function call, e.g. ``SQRT(X)``, ``MOD(I,2)``.
 

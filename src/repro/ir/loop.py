@@ -21,9 +21,10 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 from repro.ir.expr import Expr, IndexedLoad, Var, as_expr
 
 _stmt_counter = itertools.count(1)
+_loop_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ArrayRef:
     """A subscripted reference ``array(sub1, sub2, ...)``."""
 
@@ -40,7 +41,7 @@ class ArrayRef:
         return f"{self.array}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScalarRef:
     """A reference to an unsubscripted variable."""
 
@@ -125,6 +126,12 @@ class Loop:
     step: int = 1
     body: List["Node"] = field(default_factory=list)
     label: Optional[str] = None
+    #: Stable per-construction serial used by :func:`repro.graph.loop_key`.
+    #: Unlike ``id()`` it is ordinary data, so it survives pickling — results
+    #: computed in a worker process still key to the parent's loop objects.
+    uid: int = field(
+        default_factory=lambda: next(_loop_counter), compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.lower = as_expr(self.lower)

@@ -9,24 +9,40 @@ from repro.baselines.subscript_by_subscript import (
     test_dependence_power,
     test_dependence_subscript_by_subscript,
 )
-from repro.core.driver import test_dependence
 from repro.corpus.loader import default_symbols, load_corpus
 from repro.graph.depgraph import build_dependence_graph
 from repro.study.tablefmt import render_table
-from repro.study.tables import corpus_stats, render_table1, render_table2, render_table3, table1, table2
+from repro.study.tables import (
+    corpus_stats,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1,
+    table2,
+    table3,
+)
 
 
-def precision_comparison(suites: Optional[List[str]] = None) -> str:
+def precision_comparison(
+    suites: Optional[List[str]] = None, jobs: int = 1
+) -> str:
     """Independent-pairs comparison: paper's suite vs the baselines.
 
     Reproduces the Section 7.4 claim that multiple-subscript testing (the
     Delta test) proves more coupled independences than subscript-by-
     subscript testing, at far lower cost than the Power test.
+
+    The partition+delta column runs through the engine (cached, and over
+    ``jobs`` workers when asked); the baseline testers have no canonical
+    form and always run serially.
     """
+    from repro.engine import DependenceEngine
+
     symbols = default_symbols()
     corpus = load_corpus(suites)
+    engine = DependenceEngine(symbols=symbols, jobs=jobs)
     testers = (
-        ("partition+delta", test_dependence),
+        ("partition+delta", None),
         ("subscript-by-subscript", test_dependence_subscript_by_subscript),
         ("lambda", test_dependence_lambda),
         ("power", test_dependence_power),
@@ -38,9 +54,12 @@ def precision_comparison(suites: Optional[List[str]] = None) -> str:
             tested = independent = 0
             for program in programs:
                 for routine in program.routines:
-                    graph = build_dependence_graph(
-                        routine.body, symbols=symbols, tester=tester
-                    )
+                    if tester is None:
+                        graph = engine.build_graph(routine.body)
+                    else:
+                        graph = build_dependence_graph(
+                            routine.body, symbols=symbols, tester=tester
+                        )
                     tested += graph.tested_pairs
                     independent += graph.independent_pairs
             cells.append(f"{independent}/{tested}")
@@ -51,13 +70,13 @@ def precision_comparison(suites: Optional[List[str]] = None) -> str:
     )
 
 
-def full_report(suites: Optional[List[str]] = None) -> str:
+def full_report(suites: Optional[List[str]] = None, jobs: int = 1) -> str:
     """All tables and comparisons as one text report."""
     stats = corpus_stats(suites)
     sections = [
         render_table1(table1(stats)),
         render_table2(table2(stats)),
-        render_table3(),
-        precision_comparison(suites),
+        render_table3(table3(jobs=jobs)),
+        precision_comparison(suites, jobs=jobs),
     ]
     return "\n\n".join(sections)

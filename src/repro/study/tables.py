@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.subscript import SubscriptKind
 from repro.corpus.loader import default_symbols, load_corpus
-from repro.graph.depgraph import build_dependence_graph
 from repro.instrument import TestRecorder
 from repro.ir.context import SymbolEnv
 from repro.ir.program import Program
@@ -157,20 +156,29 @@ class Table3Row:
 
 
 def table3(
-    suites: Optional[List[str]] = None, symbols: Optional[SymbolEnv] = None
+    suites: Optional[List[str]] = None,
+    symbols: Optional[SymbolEnv] = None,
+    jobs: int = 1,
 ) -> List[Table3Row]:
-    """Run the instrumented driver over the corpus; per-suite recorders."""
+    """Run the instrumented driver over the corpus; per-suite recorders.
+
+    One :class:`~repro.engine.engine.DependenceEngine` serves the whole
+    corpus, so canonical cache entries accumulate across suites; its
+    recorder parity guarantees the counts match an uncached serial run.
+    ``jobs > 1`` fans the tests out over a process pool.
+    """
+    from repro.engine import DependenceEngine
+
     symbols = symbols or default_symbols()
     corpus = load_corpus(suites)
+    engine = DependenceEngine(symbols=symbols, jobs=jobs)
     rows: List[Table3Row] = []
     for suite, programs in corpus.items():
         recorder = TestRecorder()
         tested = independent = 0
         for program in programs:
             for routine in program.routines:
-                graph = build_dependence_graph(
-                    routine.body, symbols=symbols, recorder=recorder
-                )
+                graph = engine.build_graph(routine.body, recorder=recorder)
                 tested += graph.tested_pairs
                 independent += graph.independent_pairs
         rows.append(Table3Row(suite, recorder, tested, independent))

@@ -47,7 +47,7 @@ def _mul(value: Extent, factor: Extent) -> Extent:
     return value * factor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A closed interval ``[lo, hi]``; either end may be infinite.
 

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.dirvec.direction import Direction
-from repro.graph.depgraph import DependenceEdge, DependenceGraph, build_dependence_graph
+from repro.graph.depgraph import (
+    DependenceEdge,
+    DependenceGraph,
+    build_dependence_graph,
+    loop_key,
+)
 from repro.ir.context import SymbolEnv
 from repro.ir.loop import Loop, Node
 
@@ -60,11 +65,12 @@ def _positions(
     edge: DependenceEdge, outer: Loop, inner: Loop
 ) -> Optional[Tuple[int, int]]:
     loops = edge.common_loops
+    outer_key, inner_key = loop_key(outer), loop_key(inner)
     outer_pos = inner_pos = None
     for position, loop in enumerate(loops):
-        if loop is outer:
+        if loop_key(loop) == outer_key:
             outer_pos = position
-        elif loop is inner:
+        elif loop_key(loop) == inner_key:
             inner_pos = position
     if outer_pos is None or inner_pos is None:
         return None
