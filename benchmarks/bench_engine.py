@@ -9,9 +9,13 @@ Builds the dependence graph of two workloads —
   small number of subscript shapes,
 
 three ways: the plain serial builder, the serial builder behind the
-canonical-pair LRU cache, and the process-pool builder.  All three graph
-sets are checked for byte-identical verdicts before any number is
-reported, and the results land in ``BENCH_engine.json``.
+canonical-pair LRU cache, and the process-pool builder with adaptive
+dispatch.  All three graph sets are checked for byte-identical verdicts
+before any number is reported — verification runs *outside* the timed
+regions (it is equal overhead for every configuration and not engine
+work).  Each workload also reports a per-phase wall-time breakdown from a
+profiled cached pass and p50/p95 per-pair build latency sampled per
+routine over the warm cache.  Results land in ``BENCH_engine.json``.
 
 Usage::
 
@@ -92,43 +96,67 @@ def graph_signature(graph):
     return (graph.tested_pairs, graph.independent_pairs, tuple(edges))
 
 
-def run_serial(work, symbols, recorder):
+def signatures(graphs):
+    return [graph_signature(g) for g in graphs]
+
+
+def build_serial(work, symbols, recorder):
     return [
-        graph_signature(
-            build_dependence_graph(nodes, symbols=symbols, recorder=recorder)
-        )
+        build_dependence_graph(nodes, symbols=symbols, recorder=recorder)
         for _, nodes in work
     ]
 
 
-def run_engine(work, engine, recorder):
-    return [
-        graph_signature(engine.build_graph(nodes, recorder=recorder))
-        for _, nodes in work
-    ]
+def build_engine(work, engine, recorder):
+    return [engine.build_graph(nodes, recorder=recorder) for _, nodes in work]
 
 
-def best_of(repeats, fn):
-    """(best wall seconds, last return value) over ``repeats`` runs."""
-    best = float("inf")
-    value = None
+def best_of_interleaved(repeats, runs):
+    """Best wall seconds and last value per named configuration.
+
+    ``runs`` maps name → zero-arg callable.  Configurations are timed
+    round-robin — every repeat times each once, in order — so a transient
+    load spike hits all of them rather than silently skewing one ratio.
+    """
+    best = {name: float("inf") for name in runs}
+    values = {}
     for _ in range(repeats):
+        for name, fn in runs.items():
+            start = time.perf_counter()
+            values[name] = fn()
+            best[name] = min(best[name], time.perf_counter() - start)
+    return best, values
+
+
+def percentile(samples, q):
+    """The q-quantile (0..1) of a sample list by nearest-rank."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def pair_latencies(work, engine):
+    """Per-pair build latency (seconds), sampled per routine.
+
+    Each routine's wall time is divided by its candidate-pair count, so a
+    sample is the mean pair cost of one routine — the quantity a driver
+    scheduling incremental re-analysis cares about.
+    """
+    samples = []
+    for _, nodes in work:
         start = time.perf_counter()
-        value = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, value
+        graph = engine.build_graph(nodes, recorder=TestRecorder())
+        elapsed = time.perf_counter() - start
+        if graph.tested_pairs:
+            samples.append(elapsed / graph.tested_pairs)
+    return samples
 
 
 def bench_workload(name, work, symbols, jobs, repeats):
-    pairs = sum(
-        1
-        for _, nodes in work
-        for _ in iter_pairs(nodes)
-    )
+    pairs = sum(1 for _, nodes in work for _ in iter_pairs(nodes))
     serial_recorder = TestRecorder()
-    serial_s, serial_sigs = best_of(
-        repeats, lambda: run_serial(work, symbols, serial_recorder)
-    )
 
     # Cold: a fresh engine per repeat, so each timed run pays its own
     # misses — the honest single-pass corpus-wide gain.
@@ -136,34 +164,55 @@ def bench_workload(name, work, symbols, jobs, repeats):
 
     def cold_run():
         engine = DependenceEngine(symbols=symbols)
-        sigs = run_engine(work, engine, TestRecorder())
+        graphs = build_engine(work, engine, TestRecorder())
         cold_stats.update(engine.stats.as_dict())
-        return sigs
-
-    cold_s, cold_sigs = best_of(repeats, cold_run)
+        return graphs
 
     # Warm: rebuild through an already-populated engine — the steady state
     # of a driver that recomputes dependences after every transformation
     # pass over the same program body.
     warm_engine = DependenceEngine(symbols=symbols)
-    run_engine(work, warm_engine, TestRecorder())
-    warm_s, warm_sigs = best_of(
-        repeats, lambda: run_engine(work, warm_engine, TestRecorder())
-    )
+    build_engine(work, warm_engine, TestRecorder())
 
-    parallel_engine = DependenceEngine(symbols=symbols, jobs=jobs)
-    parallel_s, parallel_sigs = best_of(
-        1, lambda: run_engine(work, parallel_engine, TestRecorder())
-    )
+    # Parallel: like cold, a fresh engine per repeat pays its own misses;
+    # pools (created lazily, only if some build dispatches) are torn down
+    # outside the timed region.
+    parallel_engines = []
 
-    for label, sigs in (
-        ("cold cached", cold_sigs),
-        ("warm cached", warm_sigs),
-        ("parallel", parallel_sigs),
-    ):
-        if serial_sigs != sigs:
+    def parallel_run():
+        engine = DependenceEngine(symbols=symbols, jobs=jobs)
+        parallel_engines.append(engine)
+        return build_engine(work, engine, TestRecorder())
+
+    best, values = best_of_interleaved(
+        repeats,
+        {
+            "serial": lambda: build_serial(work, symbols, serial_recorder),
+            "cold": cold_run,
+            "warm": lambda: build_engine(work, warm_engine, TestRecorder()),
+            "parallel": parallel_run,
+        },
+    )
+    serial_s, cold_s = best["serial"], best["cold"]
+    warm_s, parallel_s = best["warm"], best["parallel"]
+    latencies = pair_latencies(work, warm_engine)
+    parallel_stats = parallel_engines[-1].stats.as_dict()
+    for engine in parallel_engines:
+        engine.close()
+
+    serial_sigs = signatures(values["serial"])
+    for label in ("cold", "warm", "parallel"):
+        if serial_sigs != signatures(values[label]):
             raise SystemExit(f"{name}: {label} verdicts diverge from serial")
 
+    # Phase breakdown from one profiled cold pass (untimed: profiling
+    # itself perturbs the hot path, so it never contributes to speedups).
+    profiled = DependenceEngine(symbols=symbols, profile=True)
+    build_engine(work, profiled, TestRecorder())
+    phase_profile = profiled.profile.as_dict()
+
+    p50 = percentile(latencies, 0.50)
+    p95 = percentile(latencies, 0.95)
     return {
         "routines": len(work),
         "pairs": pairs,
@@ -172,12 +221,16 @@ def bench_workload(name, work, symbols, jobs, repeats):
         "cached_cold_speedup": round(serial_s / cold_s, 2) if cold_s else None,
         "cached_warm_s": round(warm_s, 4),
         "cached_warm_speedup": round(serial_s / warm_s, 2) if warm_s else None,
+        "pair_latency_warm_p50_us": round(p50 * 1e6, 2) if p50 else None,
+        "pair_latency_warm_p95_us": round(p95 * 1e6, 2) if p95 else None,
         "cache": cold_stats,
+        "phases": phase_profile,
         "parallel_jobs": jobs,
         "parallel_s": round(parallel_s, 4),
         "parallel_speedup": (
             round(serial_s / parallel_s, 2) if parallel_s else None
         ),
+        "auto_serial_builds": parallel_stats.get("auto_serial", 0),
         "verdicts_identical": True,
     }
 
@@ -223,6 +276,8 @@ def main(argv=None):
             f"cached cold {r['cached_cold_s']}s ({r['cached_cold_speedup']}x, "
             f"{r['cache'].get('hit_rate', 0):.0%} hits)  "
             f"warm {r['cached_warm_s']}s ({r['cached_warm_speedup']}x)  "
+            f"pair p50/p95 {r['pair_latency_warm_p50_us']}/"
+            f"{r['pair_latency_warm_p95_us']}us  "
             f"parallel[{args.jobs}] {r['parallel_s']}s "
             f"({r['parallel_speedup']}x)",
             flush=True,

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare a fresh engine-benchmark run against the committed baseline.
+
+CI runs ``bench_engine.py --quick`` and feeds the fresh JSON here together
+with the committed ``BENCH_engine.json``.  The check fails when any
+workload's *warm* cached speedup regresses by more than the allowed
+fraction (default 25%) relative to the baseline, or when a fresh workload
+no longer reports byte-identical verdicts.
+
+Warm speedup is the sturdiest number in the report for a noisy CI box: it
+is a ratio of two measurements from the same run (machine speed cancels
+out), and it is the figure the caching engine exists to deliver.  Absolute
+times and cold/parallel ratios vary with runner load and core count, so
+they are reported but not gated on.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py fresh.json \
+        [--baseline BENCH_engine.json] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path} is not valid JSON: {exc}")
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> int:
+    failures = []
+    for name, base in baseline.get("workloads", {}).items():
+        current = fresh.get("workloads", {}).get(name)
+        if current is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        if not current.get("verdicts_identical"):
+            failures.append(f"{name}: verdicts no longer identical")
+        base_warm = base.get("cached_warm_speedup")
+        warm = current.get("cached_warm_speedup")
+        if not base_warm or not warm:
+            continue
+        floor = base_warm * (1.0 - tolerance)
+        status = "OK" if warm >= floor else "REGRESSION"
+        print(
+            f"{name}: warm speedup {warm:.2f}x vs baseline {base_warm:.2f}x "
+            f"(floor {floor:.2f}x) ... {status}"
+        )
+        if warm < floor:
+            failures.append(
+                f"{name}: warm speedup {warm:.2f}x fell below "
+                f"{floor:.2f}x ({tolerance:.0%} under baseline "
+                f"{base_warm:.2f}x)"
+            )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("benchmark within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="freshly generated bench JSON")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+        help="committed baseline JSON (default: repo BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional warm-speedup drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    return check(load(args.fresh), load(args.baseline), args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,11 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.ir.context import LoopContext, SymbolEnv, cached_loop_context
 from repro.ir.expr import Expr, to_linear
 from repro.ir.loop import AccessSite, Loop, common_loops
-from repro.symbolic.linexpr import LinearExpr, NonlinearExpressionError
+from repro.symbolic.linexpr import (
+    LinearExpr,
+    NonlinearExpressionError,
+    cached_renamer,
+)
 from repro.symbolic.ranges import Interval
 
 PRIME_SUFFIX = "'"
@@ -95,6 +99,7 @@ class PairContext:
     def _build_subscripts(self) -> List[SubscriptPair]:
         src_ref = self.src_site.ref
         sink_ref = self.sink_site.ref
+        primer = cached_renamer(self._prime_map)
         pairs: List[SubscriptPair] = []
         for position, (s_raw, t_raw) in enumerate(
             zip(src_ref.subscripts, sink_ref.subscripts)
@@ -102,17 +107,26 @@ class PairContext:
             src_lin = _linear_or_none(s_raw)
             sink_lin = _linear_or_none(t_raw)
             if sink_lin is not None:
-                sink_lin = sink_lin.rename(self._prime_map)
+                sink_lin = primer(sink_lin)
             pairs.append(SubscriptPair(position, s_raw, t_raw, src_lin, sink_lin))
         return pairs
 
     def _build_ranges(self) -> Dict[str, Interval]:
-        ranges: Dict[str, Interval] = dict(self.symbols.ranges)
-        for idx in self._src_ctx.indices:
-            ranges[idx] = self._src_ctx.index_range(idx)
-        for idx in self._sink_ctx.indices:
-            ranges[prime(idx)] = self._sink_ctx.index_range(idx)
-        return ranges
+        # All the pairs over one (source stack, sink stack) combination see
+        # the same ranges; share one frozen map across them.  Contexts are
+        # interned by ``cached_loop_context``, so identity keying is exact.
+        cache_key = (self._src_ctx, self._sink_ctx)
+        shared = _SHARED_RANGES.get(cache_key)
+        if shared is None:
+            shared = dict(self.symbols.ranges)
+            for idx in self._src_ctx.indices:
+                shared[idx] = self._src_ctx.index_range(idx)
+            for idx in self._sink_ctx.indices:
+                shared[prime(idx)] = self._sink_ctx.index_range(idx)
+            if len(_SHARED_RANGES) > 4096:
+                _SHARED_RANGES.clear()
+            _SHARED_RANGES[cache_key] = shared
+        return shared
 
     # ------------------------------------------------------------------
 
@@ -240,6 +254,12 @@ class PairContext:
             f"common={list(self.common_indices)})"
         )
 
+
+#: Shared, read-only range maps keyed by (source, sink) loop-context
+#: identity.  ``PairContext`` instances never write to their ``_ranges``
+#: (``tightened`` copies first), so sharing is safe; bounded and cleared
+#: wholesale like the loop-context cache.
+_SHARED_RANGES: Dict[Tuple[LoopContext, LoopContext], Dict[str, Interval]] = {}
 
 #: Value-keyed linearization memo.  Expression trees are immutable and hash
 #: by value, so structurally equal subscripts (ubiquitous across the pairs

@@ -55,6 +55,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-cache", action="store_true",
         help="disable the canonical-pair verdict cache",
     )
+    analyze.add_argument(
+        "--profile", action="store_true",
+        help="print per-phase and per-test-tier wall timings",
+    )
 
     study = sub.add_parser("study", help="regenerate the paper's tables")
     study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
@@ -115,7 +119,10 @@ def _analyze(args: argparse.Namespace) -> int:
     program = normalize_program(parse_program(source, name=args.file.stem))
     symbols = default_symbols()
     engine = DependenceEngine(
-        symbols=symbols, jobs=max(args.jobs, 1), use_cache=not args.no_cache
+        symbols=symbols,
+        jobs=max(args.jobs, 1),
+        use_cache=not args.no_cache,
+        profile=args.profile,
     )
     recorder = TestRecorder()
     for routine in program.routines:
@@ -139,6 +146,8 @@ def _analyze(args: argparse.Namespace) -> int:
         print(recorder)
         if not args.no_cache:
             print(engine.stats)
+    if args.profile and engine.profile is not None:
+        print(engine.profile)
     return 0
 
 

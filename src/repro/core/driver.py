@@ -13,18 +13,30 @@ For a pair of references to the same array:
 
 This is the algorithm PFC and ParaScope implement; the optional
 :class:`~repro.instrument.TestRecorder` collects the Table 3 statistics.
+
+Two fast-path hooks overlay the algorithm without changing its output:
+
+* a precompiled :class:`~repro.core.plan.TestPlan` replays a previously
+  recorded partition shape and per-partition dispatch decision, skipping
+  ``partition_subscripts`` and ``classify`` for structurally identical
+  pairs (callers must validate the plan against the pair's canonical key
+  via ``plan.check(key)`` first);
+* a :class:`~repro.engine.profile.PhaseProfile` (duck-typed: anything with
+  ``add_test``) accumulates per-test-tier wall-clock time.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from time import perf_counter
+from typing import FrozenSet, List, Optional, Tuple
 
-from repro.classify.pairs import PairContext
-from repro.classify.partition import Partition, partition_subscripts
+from repro.classify.pairs import PairContext, SubscriptPair
+from repro.classify.partition import partition_subscripts
 from repro.classify.subscript import SubscriptKind, classify
+from repro.core.plan import PlanAction, PlanRecorder, TestPlan
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions, delta_test
-from repro.dirvec.vectors import DependenceInfo
+from repro.dirvec.vectors import DependenceInfo, DirectionVector
 from repro.instrument import TestRecorder, maybe_record
 from repro.ir.context import SymbolEnv
 from repro.ir.loop import AccessSite
@@ -51,13 +63,24 @@ class DependenceResult:
     info: DependenceInfo
     exact: bool
     outcomes: List[TestOutcome] = field(default_factory=list)
+    #: Cache-engine shortcut: the precomputed direction-vector set of a
+    #: rehydrated verdict (vectors are name-free, so the canonical entry's
+    #: set is the pair's).  None for fresh driver results.
+    cached_vectors: Optional[FrozenSet[DirectionVector]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def direction_vectors(self):
         """Possible direction vectors over the common loops (empty if independent)."""
         if self.independent:
             return frozenset()
-        return self.info.direction_vectors()
+        if self.cached_vectors is None:
+            # Memoized: a miss needs the set twice (once to build edges,
+            # once to store the canonical entry), and expanding the
+            # constraint system dominates both.
+            self.cached_vectors = frozenset(self.info.direction_vectors())
+        return self.cached_vectors
 
     def __str__(self) -> str:
         if self.independent:
@@ -74,12 +97,18 @@ def test_dependence(
     recorder: Optional[TestRecorder] = None,
     delta_options: DeltaOptions = DEFAULT_OPTIONS,
     context: Optional[PairContext] = None,
+    plan: Optional[TestPlan] = None,
+    plan_recorder: Optional[PlanRecorder] = None,
+    profile=None,
 ) -> DependenceResult:
     """Run the full partition-based algorithm on one ordered reference pair.
 
     A prebuilt ``context`` for the pair may be passed to avoid constructing
     it twice (the caching engine builds one to derive the canonical key and
-    hands it through here on a miss).
+    hands it through here on a miss).  ``plan`` replays a precompiled
+    dispatch schedule for the pair's shape; ``plan_recorder`` records one
+    while the driver derives the schedule from scratch.  Both are dispatch
+    shortcuts only — every test still runs on this pair's own subscripts.
     """
     if src_site.ref.array != sink_site.ref.array:
         raise ValueError(
@@ -94,9 +123,30 @@ def test_dependence(
         # Non-conforming references: assume a dependence with no information.
         result.exact = False
         return result
-    partitions = partition_subscripts(context.subscripts, context)
-    for partition in partitions:
-        outcome = _test_partition(partition, context, recorder, delta_options)
+
+    if plan is not None:
+        subscripts = context.subscripts
+        schedule: List[Tuple[List[SubscriptPair], Tuple[int, ...], Optional[PlanAction]]] = [
+            ([subscripts[p] for p in positions], positions, action)
+            for positions, action in plan.steps
+        ]
+    else:
+        schedule = [
+            (partition.pairs, partition.positions, None)
+            for partition in partition_subscripts(context.subscripts, context)
+        ]
+
+    for pairs, positions, action in schedule:
+        if action is None:
+            outcome, action = _dispatch(
+                pairs, context, recorder, delta_options, profile
+            )
+        else:
+            outcome = _replay(
+                action, pairs, context, recorder, delta_options, profile
+            )
+        if plan_recorder is not None:
+            plan_recorder.add(positions, action)
         result.outcomes.append(outcome)
         if not outcome.applicable:
             result.exact = False
@@ -120,29 +170,95 @@ def test_dependence(
     return result
 
 
-def _test_partition(
-    partition: Partition,
+def _timed(profile, tier: str, func, *args):
+    """Run one test, attributing its wall time to ``tier`` when profiling."""
+    if profile is None:
+        return func(*args)
+    start = perf_counter()
+    try:
+        return func(*args)
+    finally:
+        profile.add_test(tier, perf_counter() - start)
+
+
+def _dispatch(
+    pairs: List[SubscriptPair],
     context: PairContext,
     recorder: Optional[TestRecorder],
     delta_options: DeltaOptions,
-) -> TestOutcome:
-    if not partition.is_separable:
-        return delta_test(partition.pairs, context, recorder, delta_options)
-    pair = partition.pairs[0]
+    profile,
+) -> Tuple[TestOutcome, PlanAction]:
+    """Classify a partition and run its test; report the dispatch decision."""
+    if len(pairs) > 1:
+        outcome = _timed(
+            profile, "delta", delta_test, pairs, context, recorder, delta_options
+        )
+        return outcome, PlanAction.DELTA
+    pair = pairs[0]
     kind = classify(pair, context)
     if kind is SubscriptKind.NONLINEAR:
-        return TestOutcome.not_applicable("nonlinear")
+        return TestOutcome.not_applicable("nonlinear"), PlanAction.NONLINEAR
     if kind is SubscriptKind.ZIV:
-        return maybe_record(recorder, ziv_test(pair, context))
+        outcome = maybe_record(recorder, _timed(profile, "ziv", ziv_test, pair, context))
+        return outcome, PlanAction.ZIV
     if kind.is_siv:
-        return maybe_record(recorder, siv_test(pair, context))
+        outcome = maybe_record(recorder, _timed(profile, "siv", siv_test, pair, context))
+        return outcome, PlanAction.SIV
     if kind is SubscriptKind.RDIV:
-        outcome = maybe_record(recorder, rdiv_test(pair, context))
+        outcome = maybe_record(recorder, _timed(profile, "rdiv", rdiv_test, pair, context))
+        if outcome.applicable:
+            return outcome, PlanAction.RDIV
+        # Symbolic RDIV shapes fall back to the general MIV test.
+        outcome = maybe_record(
+            recorder, _timed(profile, "miv", banerjee_gcd_test, pair, context)
+        )
+        return outcome, PlanAction.RDIV_MIV
+    outcome = maybe_record(
+        recorder, _timed(profile, "miv", banerjee_gcd_test, pair, context)
+    )
+    return outcome, PlanAction.MIV
+
+
+def _replay(
+    action: PlanAction,
+    pairs: List[SubscriptPair],
+    context: PairContext,
+    recorder: Optional[TestRecorder],
+    delta_options: DeltaOptions,
+    profile,
+) -> TestOutcome:
+    """Run the test a plan resolved a partition to, skipping classification.
+
+    The canonical key determines classification, so a checked plan's action
+    is always the one ``classify`` would pick; the RDIV arm still keeps the
+    applicability fallback so even a hypothetical divergence degrades to
+    exactly the fresh driver's behavior.
+    """
+    if action is PlanAction.DELTA:
+        return _timed(
+            profile, "delta", delta_test, pairs, context, recorder, delta_options
+        )
+    pair = pairs[0]
+    if action is PlanAction.NONLINEAR:
+        return TestOutcome.not_applicable("nonlinear")
+    if action is PlanAction.ZIV:
+        return maybe_record(recorder, _timed(profile, "ziv", ziv_test, pair, context))
+    if action is PlanAction.SIV:
+        return maybe_record(recorder, _timed(profile, "siv", siv_test, pair, context))
+    if action is PlanAction.RDIV:
+        outcome = maybe_record(recorder, _timed(profile, "rdiv", rdiv_test, pair, context))
         if outcome.applicable:
             return outcome
-        # Symbolic RDIV shapes fall back to the general MIV test.
-        return maybe_record(recorder, banerjee_gcd_test(pair, context))
-    return maybe_record(recorder, banerjee_gcd_test(pair, context))
+        return maybe_record(
+            recorder, _timed(profile, "miv", banerjee_gcd_test, pair, context)
+        )
+    # RDIV_MIV (RDIV preconditions failed at record time) and MIV both run
+    # the general test; the fresh path records the failed RDIV attempt as
+    # not-applicable, which the recorder never counts, so skipping the
+    # re-attempt is observation-equivalent.
+    return maybe_record(
+        recorder, _timed(profile, "miv", banerjee_gcd_test, pair, context)
+    )
 
 
 # Keep pytest from collecting the driver entry point when imported into

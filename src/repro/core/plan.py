@@ -1,0 +1,114 @@
+"""Precompiled test plans: the driver's dispatch, recorded once per shape.
+
+The partition-based driver does the same structural work for every pair it
+tests: partition the subscript positions (Section 2.2), classify each
+separable position (Section 3), and walk the classify→dispatch ladder to
+the test that finally runs.  For structurally identical pairs — the
+overwhelmingly common case the paper's empirical study documents — all of
+that re-derivation produces the same answer every time.
+
+A :class:`TestPlan` captures the derivation for one canonical pair key:
+the partition shape (which subscript positions group together, in driver
+order) and the :class:`PlanAction` each partition resolved to.  Replaying
+a plan skips ``partition_subscripts`` and ``classify`` entirely and jumps
+straight to the resolved test.  The canonical key rides inside the plan,
+and :meth:`TestPlan.check` refuses to apply a plan to any other key, so a
+stale plan can never leak across shapes.
+
+Plans deliberately store *dispatch* decisions, never verdicts: the actual
+tests still run on the pair's own subscripts, so a plan replay is
+byte-identical to a fresh driver run (the parity tests in
+``tests/test_plan.py`` hold this invariant).  Verdict reuse is the
+canonical-key cache's job; plans are the cheaper second tier that survives
+verdict eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, List, Optional, Tuple
+
+
+class PlanAction(Enum):
+    """The test a partition resolved to (one driver dispatch decision)."""
+
+    NONLINEAR = "nonlinear"
+    ZIV = "ziv"
+    SIV = "siv"
+    RDIV = "rdiv"
+    RDIV_MIV = "rdiv-miv"  # RDIV preconditions failed; fell through to MIV
+    MIV = "miv"
+    DELTA = "delta"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: One plan entry: the partition's subscript positions (driver order) and
+#: the action that resolved it.
+PlanStep = Tuple[Tuple[int, ...], PlanAction]
+
+
+class StalePlanError(ValueError):
+    """Raised when a plan is applied to a pair with a different canonical key."""
+
+
+@dataclass(frozen=True)
+class TestPlan:
+    """The precompiled dispatch schedule for one canonical pair shape.
+
+    ``steps`` follow driver order; a plan recorded from a run that proved
+    independence early is truncated at the deciding partition — replay
+    reaches the same partition, proves the same independence, and stops at
+    the same place, so truncation is invisible.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    key: Hashable
+    steps: Tuple[PlanStep, ...]
+
+    def check(self, key: Hashable) -> "TestPlan":
+        """Validate this plan against the key of the pair it will drive.
+
+        Raises :class:`StalePlanError` on any mismatch; returns ``self``
+        so call sites can chain ``plan.check(key)`` into application.
+        """
+        if key != self.key:
+            raise StalePlanError(
+                "test plan was compiled for a different canonical key; "
+                "refusing to apply it"
+            )
+        return self
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            f"{positions}→{action}" for positions, action in self.steps
+        )
+        return f"TestPlan[{inner}]"
+
+
+class PlanRecorder:
+    """Accumulates the steps of a plan while the driver runs uncompiled.
+
+    The driver appends one step per partition as it dispatches; callers
+    (the caching engine) finish with :meth:`compile` to get the immutable
+    :class:`TestPlan` for the pair's canonical key.
+    """
+
+    __slots__ = ("_steps",)
+
+    def __init__(self) -> None:
+        self._steps: List[PlanStep] = []
+
+    def add(self, positions: Tuple[int, ...], action: PlanAction) -> None:
+        """Record that ``positions`` resolved to ``action``."""
+        self._steps.append((positions, action))
+
+    def compile(self, key: Hashable) -> TestPlan:
+        """The finished plan, bound to ``key``."""
+        return TestPlan(key=key, steps=tuple(self._steps))

@@ -12,11 +12,17 @@ embarrassingly parallel.  This package exploits both:
   and process boundaries;
 * :mod:`repro.engine.cache` — an LRU cache over
   :func:`~repro.core.driver.test_dependence` keyed by canonical pair keys,
-  with hit/miss/eviction counters in an :class:`EngineStats`;
-* :mod:`repro.engine.parallel` — a process-pool graph builder that chunks
-  the candidate-pair stream, tests only one representative per canonical
-  key in the workers, and merges per-worker
-  :class:`~repro.instrument.TestRecorder` counters losslessly;
+  with hit/miss/eviction counters in an :class:`EngineStats`, plus a
+  second tier of precompiled :class:`~repro.core.plan.TestPlan` dispatch
+  schedules replayed on verdict misses;
+* :mod:`repro.engine.parallel` — a process-pool graph builder with
+  adaptive dispatch: per-pair cost estimates size the chunks, and small or
+  cheap builds stay in-process; one representative per canonical key is
+  tested in the workers, and per-worker
+  :class:`~repro.instrument.TestRecorder` counters merge losslessly;
+* :mod:`repro.engine.profile` — opt-in per-phase and per-test-tier wall
+  timing (:class:`PhaseProfile`), surfaced by ``repro-deps analyze
+  --profile``;
 * :mod:`repro.engine.engine` — the :class:`DependenceEngine` facade the
   CLI, the study harness, and the benchmarks drive.
 
@@ -34,7 +40,11 @@ from repro.engine.canonical import (
 )
 from repro.engine.cache import CachedDriver
 from repro.engine.engine import DependenceEngine
-from repro.engine.parallel import build_dependence_graph_parallel
+from repro.engine.parallel import (
+    build_dependence_graph_parallel,
+    estimate_pair_cost,
+)
+from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
 
 __all__ = [
@@ -42,9 +52,11 @@ __all__ = [
     "CachedDriver",
     "DependenceEngine",
     "EngineStats",
+    "PhaseProfile",
     "build_dependence_graph_parallel",
     "canonical_pair_key",
     "canonicalize_result",
+    "estimate_pair_cost",
     "rehydrate_result",
     "rename_map",
 ]

@@ -6,6 +6,15 @@ signature of :func:`~repro.core.driver.test_dependence` but memoizes
 verdicts by canonical pair key, so the thousands of structurally identical
 reference pairs of a corpus run share one test each.
 
+Below the verdict cache sits a second, cheaper tier: a store of
+precompiled :class:`~repro.core.plan.TestPlan` objects, also keyed by
+canonical key.  A verdict miss first consults it — a plan hit replays the
+recorded partition shape and dispatch decisions, skipping
+``partition_subscripts`` and ``classify`` while still running every test
+on the pair's own data.  Plans are tiny (a tuple of positions and an enum
+per partition), so the plan store holds many more shapes than the verdict
+cache and keeps paying off after verdict entries are evicted.
+
 Recorder parity is exact: every miss runs the real driver against a
 private :class:`~repro.instrument.TestRecorder` and stores the counter
 delta in the entry; hits and misses alike merge that delta into the
@@ -16,10 +25,12 @@ uncached run.
 from __future__ import annotations
 
 from collections import OrderedDict
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.classify.pairs import PairContext
 from repro.core.driver import DependenceResult, test_dependence
+from repro.core.plan import PlanRecorder, TestPlan
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine.canonical import (
     CacheEntry,
@@ -38,6 +49,24 @@ from repro.ir.loop import AccessSite
 #: a few hundred, so the default effectively never evicts in practice.
 DEFAULT_CAPACITY = 65536
 
+#: Plan entries kept per verdict entry: plans are ~50 bytes against the
+#: kilobytes a full canonical verdict carries, so the plan tier outlives
+#: verdict eviction by design.
+PLAN_CAPACITY_FACTOR = 4
+
+#: Prepared-pair memo bound (cleared wholesale past this — entries are
+#: cheap to rebuild and the memo only pays off within/between passes over
+#: the same bodies).
+PREPARE_MEMO_LIMIT = 1 << 15
+
+#: Module-level (process-wide) prepared-pair memo, shared by every driver
+#: like the expression and loop-context interning pools: contexts and
+#: canonical keys are pure functions of the underlying IR objects, so
+#: engines analyzing the same bodies share them even though each keeps
+#: its own verdict cache.  Values hold the IR objects alive, so ids in
+#: keys cannot be recycled while an entry is resident.
+_PAIR_MEMO: Dict[Tuple, Tuple[PairContext, Dict[str, str], CanonicalKey]] = {}
+
 
 class CachedDriver:
     """Memoizing dependence tester with an LRU eviction policy.
@@ -53,14 +82,23 @@ class CachedDriver:
         capacity: int = DEFAULT_CAPACITY,
         delta_options: DeltaOptions = DEFAULT_OPTIONS,
         stats: Optional[EngineStats] = None,
+        plan_capacity: Optional[int] = None,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
+        if plan_capacity is None:
+            plan_capacity = capacity * PLAN_CAPACITY_FACTOR
+        if plan_capacity < 1:
+            raise ValueError(
+                f"plan capacity must be positive, got {plan_capacity}"
+            )
         self.symbols = symbols
         self.capacity = capacity
+        self.plan_capacity = plan_capacity
         self.delta_options = delta_options
         self.stats = stats if stats is not None else EngineStats()
         self._entries: "OrderedDict[CanonicalKey, CacheEntry]" = OrderedDict()
+        self._plans: "OrderedDict[CanonicalKey, TestPlan]" = OrderedDict()
 
     # -- cache primitives ------------------------------------------------
 
@@ -96,8 +134,29 @@ class CachedDriver:
         self.store(key, entry)
 
     def clear(self) -> None:
-        """Drop every entry (counters are kept; see ``stats.reset``)."""
+        """Drop every verdict and plan (counters kept; see ``stats.reset``)."""
         self._entries.clear()
+        self._plans.clear()
+
+    # -- the plan tier ---------------------------------------------------
+
+    def plan_count(self) -> int:
+        """Number of precompiled plans resident."""
+        return len(self._plans)
+
+    def plan_for(self, key: CanonicalKey) -> Optional[TestPlan]:
+        """The precompiled plan for ``key`` (marks it recently used)."""
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+        return plan
+
+    def store_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
+        """Keep a compiled plan, evicting the least recently used past cap."""
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.plan_capacity:
+            self._plans.popitem(last=False)
 
     # -- the tester interface --------------------------------------------
 
@@ -107,12 +166,35 @@ class CachedDriver:
         sink_site: AccessSite,
         symbols: Optional[SymbolEnv] = None,
     ) -> Tuple[PairContext, Dict[str, str], CanonicalKey]:
-        """Build the context, rename map, and canonical key for one pair."""
-        context = PairContext(
-            src_site, sink_site, symbols if symbols is not None else self.symbols
+        """Build the context, rename map, and canonical key for one pair.
+
+        Memoized process-wide by the identity of the pair's underlying IR
+        objects (reference, statement, environment):
+        ``collect_access_sites`` wraps the same immutable tree in fresh
+        :class:`AccessSite` objects on every walk, so a driver re-analyzing
+        a body — the steady state of a transformation pipeline — would
+        otherwise rebuild every context and key from scratch each pass.
+        """
+        env = symbols if symbols is not None else self.symbols
+        memo_key = (
+            id(src_site.ref),
+            id(src_site.stmt),
+            src_site.is_write,
+            id(sink_site.ref),
+            id(sink_site.stmt),
+            sink_site.is_write,
+            id(env),
         )
+        cached = _PAIR_MEMO.get(memo_key)
+        if cached is not None:
+            return cached
+        context = PairContext(src_site, sink_site, env)
         mapping = rename_map(context)
-        return context, mapping, canonical_pair_key(context, mapping)
+        value = (context, mapping, canonical_pair_key(context, mapping))
+        if len(_PAIR_MEMO) >= PREPARE_MEMO_LIMIT:
+            _PAIR_MEMO.clear()
+        _PAIR_MEMO[memo_key] = value
+        return value
 
     def resolve(
         self,
@@ -121,21 +203,54 @@ class CachedDriver:
         key: CanonicalKey,
         recorder: Optional[TestRecorder] = None,
     ) -> DependenceResult:
-        """Serve a prepared pair from cache, testing (and filling) on miss."""
+        """Serve a prepared pair from cache, testing (and filling) on miss.
+
+        The miss path replays the key's precompiled test plan when one is
+        resident (skipping partitioning and classification), and compiles
+        one otherwise so the next miss on this shape is cheaper.
+        """
+        profile = self.stats.profile
         entry = self.lookup(key)
         if entry is not None:
             if recorder is not None:
                 recorder.merge(entry.recorder)
-            return rehydrate_result(entry, context, mapping)
+            if profile is None:
+                return rehydrate_result(entry, context, mapping)
+            start = perf_counter()
+            result = rehydrate_result(entry, context, mapping)
+            profile.add_phase("rehydrate", perf_counter() - start)
+            return result
         local = TestRecorder()
-        result = test_dependence(
-            context.src_site,
-            context.sink_site,
-            symbols=context.symbols,
-            recorder=local,
-            delta_options=self.delta_options,
-            context=context,
-        )
+        start = perf_counter() if profile is not None else 0.0
+        plan = self.plan_for(key)
+        if plan is not None:
+            self.stats.plan_hits += 1
+            result = test_dependence(
+                context.src_site,
+                context.sink_site,
+                symbols=context.symbols,
+                recorder=local,
+                delta_options=self.delta_options,
+                context=context,
+                plan=plan.check(key),
+                profile=profile,
+            )
+        else:
+            self.stats.plan_misses += 1
+            plan_recorder = PlanRecorder()
+            result = test_dependence(
+                context.src_site,
+                context.sink_site,
+                symbols=context.symbols,
+                recorder=local,
+                delta_options=self.delta_options,
+                context=context,
+                plan_recorder=plan_recorder,
+                profile=profile,
+            )
+            self.store_plan(key, plan_recorder.compile(key))
+        if profile is not None:
+            profile.add_phase("test", perf_counter() - start)
         self.store(key, canonicalize_result(result, mapping, local))
         if recorder is not None:
             recorder.merge(local)
@@ -149,5 +264,11 @@ class CachedDriver:
         recorder: Optional[TestRecorder] = None,
     ) -> DependenceResult:
         """Drop-in replacement for :func:`~repro.core.driver.test_dependence`."""
-        context, mapping, key = self.prepare(src_site, sink_site, symbols)
+        profile = self.stats.profile
+        if profile is None:
+            context, mapping, key = self.prepare(src_site, sink_site, symbols)
+        else:
+            start = perf_counter()
+            context, mapping, key = self.prepare(src_site, sink_site, symbols)
+            profile.add_phase("prepare", perf_counter() - start)
         return self.resolve(context, mapping, key, recorder)

@@ -28,16 +28,16 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.classify.pairs import PairContext, prime
 from repro.core.driver import DependenceResult
 from repro.dirvec.direction import IndexConstraint
-from repro.dirvec.vectors import Coupling, DependenceInfo
+from repro.dirvec.vectors import Coupling, DependenceInfo, DirectionVector
 from repro.instrument import TestRecorder
 from repro.ir.context import LoopContext
 from repro.single.outcome import TestOutcome
-from repro.symbolic.linexpr import LinearExpr
+from repro.symbolic.linexpr import CachedRenamer, LinearExpr, cached_renamer
 
 CanonicalKey = Tuple[Hashable, ...]
 
@@ -62,14 +62,32 @@ def _canon_name(table: Tuple[str, ...], prefix: str, n: int) -> str:
     return sys.intern(f"%{prefix}{n}")
 
 
+#: Rename maps by (source, sink) loop-context identity: the map is a pure
+#: function of the two stacks (their indices and longest common prefix),
+#: and contexts are interned by ``cached_loop_context``, so all the pairs
+#: over one stack combination share one map object.  Never mutated after
+#: construction.  Bounded and cleared wholesale like the other caches.
+_RENAME_MAPS: Dict[Tuple[LoopContext, LoopContext], Dict[str, str]] = {}
+_RENAME_MAPS_LIMIT = 1 << 12
+
+#: Inverse (canonical → original) maps by rename-map identity; the value
+#: holds the forward map so its id stays stable while the entry lives.
+_INVERSE_MAPS: Dict[int, Tuple[Dict[str, str], Dict[str, str]]] = {}
+
+
 def rename_map(context: PairContext) -> Dict[str, str]:
     """Original → canonical name map for every index occurrence of a pair.
 
     Covers the unprimed (source-instance) and primed (sink-instance) forms
     of every loop index of either side.  Symbolic constants are absent —
     they keep their own names.  The map is injective, so it inverts for
-    rehydration.
+    rehydration.  The returned dict is shared across pairs with the same
+    loop stacks and must not be mutated.
     """
+    memo_key = (context.src_context, context.sink_context)
+    cached = _RENAME_MAPS.get(memo_key)
+    if cached is not None:
+        return cached
     mapping: Dict[str, str] = {}
     depth = context.depth
     for position, index in enumerate(context.common_indices):
@@ -85,6 +103,9 @@ def rename_map(context: PairContext) -> Dict[str, str]:
         # the name outside any enclosing loop on it) resolves to the sink
         # loop only when no source loop claims the name.
         mapping.setdefault(loop.index, canon)
+    if len(_RENAME_MAPS) >= _RENAME_MAPS_LIMIT:
+        _RENAME_MAPS.clear()
+    _RENAME_MAPS[memo_key] = mapping
     return mapping
 
 
@@ -144,13 +165,23 @@ def canonical_pair_key(
 
 
 def _stack_fingerprint(loop_ctx: LoopContext) -> Tuple:
-    """Per-level (range, trip span) data of one side's full loop stack."""
+    """Per-level (range, trip span) data of one side's full loop stack.
+
+    Loop contexts are shared across all the pairs of a routine (see
+    :func:`~repro.ir.context.cached_loop_context`), so the fingerprint is
+    computed once and memoized on the context object.
+    """
+    cached = getattr(loop_ctx, "_canon_fingerprint", None)
+    if cached is not None:
+        return cached
     parts = []
     for index in loop_ctx.indices:
         interval = loop_ctx.index_range(index)
         span = loop_ctx.trip_span(index)
         parts.append((interval.lo, interval.hi, span.lo, span.hi))
-    return tuple(parts)
+    fingerprint = tuple(parts)
+    loop_ctx._canon_fingerprint = fingerprint
+    return fingerprint
 
 
 # ---------------------------------------------------------------------------
@@ -164,9 +195,13 @@ class CacheEntry:
 
     ``recorder`` holds the test-application counters the pair's test run
     produced (including the Delta test's inner applications), so replaying
-    a hit keeps Table 3 statistics byte-identical to a fresh run.  Entries
-    contain no references to loops, sites, or contexts — they pickle
-    cleanly across process boundaries.
+    a hit keeps Table 3 statistics byte-identical to a fresh run.
+    ``vectors`` precomputes the verdict's direction-vector set — vectors
+    are tuples of :class:`~repro.dirvec.direction.Direction` and mention no
+    names, so every pair served by this entry shares the same set and
+    rehydration never re-expands the constraint system.  Entries contain no
+    references to loops, sites, or contexts — they pickle cleanly across
+    process boundaries.
     """
 
     independent: bool
@@ -174,6 +209,7 @@ class CacheEntry:
     info: DependenceInfo
     outcomes: List[TestOutcome]
     recorder: TestRecorder
+    vectors: FrozenSet[DirectionVector] = frozenset()
 
 
 def canonicalize_result(
@@ -182,12 +218,14 @@ def canonicalize_result(
     recorder: TestRecorder,
 ) -> CacheEntry:
     """Strip a fresh driver result down to a canonical :class:`CacheEntry`."""
+    renamer = cached_renamer(mapping)
     return CacheEntry(
         independent=result.independent,
         exact=result.exact,
-        info=_rename_info(result.info, mapping),
-        outcomes=[_rename_outcome(o, mapping) for o in result.outcomes],
+        info=_rename_info(result.info, renamer),
+        outcomes=[_rename_outcome(o, renamer) for o in result.outcomes],
         recorder=recorder,
+        vectors=frozenset(result.direction_vectors),
     )
 
 
@@ -202,29 +240,38 @@ def rehydrate_result(
     was built with); its inverse renames the stored verdict back to the
     pair's real index names.
     """
-    inverse = {canon: name for name, canon in mapping.items()}
+    cached = _INVERSE_MAPS.get(id(mapping))
+    if cached is not None and cached[0] is mapping:
+        inverse = cached[1]
+    else:
+        inverse = {canon: name for name, canon in mapping.items()}
+        if len(_INVERSE_MAPS) >= _RENAME_MAPS_LIMIT:
+            _INVERSE_MAPS.clear()
+        _INVERSE_MAPS[id(mapping)] = (mapping, inverse)
+    renamer = cached_renamer(inverse)
     return DependenceResult(
         context=context,
         independent=entry.independent,
-        info=_rename_info(entry.info, inverse),
+        info=_rename_info(entry.info, renamer),
         exact=entry.exact,
-        outcomes=[_rename_outcome(o, inverse) for o in entry.outcomes],
+        outcomes=[_rename_outcome(o, renamer) for o in entry.outcomes],
+        cached_vectors=entry.vectors,
     )
 
 
-def _rename_value(value, mapping: Dict[str, str]):
+def _rename_value(value, renamer: CachedRenamer):
     """Rename a constraint payload: only symbolic expressions carry names."""
     if isinstance(value, LinearExpr):
-        return value.rename(mapping)
+        return renamer(value)
     return value
 
 
 def _rename_constraint(
-    constraint: IndexConstraint, mapping: Dict[str, str]
+    constraint: IndexConstraint, renamer: CachedRenamer
 ) -> IndexConstraint:
     if isinstance(constraint.distance, LinearExpr):
         return IndexConstraint(
-            constraint.directions, constraint.distance.rename(mapping)
+            constraint.directions, renamer(constraint.distance)
         )
     return constraint
 
@@ -234,30 +281,32 @@ def _rename_coupling(coupling: Coupling, mapping: Dict[str, str]) -> Coupling:
     return (tuple(mapping.get(i, i) for i in indices), vectors)
 
 
-def _rename_info(info: DependenceInfo, mapping: Dict[str, str]) -> DependenceInfo:
+def _rename_info(info: DependenceInfo, renamer: CachedRenamer) -> DependenceInfo:
+    mapping = renamer.mapping
     return DependenceInfo(
         indices=tuple(mapping.get(i, i) for i in info.indices),
         constraints={
-            mapping.get(index, index): _rename_constraint(constraint, mapping)
+            mapping.get(index, index): _rename_constraint(constraint, renamer)
             for index, constraint in info.constraints.items()
         },
         couplings=[_rename_coupling(c, mapping) for c in info.couplings],
     )
 
 
-def _rename_outcome(outcome: TestOutcome, mapping: Dict[str, str]) -> TestOutcome:
+def _rename_outcome(outcome: TestOutcome, renamer: CachedRenamer) -> TestOutcome:
+    mapping = renamer.mapping
     return TestOutcome(
         test=outcome.test,
         applicable=outcome.applicable,
         independent=outcome.independent,
         exact=outcome.exact,
         constraints={
-            mapping.get(index, index): _rename_constraint(constraint, mapping)
+            mapping.get(index, index): _rename_constraint(constraint, renamer)
             for index, constraint in outcome.constraints.items()
         },
         couplings=[_rename_coupling(c, mapping) for c in outcome.couplings],
         notes={
-            key: _rename_value(value, mapping)
+            key: _rename_value(value, renamer)
             for key, value in outcome.notes.items()
         },
     )

@@ -1,14 +1,17 @@
 """The :class:`DependenceEngine` facade.
 
 One object owns the policy knobs — caching on/off, worker count, cache
-capacity, Delta options — and picks the right builder for each
+capacity, Delta options, profiling — and picks the right builder for each
 ``build_graph`` call:
 
 * ``jobs <= 1``, cache off → the plain serial builder (baseline);
 * ``jobs <= 1``, cache on → serial builder with the
   :class:`~repro.engine.cache.CachedDriver` plugged in as its tester;
 * ``jobs > 1`` → the process-pool builder, sharing this engine's driver
-  so the cache stays warm across calls.
+  so the cache stays warm across calls.  Dispatch is adaptive: small or
+  cheap builds stay in-process (see
+  :mod:`~repro.engine.parallel`), and the pool itself is created lazily
+  on the first build that actually ships work.
 
 The engine is long-lived by design: the study harness builds one graph
 per kernel of a corpus through a single engine, so canonical entries
@@ -21,11 +24,8 @@ from typing import Optional, Sequence
 
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine.cache import DEFAULT_CAPACITY, CachedDriver
-from repro.engine.parallel import (
-    DEFAULT_CHUNKSIZE,
-    build_dependence_graph_parallel,
-    make_pool,
-)
+from repro.engine.parallel import build_dependence_graph_parallel, make_pool
+from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
 from repro.graph.depgraph import DependenceGraph, build_dependence_graph
 from repro.instrument import TestRecorder
@@ -43,7 +43,9 @@ class DependenceEngine:
         cache_size: int = DEFAULT_CAPACITY,
         use_cache: bool = True,
         delta_options: DeltaOptions = DEFAULT_OPTIONS,
-        chunksize: int = DEFAULT_CHUNKSIZE,
+        chunksize: Optional[int] = None,
+        plan_capacity: Optional[int] = None,
+        profile: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -51,8 +53,13 @@ class DependenceEngine:
         self.jobs = jobs
         self.use_cache = use_cache
         self.chunksize = chunksize
+        stats = EngineStats(profile=PhaseProfile()) if profile else None
         self.driver = CachedDriver(
-            symbols=symbols, capacity=cache_size, delta_options=delta_options
+            symbols=symbols,
+            capacity=cache_size,
+            delta_options=delta_options,
+            stats=stats,
+            plan_capacity=plan_capacity,
         )
         self._pool = None
 
@@ -60,6 +67,11 @@ class DependenceEngine:
     def stats(self) -> EngineStats:
         """The engine's cache/fan-out counters (live, not a snapshot)."""
         return self.driver.stats
+
+    @property
+    def profile(self) -> Optional[PhaseProfile]:
+        """Per-phase wall timings, when built with ``profile=True``."""
+        return self.driver.stats.profile
 
     def close(self) -> None:
         """Shut down the worker pool (a later build recreates it)."""
@@ -72,6 +84,12 @@ class DependenceEngine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _pool_factory(self):
+        """Create (and retain for reuse) the worker pool on first dispatch."""
+        if self._pool is None:
+            self._pool = make_pool(self.jobs, self.driver.delta_options)
+        return self._pool
 
     def build_graph(
         self,
@@ -88,8 +106,6 @@ class DependenceEngine:
         """
         env = symbols if symbols is not None else self.symbols
         if self.jobs > 1:
-            if self._pool is None:
-                self._pool = make_pool(self.jobs, self.driver.delta_options)
             return build_dependence_graph_parallel(
                 nodes,
                 symbols=env,
@@ -100,6 +116,7 @@ class DependenceEngine:
                 chunksize=self.chunksize,
                 dedup=self.use_cache,
                 pool=self._pool,
+                pool_factory=self._pool_factory,
             )
         if not self.use_cache:
             return build_dependence_graph(
@@ -107,6 +124,7 @@ class DependenceEngine:
                 symbols=env,
                 recorder=recorder,
                 include_input=include_input,
+                profile=self.profile,
             )
         return build_dependence_graph(
             nodes,
@@ -114,4 +132,5 @@ class DependenceEngine:
             recorder=recorder,
             include_input=include_input,
             tester=self.driver,
+            profile=self.profile,
         )

@@ -12,6 +12,17 @@ parallel: every pair's test is independent.  This builder
 4. resolves every pair through the now-hot cache, building edges in the
    parent so they reference the parent's own loop and site objects.
 
+Dispatch is *adaptive*: every work item gets a cost estimate from its
+classification mix (ZIV positions are near-free, coupled groups cost an
+order of magnitude more), and the builder
+
+* stays serial outright when the candidate-pair population or the
+  predicted work is too small to amortize pool IPC — the paper's kernels
+  average ~8 pairs per routine, for which a pool is pure overhead — and
+* otherwise sizes chunks to ``total_work / (jobs * OVERSUBSCRIPTION)``
+  cost units rather than a fixed pair count, so a handful of expensive
+  Delta groups cannot serialize behind one worker.
+
 Because workers return only canonical entries (never contexts or loops),
 nothing in the assembled graph depends on worker-process object identity;
 per-pair recorder deltas are merged with
@@ -21,13 +32,15 @@ byte-identical to a serial run.
 A caller-supplied pool (see :func:`make_pool`) is reused across builds —
 :class:`~repro.engine.engine.DependenceEngine` keeps one for its
 lifetime, so a corpus-wide study pays the pool startup cost once, not
-once per routine.
+once per routine.  Passing ``pool_factory`` instead defers even pool
+*creation* until a build actually needs workers.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.pairs import PairContext
 from repro.core.driver import test_dependence
@@ -50,9 +63,21 @@ from repro.instrument import TestRecorder
 from repro.ir.context import SymbolEnv
 from repro.ir.loop import Node, collect_access_sites
 
-#: Pairs per worker task; large enough to amortize dispatch overhead,
-#: small enough to load-balance uneven test costs.
-DEFAULT_CHUNKSIZE = 32
+#: Builds with fewer candidate pairs than this never touch the pool: at
+#: kernel-corpus pair counts the pool round-trip alone exceeds the whole
+#: serial build.
+AUTO_SERIAL_PAIR_THRESHOLD = 32
+
+#: Minimum predicted work (cost units, see :func:`estimate_pair_cost`)
+#: worth shipping to workers.  One unit is roughly one cheap single-
+#: subscript test (~0.05 ms); the first dispatching build also pays pool
+#: startup (~100 ms for two workers), so the break-even sits around a
+#: couple of thousand units — anything below is faster in-process.
+MIN_PARALLEL_COST = 2048
+
+#: Chunks per worker the adaptive splitter aims for: enough slack to
+#: load-balance uneven test costs without drowning in per-chunk IPC.
+OVERSUBSCRIPTION = 4
 
 # Per-worker Delta options, installed once by the pool initializer.
 _WORKER: dict = {"delta_options": DEFAULT_OPTIONS}
@@ -69,6 +94,61 @@ def make_pool(
     return ProcessPoolExecutor(
         max_workers=jobs, initializer=_init_worker, initargs=(delta_options,)
     )
+
+
+def estimate_pair_cost(context: PairContext) -> int:
+    """Predicted test cost of one pair, in arbitrary *cost units*.
+
+    Derived from the classification mix without running the classifier:
+    per subscript position, the number of distinct base indices decides
+    the tier (ZIV ≈ 1, SIV ≈ 2, MIV ≈ 8), and any index shared between
+    positions predicts a coupled group — a Delta test costs an order of
+    magnitude more than the single-subscript tests.
+    """
+    cost = 1
+    seen: set = set()
+    coupled = False
+    for pair in context.subscripts:
+        bases = context.subscript_bases(pair)
+        n = len(bases)
+        if n == 0:
+            cost += 1
+        elif n == 1:
+            cost += 2
+        else:
+            cost += 8
+        if not coupled and not seen.isdisjoint(bases):
+            coupled = True
+        seen |= bases
+    if coupled:
+        cost += 20
+    return cost
+
+
+def _cost_chunks(
+    specs: List[Tuple[int, int]], costs: List[int], jobs: int
+) -> List[List[Tuple[int, int]]]:
+    """Split work into chunks of roughly equal *cost* (not count).
+
+    Targets ``total_cost / (jobs * OVERSUBSCRIPTION)`` per chunk so the
+    pool gets enough chunks to load-balance while each stays large enough
+    to amortize dispatch.
+    """
+    total = sum(costs)
+    target = max(total // (jobs * OVERSUBSCRIPTION), 1)
+    chunks: List[List[Tuple[int, int]]] = []
+    current: List[Tuple[int, int]] = []
+    acc = 0
+    for spec, cost in zip(specs, costs):
+        current.append(spec)
+        acc += cost
+        if acc >= target:
+            chunks.append(current)
+            current = []
+            acc = 0
+    if current:
+        chunks.append(current)
+    return chunks
 
 
 def _test_chunk(
@@ -113,82 +193,110 @@ def build_dependence_graph_parallel(
     include_input: bool = False,
     jobs: int = 2,
     driver: Optional[CachedDriver] = None,
-    chunksize: int = DEFAULT_CHUNKSIZE,
+    chunksize: Optional[int] = None,
     dedup: bool = True,
     pool: Optional[ProcessPoolExecutor] = None,
+    pool_factory: Optional[Callable[[], ProcessPoolExecutor]] = None,
 ) -> DependenceGraph:
     """Test all candidate pairs of a statement list over a process pool.
 
     ``driver`` supplies (and outlives) the verdict cache, so repeated
     calls — e.g. one per routine of a corpus — keep accumulating shared
     entries; omitted, a private one is created for the call.  ``pool`` is
-    an executor from :func:`make_pool` to reuse across calls; omitted, a
-    fresh one is spun up and torn down.  ``dedup`` mirrors the engine's
-    cache switch: when False every pair is shipped to the workers and
-    rehydrated individually, measuring pure fan-out.
+    an executor from :func:`make_pool` to reuse across calls;
+    ``pool_factory`` lazily creates (and lets the caller retain) one only
+    if this build actually dispatches; with neither, a fresh pool is spun
+    up and torn down.  ``chunksize`` fixes the pairs-per-task count; the
+    default (None) sizes chunks adaptively by predicted cost.  ``dedup``
+    mirrors the engine's cache switch: when False every pair is shipped to
+    the workers and rehydrated individually, measuring pure fan-out.
     """
     if driver is None:
         driver = CachedDriver(symbols)
+    profile = driver.stats.profile
+    start = perf_counter() if profile is not None else 0.0
     sites = collect_access_sites(nodes)
     pairs = list(iter_candidate_pairs(sites, include_input))
     prepared = []
     for first, second in pairs:
         context, mapping, key = driver.prepare(first, second, symbols)
         prepared.append((first, second, context, mapping, key))
+    if profile is not None:
+        profile.add_phase("prepare", perf_counter() - start, len(prepared))
 
     edges: List[DependenceEdge] = []
     tested = 0
     independent = 0
 
     if jobs <= 1 or not prepared:
-        # Degenerate pool: serve everything through the cache in-process.
-        for first, second, context, mapping, key in prepared:
-            tested += 1
-            result = driver.resolve(context, mapping, key, recorder)
-            if result.independent:
-                independent += 1
-            else:
-                edges.extend(edges_from_result(first, second, result))
-        return DependenceGraph(sites, edges, independent, tested, recorder)
+        return _serve_serial(sites, prepared, driver, recorder, dedup)
 
     if dedup:
         # One representative (site-index pair) per canonical key not
         # already resident in the cache.
-        missing: Dict[CanonicalKey, Tuple[int, int]] = {}
-        for first, second, _, _, key in prepared:
+        missing: Dict[CanonicalKey, Tuple[Tuple[int, int], PairContext]] = {}
+        for first, second, context, _, key in prepared:
             if key not in missing and not driver.contains(key):
-                missing[key] = (first.position, second.position)
-        work = list(missing.items())
+                missing[key] = ((first.position, second.position), context)
+        work = [(key, spec) for key, (spec, _) in missing.items()]
+        work_contexts = [context for _, context in missing.values()]
     else:
         work = [
             (key, (first.position, second.position))
             for first, second, _, _, key in prepared
         ]
+        work_contexts = [context for _, _, context, _, _ in prepared]
+
+    if not work:
+        # Every key already resident: nothing to ship.
+        return _serve_serial(sites, prepared, driver, recorder, dedup)
+
+    # Adaptive serial fallback: when the whole build (or the part of it
+    # not already cached) is predicted to cost less than pool IPC, run it
+    # in-process.  Tiny routines therefore never pay pool overhead even
+    # under ``--jobs``.  An explicit ``chunksize`` opts out of adaptivity
+    # (manual control: always dispatch, fixed-size chunks).
+    costs: List[int] = []
+    if chunksize is None:
+        if len(pairs) < AUTO_SERIAL_PAIR_THRESHOLD:
+            driver.stats.auto_serial += 1
+            return _serve_serial(sites, prepared, driver, recorder, dedup)
+        costs = [estimate_pair_cost(context) for context in work_contexts]
+        if sum(costs) < MIN_PARALLEL_COST:
+            driver.stats.auto_serial += 1
+            return _serve_serial(sites, prepared, driver, recorder, dedup)
 
     entries_by_slot: List[Optional[CacheEntry]] = [None] * len(work)
-    if work:
-        driver.stats.dispatched += len(work)
-        tasks = [
-            (nodes, symbols, chunk)
-            for chunk in _chunked([spec for _, spec in work], chunksize)
-        ]
-        own_pool = pool is None
-        executor = pool if pool is not None else make_pool(
-            jobs, driver.delta_options
-        )
-        try:
-            slot = 0
-            for entries in executor.map(_test_chunk, tasks):
-                for entry in entries:
-                    entries_by_slot[slot] = entry
-                    slot += 1
-        finally:
-            if own_pool:
-                executor.shutdown()
-        if dedup:
-            for (key, _), entry in zip(work, entries_by_slot):
-                assert entry is not None
-                driver.seed(key, entry)
+    driver.stats.dispatched += len(work)
+    specs = [spec for _, spec in work]
+    if chunksize is not None:
+        spec_chunks = _chunked(specs, chunksize)
+    else:
+        spec_chunks = _cost_chunks(specs, costs, jobs)
+    tasks = [(nodes, symbols, chunk) for chunk in spec_chunks]
+    own_pool = False
+    executor = pool
+    if executor is None and pool_factory is not None:
+        executor = pool_factory()
+    if executor is None:
+        executor = make_pool(jobs, driver.delta_options)
+        own_pool = True
+    start = perf_counter() if profile is not None else 0.0
+    try:
+        slot = 0
+        for entries in executor.map(_test_chunk, tasks):
+            for entry in entries:
+                entries_by_slot[slot] = entry
+                slot += 1
+    finally:
+        if own_pool:
+            executor.shutdown()
+    if profile is not None:
+        profile.add_phase("dispatch", perf_counter() - start, len(tasks))
+    if dedup:
+        for (key, _), entry in zip(work, entries_by_slot):
+            assert entry is not None
+            driver.seed(key, entry)
 
     if dedup:
         for first, second, context, mapping, key in prepared:
@@ -212,4 +320,40 @@ def build_dependence_graph_parallel(
             else:
                 edges.extend(edges_from_result(first, second, result))
 
+    return DependenceGraph(sites, edges, independent, tested, recorder)
+
+
+def _serve_serial(
+    sites,
+    prepared,
+    driver: CachedDriver,
+    recorder: Optional[TestRecorder],
+    dedup: bool,
+) -> DependenceGraph:
+    """Resolve every prepared pair in-process (degenerate / fallback pool).
+
+    With ``dedup`` the shared cache serves (and fills) as usual; without
+    it the plain driver runs per pair, preserving the uncached builder's
+    exact behavior.
+    """
+    edges: List[DependenceEdge] = []
+    tested = 0
+    independent = 0
+    for first, second, context, mapping, key in prepared:
+        tested += 1
+        if dedup:
+            result = driver.resolve(context, mapping, key, recorder)
+        else:
+            result = test_dependence(
+                first,
+                second,
+                symbols=context.symbols,
+                recorder=recorder,
+                delta_options=driver.delta_options,
+                context=context,
+            )
+        if result.independent:
+            independent += 1
+        else:
+            edges.extend(edges_from_result(first, second, result))
     return DependenceGraph(sites, edges, independent, tested, recorder)

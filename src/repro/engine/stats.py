@@ -1,26 +1,37 @@
-"""Engine observability: cache and fan-out counters.
+"""Engine observability: cache, plan, and fan-out counters.
 
 The study harness threads a :class:`~repro.instrument.TestRecorder`
 through the driver to count test applications (the paper's Table 3); the
 engine adds :class:`EngineStats` alongside it to count what the *cache*
-did — hits, misses, evictions — and how much work the parallel builder
-shipped to workers.  The benchmark harness serializes these into
+did — hits, misses, evictions — how often the precompiled test-plan tier
+fired, how much work the parallel builder shipped to workers, and how
+often adaptive dispatch chose to stay serial.  An optional
+:class:`~repro.engine.profile.PhaseProfile` rides along for per-phase
+wall-clock timings.  The benchmark harness serializes all of it into
 ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.profile import PhaseProfile
 
 
 @dataclass
 class EngineStats:
     """Counters for one engine (or one :class:`CachedDriver`) lifetime.
 
-    ``hits``/``misses`` count canonical-key lookups; ``evictions`` counts
-    LRU drops; ``seeded`` counts entries inserted by the parallel builder
-    (worker-produced results adopted without a local miss);
+    ``hits``/``misses`` count canonical-key verdict lookups; ``evictions``
+    counts LRU drops; ``seeded`` counts entries inserted by the parallel
+    builder (worker-produced results adopted without a local miss);
     ``dispatched`` counts pairs actually tested in worker processes.
+    ``plan_hits``/``plan_misses`` count verdict misses that could / could
+    not replay a precompiled test plan; ``auto_serial`` counts builds where
+    adaptive dispatch predicted the pool would cost more than it saved and
+    ran in-process instead.  ``profile`` holds per-phase wall timings when
+    the engine was built with profiling on (None otherwise).
     """
 
     hits: int = 0
@@ -28,6 +39,10 @@ class EngineStats:
     evictions: int = 0
     seeded: int = 0
     dispatched: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    auto_serial: int = 0
+    profile: Optional[PhaseProfile] = field(default=None, compare=False)
 
     @property
     def lookups(self) -> int:
@@ -47,25 +62,46 @@ class EngineStats:
         self.evictions += other.evictions
         self.seeded += other.seeded
         self.dispatched += other.dispatched
+        self.plan_hits += other.plan_hits
+        self.plan_misses += other.plan_misses
+        self.auto_serial += other.auto_serial
+        if other.profile is not None:
+            if self.profile is None:
+                self.profile = PhaseProfile()
+            self.profile.merge(other.profile)
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (keeps the profile object, zeroing its timers)."""
         self.hits = self.misses = self.evictions = 0
         self.seeded = self.dispatched = 0
+        self.plan_hits = self.plan_misses = self.auto_serial = 0
+        if self.profile is not None:
+            self.profile.reset()
 
     def as_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
-        return {
+        out = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "seeded": self.seeded,
             "dispatched": self.dispatched,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "auto_serial": self.auto_serial,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.profile is not None:
+            out["profile"] = self.profile.as_dict()
+        return out
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"cache: {self.hits} hits, {self.misses} misses "
             f"({self.hit_rate:.1%} hit rate), {self.evictions} evictions"
         )
+        if self.plan_hits or self.plan_misses:
+            text += f"; plans: {self.plan_hits} replayed, {self.plan_misses} compiled"
+        if self.auto_serial:
+            text += f"; auto-serial builds: {self.auto_serial}"
+        return text

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.driver import DependenceResult, test_dependence
@@ -219,13 +220,17 @@ def build_dependence_graph(
     recorder: Optional[TestRecorder] = None,
     include_input: bool = False,
     tester=test_dependence,
+    profile=None,
 ) -> DependenceGraph:
     """Test all candidate reference pairs of a statement list.
 
     ``tester`` may be swapped for a baseline driver (the benchmark harness
     compares the paper's suite against subscript-by-subscript Banerjee-GCD
     and the Power test this way); it must match the signature of
-    :func:`repro.core.driver.test_dependence`.
+    :func:`repro.core.driver.test_dependence`.  ``profile`` is an optional
+    :class:`~repro.engine.profile.PhaseProfile` charged with the time
+    spent expanding results into typed edges (the ``edge-build`` phase;
+    the tester accounts for its own phases).
     """
     sites = collect_access_sites(nodes)
     edges: List[DependenceEdge] = []
@@ -237,7 +242,12 @@ def build_dependence_graph(
         if result.independent:
             independent += 1
             continue
-        edges.extend(edges_from_result(first, second, result))
+        if profile is None:
+            edges.extend(edges_from_result(first, second, result))
+        else:
+            start = perf_counter()
+            edges.extend(edges_from_result(first, second, result))
+            profile.add_phase("edge-build", perf_counter() - start)
     return DependenceGraph(sites, edges, independent, tested, recorder)
 
 

@@ -80,6 +80,12 @@ class Assign(Stmt):
 
     @property
     def reads(self) -> Tuple[Ref, ...]:
+        # Cached on first access: the view is pure derived data, and stable
+        # reference identity lets the engine's prepared-pair memo recognize
+        # a statement across repeated walks of the same tree.
+        cached = getattr(self, "_reads", None)
+        if cached is not None:
+            return cached
         loads: List[Ref] = []
         for node in self.rhs.walk():
             if isinstance(node, IndexedLoad):
@@ -91,7 +97,8 @@ class Assign(Stmt):
                 for node in sub.walk():
                     if isinstance(node, IndexedLoad):
                         loads.append(ArrayRef(node.array, node.subscripts))
-        return tuple(loads)
+        self._reads = cached = tuple(loads)
+        return cached
 
     def __str__(self) -> str:
         return f"{self.lhs} = {self.rhs}"

@@ -63,6 +63,16 @@ class TestAnalyzeEngineFlags:
         assert main(["analyze", str(kernel_file), "--counts"]) == 0
         assert "cache:" in capsys.readouterr().out
 
+    def test_analyze_profile(self, kernel_file, capsys):
+        assert main(["analyze", str(kernel_file), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings" in out
+        assert "prepare" in out
+
+    def test_analyze_no_profile_by_default(self, kernel_file, capsys):
+        assert main(["analyze", str(kernel_file)]) == 0
+        assert "phase timings" not in capsys.readouterr().out
+
     def test_jobs_and_cache_match_serial(self, kernel_file, capsys):
         # Statement labels (S1, S2, ...) come from a global construction
         # counter, so they drift between parses; mask them before

@@ -296,3 +296,69 @@ class TestEngineStats:
         assert b.as_dict()["hit_rate"] == 0.6
         b.reset()
         assert b.lookups == 0 and b.hit_rate == 0.0
+
+
+class TestAdaptiveDispatch:
+    """The parallel builder's cost model and auto-serial fallback."""
+
+    def test_tiny_build_stays_serial(self):
+        """Below the pair threshold, --jobs never touches the pool."""
+        nodes = random_nest(2, depth=2, statements=3, ndim=2)
+        symbols = default_symbols()
+        serial = build_dependence_graph(nodes, symbols=symbols)
+        with DependenceEngine(symbols=symbols, jobs=2) as engine:
+            graph = engine.build_graph(nodes)
+            assert engine.stats.auto_serial >= 1
+            assert engine.stats.dispatched == 0
+            assert engine._pool is None  # lazy pool never created
+        assert graph_signature(graph) == graph_signature(serial)
+
+    def test_explicit_chunksize_opts_out_of_adaptivity(self):
+        nodes = random_nest(2, depth=2, statements=3, ndim=2)
+        symbols = default_symbols()
+        with DependenceEngine(symbols=symbols, jobs=2, chunksize=4) as engine:
+            engine.build_graph(nodes)
+            assert engine.stats.auto_serial == 0
+            assert engine.stats.dispatched > 0
+
+    def test_cost_estimate_orders_tiers(self):
+        """ZIV-only pairs cost less than MIV pairs, coupled cost most."""
+        from repro.engine import estimate_pair_cost
+
+        def first_pair_cost(source):
+            sites = collect_access_sites(parse_fragment(source))
+            pairs = list(iter_candidate_pairs(sites))
+            driver = CachedDriver(default_symbols())
+            context, _, _ = driver.prepare(*pairs[0])
+            return estimate_pair_cost(context)
+
+        ziv = first_pair_cost(
+            "DO 10 I = 1, 100\n      A(1) = A(2)\n   10 CONTINUE"
+        )
+        siv = first_pair_cost(
+            "DO 10 I = 1, 100\n      A(I) = A(I-1)\n   10 CONTINUE"
+        )
+        coupled = first_pair_cost(
+            "DO 10 I = 1, 100\n      DO 20 J = 1, 100\n"
+            "      A(I+J, I) = A(I+J-1, I)\n   20 CONTINUE\n   10 CONTINUE"
+        )
+        assert ziv < siv < coupled
+
+
+class TestProfiling:
+    def test_profile_collects_phases(self):
+        nodes = random_nest(7, depth=2, statements=4, ndim=2)
+        engine = DependenceEngine(symbols=default_symbols(), profile=True)
+        engine.build_graph(nodes)
+        engine.build_graph(nodes)  # second pass exercises the hit path
+        profile = engine.profile
+        assert profile is not None
+        phases = profile.as_dict()["phases"]
+        assert "prepare" in phases and "test" in phases
+        assert "rehydrate" in phases
+        assert profile.total_seconds() > 0
+        assert "profile" in engine.stats.as_dict()
+
+    def test_profile_off_by_default(self):
+        engine = DependenceEngine(symbols=default_symbols())
+        assert engine.profile is None

@@ -1,0 +1,137 @@
+"""Precompiled test-plan tests.
+
+Plans are dispatch schedules, not verdicts: replaying one must produce
+byte-identical results and recorder statistics to a from-scratch driver
+run, and a plan compiled for one canonical key must refuse to apply to
+any other.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.driver import test_dependence
+from repro.core.plan import PlanAction, PlanRecorder, StalePlanError, TestPlan
+from repro.corpus.generator import random_nest
+from repro.corpus.loader import default_symbols
+from repro.engine import CachedDriver, DependenceEngine
+from repro.graph.depgraph import iter_candidate_pairs
+from repro.instrument import TestRecorder
+from repro.ir.loop import collect_access_sites
+
+
+def result_signature(result):
+    return (
+        result.independent,
+        result.exact,
+        sorted(str(v) for v in result.direction_vectors),
+        [
+            (o.test, o.applicable, o.independent, o.exact)
+            for o in result.outcomes
+        ],
+    )
+
+
+def recorder_rows(recorder):
+    return sorted(recorder.rows())
+
+
+class TestPlanObject:
+    def test_check_accepts_own_key(self):
+        plan = TestPlan(key=("k",), steps=(((0,), PlanAction.ZIV),))
+        assert plan.check(("k",)) is plan
+
+    def test_check_rejects_foreign_key(self):
+        plan = TestPlan(key=("k",), steps=())
+        with pytest.raises(StalePlanError):
+            plan.check(("other",))
+
+    def test_recorder_compiles_in_order(self):
+        recorder = PlanRecorder()
+        recorder.add((0,), PlanAction.ZIV)
+        recorder.add((1, 2), PlanAction.DELTA)
+        plan = recorder.compile(("k",))
+        assert plan.steps == (((0,), PlanAction.ZIV), ((1, 2), PlanAction.DELTA))
+
+
+class TestPlanReplayParity:
+    """Plain driver vs cached (plan-compiling) vs plan-replaying runs."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_three_way_parity(self, seed):
+        nodes = random_nest(seed, depth=2, statements=4, ndim=2)
+        symbols = default_symbols()
+        sites = collect_access_sites(nodes)
+        pairs = list(iter_candidate_pairs(sites))
+
+        # capacity=1 evicts almost every verdict, so a second pass over
+        # the pairs misses the verdict cache and replays compiled plans.
+        driver = CachedDriver(symbols, capacity=1, plan_capacity=256)
+        plain_rec, cached_rec, planned_rec = (
+            TestRecorder(), TestRecorder(), TestRecorder(),
+        )
+        plain, cached = [], []
+        for first, second in pairs:
+            plain.append(
+                result_signature(
+                    test_dependence(
+                        first, second, symbols=symbols, recorder=plain_rec
+                    )
+                )
+            )
+            cached.append(
+                result_signature(driver(first, second, recorder=cached_rec))
+            )
+        planned = [
+            result_signature(driver(first, second, recorder=planned_rec))
+            for first, second in pairs
+        ]
+        assert plain == cached == planned
+        assert (
+            recorder_rows(plain_rec)
+            == recorder_rows(cached_rec)
+            == recorder_rows(planned_rec)
+        )
+
+    def test_plans_replayed_after_verdict_eviction(self):
+        nodes = random_nest(3, depth=2, statements=4, ndim=2)
+        symbols = default_symbols()
+        sites = collect_access_sites(nodes)
+        pairs = list(iter_candidate_pairs(sites))
+        driver = CachedDriver(symbols, capacity=1, plan_capacity=256)
+        for first, second in pairs:
+            driver(first, second)
+        assert driver.stats.plan_misses > 0
+        before = driver.stats.plan_hits
+        for first, second in pairs:
+            driver(first, second)
+        assert driver.stats.plan_hits > before
+        assert driver.plan_count() > 0
+
+    def test_stale_plan_cannot_cross_keys(self):
+        """A plan stored under one key refuses to run for another shape."""
+        nodes = random_nest(5, depth=2, statements=4, ndim=2)
+        symbols = default_symbols()
+        driver = CachedDriver(symbols)
+        sites = collect_access_sites(nodes)
+        pairs = list(iter_candidate_pairs(sites))
+        keys = []
+        for first, second in pairs:
+            context, mapping, key = driver.prepare(first, second, symbols)
+            driver.resolve(context, mapping, key, None)
+            keys.append(key)
+        distinct = sorted(set(keys), key=repr)
+        assert len(distinct) >= 2, "need two shapes to cross"
+        plan = driver.plan_for(distinct[0])
+        assert plan is not None
+        with pytest.raises(StalePlanError):
+            plan.check(distinct[1])
+
+
+class TestEngineCounters:
+    def test_engine_compiles_plans(self):
+        nodes = random_nest(11, depth=2, statements=4, ndim=2)
+        engine = DependenceEngine(symbols=default_symbols())
+        engine.build_graph(nodes)
+        assert engine.stats.plan_misses > 0
+        assert engine.driver.plan_count() == engine.stats.plan_misses
