@@ -7,6 +7,12 @@ Subcommands:
 * ``study`` — regenerate the paper's tables over the corpus
   (``--table 1|2|3`` for a single table, default all).
 * ``corpus`` — list the corpus suites and programs.
+
+Exit codes: 0 — success (including degraded runs that assumed some
+verdicts after absorbed faults; a fault report is printed); 1 — input
+file unreadable; 2 — Fortran syntax error (a diagnostic with line,
+column, and caret is printed, never a traceback); 3 — ``--strict`` run
+aborted on the first engine fault.
 """
 
 from __future__ import annotations
@@ -21,13 +27,21 @@ from repro.corpus.loader import (
     available_suites,
     default_symbols,
 )
-from repro.engine import DependenceEngine
+from repro.engine import DependenceEngine, EngineFaultError, FaultPolicy
+from repro.engine.faults import FailureRecord
+from repro.fortran.errors import FortranSyntaxError
 from repro.fortran.parser import parse_program
 from repro.instrument import TestRecorder
 from repro.ir.normalize import normalize_program
 from repro.transform.parallel import find_parallel_loops
 from repro.transform.peel import find_peeling_opportunities
 from repro.transform.split import find_splitting_opportunities
+
+#: Exit code for a Fortran syntax error in the input file.
+EXIT_SYNTAX_ERROR = 2
+
+#: Exit code for a ``--strict`` run aborted by an engine fault.
+EXIT_STRICT_FAULT = 3
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -59,6 +73,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile", action="store_true",
         help="print per-phase and per-test-tier wall timings",
     )
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first engine fault instead of degrading to "
+        "assumed-dependence verdicts (exit code 3)",
+    )
 
     study = sub.add_parser("study", help="regenerate the paper's tables")
     study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
@@ -66,6 +85,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     study.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="test reference pairs over N worker processes (default 1)",
+    )
+    study.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first engine fault instead of skipping the "
+        "affected pair or routine (exit code 3)",
     )
 
     vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
@@ -95,13 +119,35 @@ def _read_source(path: Path) -> Optional[str]:
         return None
 
 
+def _parse_input(path: Path):
+    """Parse a Fortran input file: ``(program, exit_code)``.
+
+    ``program`` is None on failure; syntax errors print the front end's
+    diagnostic (line, column, snippet, caret) instead of a traceback.
+    """
+    source = _read_source(path)
+    if source is None:
+        return None, 1
+    try:
+        program = normalize_program(parse_program(source, name=path.stem))
+    except FortranSyntaxError as exc:
+        print(f"repro-deps: {path}:", file=sys.stderr)
+        print(exc.diagnostic(), file=sys.stderr)
+        return None, EXIT_SYNTAX_ERROR
+    return program, 0
+
+
+def _strict_abort(exc: EngineFaultError) -> int:
+    print(f"repro-deps: aborted by --strict: {exc}", file=sys.stderr)
+    return EXIT_STRICT_FAULT
+
+
 def _vectorize(args: argparse.Namespace) -> int:
     from repro.transform.vectorize import vectorize
 
-    source = _read_source(args.file)
-    if source is None:
-        return 1
-    program = normalize_program(parse_program(source, name=args.file.stem))
+    program, code = _parse_input(args.file)
+    if program is None:
+        return code
     symbols = default_symbols()
     for routine in program.routines:
         print(f"== routine {routine.name} ==")
@@ -113,34 +159,54 @@ def _vectorize(args: argparse.Namespace) -> int:
 
 
 def _analyze(args: argparse.Namespace) -> int:
-    source = _read_source(args.file)
-    if source is None:
-        return 1
-    program = normalize_program(parse_program(source, name=args.file.stem))
+    from repro.engine import faultinject
+    from repro.engine.faults import describe_error
+
+    program, code = _parse_input(args.file)
+    if program is None:
+        return code
     symbols = default_symbols()
     engine = DependenceEngine(
         symbols=symbols,
         jobs=max(args.jobs, 1),
         use_cache=not args.no_cache,
         profile=args.profile,
+        policy=FaultPolicy.from_env(strict=args.strict),
     )
     recorder = TestRecorder()
-    for routine in program.routines:
-        print(f"== routine {routine.name} ==")
-        graph = engine.build_graph(routine.body, recorder=recorder)
-        print(graph)
-        for verdict in find_parallel_loops(routine.body, symbols, graph):
-            print(verdict)
-        if args.transforms:
-            for suggestion in find_peeling_opportunities(
-                routine.body, symbols, graph
-            ):
-                print(suggestion)
-            for suggestion in find_splitting_opportunities(
-                routine.body, symbols, graph
-            ):
-                print(suggestion)
-        print()
+    with engine:
+        for routine in program.routines:
+            print(f"== routine {routine.name} ==")
+            try:
+                faultinject.on_routine(routine.name)
+                graph = engine.build_graph(routine.body, recorder=recorder)
+            except EngineFaultError as exc:
+                return _strict_abort(exc)
+            except Exception as exc:
+                if args.strict:
+                    raise
+                engine.stats.record_failure(
+                    FailureRecord(
+                        "routine", f"{args.file.stem}/{routine.name}",
+                        describe_error(exc),
+                    )
+                )
+                print(f"routine skipped after failure: {describe_error(exc)}")
+                print()
+                continue
+            print(graph)
+            for verdict in find_parallel_loops(routine.body, symbols, graph):
+                print(verdict)
+            if args.transforms:
+                for suggestion in find_peeling_opportunities(
+                    routine.body, symbols, graph
+                ):
+                    print(suggestion)
+                for suggestion in find_splitting_opportunities(
+                    routine.body, symbols, graph
+                ):
+                    print(suggestion)
+            print()
     if args.counts:
         print("test applications:")
         print(recorder)
@@ -148,6 +214,8 @@ def _analyze(args: argparse.Namespace) -> int:
             print(engine.stats)
     if args.profile and engine.profile is not None:
         print(engine.profile)
+    if engine.stats.degraded:
+        print(engine.stats.failure_report())
     return 0
 
 
@@ -158,14 +226,28 @@ def _study(args: argparse.Namespace) -> int:
     jobs = max(args.jobs, 1)
     if args.table == 1:
         print(render_table1())
-    elif args.table == 2:
+        return 0
+    if args.table == 2:
         print(render_table2())
-    elif args.table == 3:
-        from repro.study.tables import table3
+        return 0
+    engine = DependenceEngine(
+        symbols=default_symbols(),
+        jobs=jobs,
+        policy=FaultPolicy.from_env(strict=args.strict),
+    )
+    try:
+        with engine:
+            if args.table == 3:
+                from repro.study.tables import table3
 
-        print(render_table3(table3(jobs=jobs)))
-    else:
-        print(full_report(args.suite, jobs=jobs))
+                print(render_table3(table3(args.suite, jobs=jobs, engine=engine)))
+                if engine.stats.degraded:
+                    print()
+                    print(engine.stats.failure_report())
+            else:
+                print(full_report(args.suite, jobs=jobs, engine=engine))
+    except EngineFaultError as exc:
+        return _strict_abort(exc)
     return 0
 
 

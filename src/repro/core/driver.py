@@ -69,6 +69,12 @@ class DependenceResult:
     cached_vectors: Optional[FrozenSet[DirectionVector]] = field(
         default=None, repr=False, compare=False
     )
+    #: True when this verdict was *not* computed but assumed after a test
+    #: failure (crash, injected fault, exhausted step budget).  Assumed
+    #: verdicts are maximally conservative: dependence with every
+    #: direction vector possible.  ``failure`` carries the reason.
+    assumed: bool = False
+    failure: Optional[str] = None
 
     @property
     def direction_vectors(self):
@@ -87,7 +93,31 @@ class DependenceResult:
             return "independent"
         from repro.dirvec.vectors import format_vector_set
 
-        return f"dependence {format_vector_set(self.direction_vectors)}"
+        text = f"dependence {format_vector_set(self.direction_vectors)}"
+        if self.assumed:
+            text += " [assumed]"
+        return text
+
+
+def assumed_dependence_result(
+    context: PairContext, reason: str
+) -> DependenceResult:
+    """The maximally conservative verdict for a pair whose test failed.
+
+    Every common index is left unconstrained, so the direction-vector set
+    is the full ``{<, =, >}`` product — an all-``*`` edge.  The verdict is
+    inexact and tagged ``assumed=True`` with the failure ``reason``, so
+    graph consumers and reports can tell degradation from real analysis.
+    Never independent: degradation must not invent parallelism.
+    """
+    return DependenceResult(
+        context=context,
+        independent=False,
+        info=DependenceInfo(context.common_indices),
+        exact=False,
+        assumed=True,
+        failure=reason,
+    )
 
 
 def test_dependence(
@@ -100,6 +130,7 @@ def test_dependence(
     plan: Optional[TestPlan] = None,
     plan_recorder: Optional[PlanRecorder] = None,
     profile=None,
+    budget=None,
 ) -> DependenceResult:
     """Run the full partition-based algorithm on one ordered reference pair.
 
@@ -109,6 +140,12 @@ def test_dependence(
     dispatch schedule for the pair's shape; ``plan_recorder`` records one
     while the driver derives the schedule from scratch.  Both are dispatch
     shortcuts only — every test still runs on this pair's own subscripts.
+
+    ``budget`` is an optional step allowance (duck-typed: anything with
+    ``spend(n)``, normally a :class:`repro.engine.faults.StepBudget`);
+    one unit is charged per partition dispatch and the Delta test charges
+    per reduction pass, so a pathological pair raises
+    ``BudgetExceededError`` instead of monopolizing the process.
     """
     if src_site.ref.array != sink_site.ref.array:
         raise ValueError(
@@ -137,13 +174,15 @@ def test_dependence(
         ]
 
     for pairs, positions, action in schedule:
+        if budget is not None:
+            budget.spend(1)
         if action is None:
             outcome, action = _dispatch(
-                pairs, context, recorder, delta_options, profile
+                pairs, context, recorder, delta_options, profile, budget
             )
         else:
             outcome = _replay(
-                action, pairs, context, recorder, delta_options, profile
+                action, pairs, context, recorder, delta_options, profile, budget
             )
         if plan_recorder is not None:
             plan_recorder.add(positions, action)
@@ -187,11 +226,13 @@ def _dispatch(
     recorder: Optional[TestRecorder],
     delta_options: DeltaOptions,
     profile,
+    budget=None,
 ) -> Tuple[TestOutcome, PlanAction]:
     """Classify a partition and run its test; report the dispatch decision."""
     if len(pairs) > 1:
         outcome = _timed(
-            profile, "delta", delta_test, pairs, context, recorder, delta_options
+            profile, "delta", delta_test, pairs, context, recorder,
+            delta_options, budget,
         )
         return outcome, PlanAction.DELTA
     pair = pairs[0]
@@ -226,6 +267,7 @@ def _replay(
     recorder: Optional[TestRecorder],
     delta_options: DeltaOptions,
     profile,
+    budget=None,
 ) -> TestOutcome:
     """Run the test a plan resolved a partition to, skipping classification.
 
@@ -236,7 +278,8 @@ def _replay(
     """
     if action is PlanAction.DELTA:
         return _timed(
-            profile, "delta", delta_test, pairs, context, recorder, delta_options
+            profile, "delta", delta_test, pairs, context, recorder,
+            delta_options, budget,
         )
     pair = pairs[0]
     if action is PlanAction.NONLINEAR:

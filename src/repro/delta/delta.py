@@ -88,14 +88,18 @@ def delta_test(
     context: PairContext,
     recorder: Optional[TestRecorder] = None,
     options: DeltaOptions = DEFAULT_OPTIONS,
+    budget=None,
 ) -> TestOutcome:
     """Run the Delta test on one minimal coupled group.
 
     Returns a ``TestOutcome`` named ``"delta"`` whose constraints/couplings
     summarize the group; independence is reported as soon as any constraint
-    intersection empties or any inner test refutes the group.
+    intersection empties or any inner test refutes the group.  ``budget``
+    is an optional step allowance (anything with ``spend(n)``): each
+    reduction pass charges one unit per pending subscript, bounding the
+    multipass loop on pathological systems.
     """
-    state = _DeltaState(context, recorder, options)
+    state = _DeltaState(context, recorder, options, budget)
     for pair in pairs:
         if pair.is_linear:
             state.pending.append(normalize_pair(pair, context))
@@ -126,10 +130,12 @@ class _DeltaState:
         context: PairContext,
         recorder: Optional[TestRecorder],
         options: DeltaOptions,
+        budget=None,
     ):
         self.context = context
         self.recorder = recorder
         self.options = options
+        self.budget = budget
         self.pending: List[SubscriptPair] = []
         self.opaque: List[SubscriptPair] = []  # nonlinear: never testable
         self.constraints: Dict[str, Constraint] = {}
@@ -164,6 +170,8 @@ class _DeltaState:
         try:
             while True:
                 self.passes += 1
+                if self.budget is not None:
+                    self.budget.spend(1 + len(self.pending))
                 result = self._siv_pass()
                 if result is not None:
                     return result
@@ -351,6 +359,8 @@ class _DeltaState:
 
     def _finish_miv(self) -> bool:
         for pair in self.pending:
+            if self.budget is not None:
+                self.budget.spend(1)
             outcome = maybe_record(
                 self.recorder, banerjee_gcd_test(pair, self.current_context())
             )

@@ -23,12 +23,24 @@ embarrassingly parallel.  This package exploits both:
 * :mod:`repro.engine.profile` — opt-in per-phase and per-test-tier wall
   timing (:class:`PhaseProfile`), surfaced by ``repro-deps analyze
   --profile``;
+* :mod:`repro.engine.faults` — the fault taxonomy
+  (:class:`PairTestError`, :class:`WorkerCrashError`,
+  :class:`BudgetExceededError`, …), the per-pair :class:`StepBudget`, the
+  structured :class:`FailureRecord`, and the :class:`FaultPolicy` knobs
+  (strict vs. degrade, budgets, timeouts, restart bounds);
+* :mod:`repro.engine.supervisor` — :class:`PoolSupervisor`, which wraps
+  chunk dispatch so worker crashes and hangs respawn the pool (bounded)
+  and re-run suspect chunks serially in the parent;
+* :mod:`repro.engine.faultinject` — the deterministic fault-injection
+  harness behind the ``REPRO_FAULTS`` environment hook (test-only);
 * :mod:`repro.engine.engine` — the :class:`DependenceEngine` facade the
   CLI, the study harness, and the benchmarks drive.
 
 All three builders (serial, cached, parallel) produce byte-identical
 dependence graphs and recorder statistics; ``tests/test_engine.py`` holds
-the parity property tests.
+the parity property tests.  Failures never change a verdict from
+dependent to independent: any absorbed fault degrades the affected pair
+to a conservative assumed-dependence edge (``tests/test_faults.py``).
 """
 
 from repro.engine.canonical import (
@@ -40,19 +52,39 @@ from repro.engine.canonical import (
 )
 from repro.engine.cache import CachedDriver
 from repro.engine.engine import DependenceEngine
+from repro.engine.faults import (
+    BudgetExceededError,
+    ChunkTimeoutError,
+    EngineFaultError,
+    FailureRecord,
+    FaultPolicy,
+    PairTestError,
+    StepBudget,
+    WorkerCrashError,
+)
 from repro.engine.parallel import (
     build_dependence_graph_parallel,
     estimate_pair_cost,
 )
 from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
+from repro.engine.supervisor import PoolSupervisor
 
 __all__ = [
+    "BudgetExceededError",
     "CacheEntry",
     "CachedDriver",
+    "ChunkTimeoutError",
     "DependenceEngine",
+    "EngineFaultError",
     "EngineStats",
+    "FailureRecord",
+    "FaultPolicy",
+    "PairTestError",
     "PhaseProfile",
+    "PoolSupervisor",
+    "StepBudget",
+    "WorkerCrashError",
     "build_dependence_graph_parallel",
     "canonical_pair_key",
     "canonicalize_result",

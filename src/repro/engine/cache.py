@@ -29,9 +29,23 @@ from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.classify.pairs import PairContext
-from repro.core.driver import DependenceResult, test_dependence
+from repro.core.driver import (
+    DependenceResult,
+    assumed_dependence_result,
+    test_dependence,
+)
 from repro.core.plan import PlanRecorder, TestPlan
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.engine import faultinject
+from repro.engine.faults import (
+    DEFAULT_POLICY,
+    FailureRecord,
+    FaultPolicy,
+    PairTestError,
+    StepBudget,
+    describe_error,
+    failure_kind,
+)
 from repro.engine.canonical import (
     CacheEntry,
     CanonicalKey,
@@ -83,6 +97,7 @@ class CachedDriver:
         delta_options: DeltaOptions = DEFAULT_OPTIONS,
         stats: Optional[EngineStats] = None,
         plan_capacity: Optional[int] = None,
+        policy: FaultPolicy = DEFAULT_POLICY,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
@@ -96,6 +111,7 @@ class CachedDriver:
         self.capacity = capacity
         self.plan_capacity = plan_capacity
         self.delta_options = delta_options
+        self.policy = policy
         self.stats = stats if stats is not None else EngineStats()
         self._entries: "OrderedDict[CanonicalKey, CacheEntry]" = OrderedDict()
         self._plans: "OrderedDict[CanonicalKey, TestPlan]" = OrderedDict()
@@ -208,10 +224,22 @@ class CachedDriver:
         The miss path replays the key's precompiled test plan when one is
         resident (skipping partitioning and classification), and compiles
         one otherwise so the next miss on this shape is cheaper.
+
+        The miss path is also the per-pair isolation boundary: any
+        exception the test raises (including an exhausted
+        :class:`~repro.engine.faults.StepBudget`) degrades to a
+        conservative assumed-dependence verdict with a
+        :class:`~repro.engine.faults.FailureRecord` in ``stats`` — unless
+        the policy is strict, in which case it re-raises as
+        :class:`~repro.engine.faults.PairTestError`.  Assumed verdicts
+        carry no recorder counters, so surviving-pair statistics stay
+        byte-identical to a clean run.
         """
         profile = self.stats.profile
         entry = self.lookup(key)
         if entry is not None:
+            if entry.assumed:
+                self.stats.assumed += 1
             if recorder is not None:
                 recorder.merge(entry.recorder)
             if profile is None:
@@ -222,36 +250,59 @@ class CachedDriver:
             return result
         local = TestRecorder()
         start = perf_counter() if profile is not None else 0.0
-        plan = self.plan_for(key)
-        if plan is not None:
-            self.stats.plan_hits += 1
-            result = test_dependence(
-                context.src_site,
-                context.sink_site,
-                symbols=context.symbols,
-                recorder=local,
-                delta_options=self.delta_options,
-                context=context,
-                plan=plan.check(key),
-                profile=profile,
+        budget = (
+            StepBudget(self.policy.pair_budget)
+            if self.policy.pair_budget
+            else None
+        )
+        try:
+            faultinject.on_pair(context.src_site.ref.array)
+            plan = self.plan_for(key)
+            if plan is not None:
+                self.stats.plan_hits += 1
+                result = test_dependence(
+                    context.src_site,
+                    context.sink_site,
+                    symbols=context.symbols,
+                    recorder=local,
+                    delta_options=self.delta_options,
+                    context=context,
+                    plan=plan.check(key),
+                    profile=profile,
+                    budget=budget,
+                )
+            else:
+                self.stats.plan_misses += 1
+                plan_recorder = PlanRecorder()
+                result = test_dependence(
+                    context.src_site,
+                    context.sink_site,
+                    symbols=context.symbols,
+                    recorder=local,
+                    delta_options=self.delta_options,
+                    context=context,
+                    plan_recorder=plan_recorder,
+                    profile=profile,
+                    budget=budget,
+                )
+                self.store_plan(key, plan_recorder.compile(key))
+        except Exception as exc:
+            where = f"{context.src_site.ref} -> {context.sink_site.ref}"
+            if self.policy.strict:
+                raise PairTestError(where, describe_error(exc)) from exc
+            result = assumed_dependence_result(context, describe_error(exc))
+            local = TestRecorder()  # discard partial counters: parity
+            self.stats.record_failure(
+                FailureRecord(failure_kind(exc), where, describe_error(exc))
             )
-        else:
-            self.stats.plan_misses += 1
-            plan_recorder = PlanRecorder()
-            result = test_dependence(
-                context.src_site,
-                context.sink_site,
-                symbols=context.symbols,
-                recorder=local,
-                delta_options=self.delta_options,
-                context=context,
-                plan_recorder=plan_recorder,
-                profile=profile,
-            )
-            self.store_plan(key, plan_recorder.compile(key))
+            self.stats.assumed += 1
         if profile is not None:
             profile.add_phase("test", perf_counter() - start)
-        self.store(key, canonicalize_result(result, mapping, local))
+        if not result.assumed:
+            # Assumed verdicts never enter the cache: a faulted pair must
+            # not contaminate structurally identical healthy pairs, and a
+            # transient failure deserves a fresh test next time.
+            self.store(key, canonicalize_result(result, mapping, local))
         if recorder is not None:
             recorder.merge(local)
         return result

@@ -210,6 +210,13 @@ class CacheEntry:
     outcomes: List[TestOutcome]
     recorder: TestRecorder
     vectors: FrozenSet[DirectionVector] = frozenset()
+    #: Conservative-degradation marker: the verdict was assumed after a
+    #: test failure (see :mod:`repro.engine.faults`), with the reason.
+    #: Assumed entries carry an empty recorder — the failed pair
+    #: contributes no Table 3 counters, keeping surviving-pair statistics
+    #: byte-identical to a clean run.
+    assumed: bool = False
+    failure: Optional[str] = None
 
 
 def canonicalize_result(
@@ -226,6 +233,8 @@ def canonicalize_result(
         outcomes=[_rename_outcome(o, renamer) for o in result.outcomes],
         recorder=recorder,
         vectors=frozenset(result.direction_vectors),
+        assumed=result.assumed,
+        failure=result.failure,
     )
 
 
@@ -256,6 +265,8 @@ def rehydrate_result(
         exact=entry.exact,
         outcomes=[_rename_outcome(o, renamer) for o in entry.outcomes],
         cached_vectors=entry.vectors,
+        assumed=entry.assumed,
+        failure=entry.failure,
     )
 
 

@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine.cache import DEFAULT_CAPACITY, CachedDriver
+from repro.engine.faults import DEFAULT_POLICY, FaultPolicy
 from repro.engine.parallel import build_dependence_graph_parallel, make_pool
 from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
@@ -46,6 +47,7 @@ class DependenceEngine:
         chunksize: Optional[int] = None,
         plan_capacity: Optional[int] = None,
         profile: bool = False,
+        policy: FaultPolicy = DEFAULT_POLICY,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -60,6 +62,7 @@ class DependenceEngine:
             delta_options=delta_options,
             stats=stats,
             plan_capacity=plan_capacity,
+            policy=policy,
         )
         self._pool = None
 
@@ -67,6 +70,11 @@ class DependenceEngine:
     def stats(self) -> EngineStats:
         """The engine's cache/fan-out counters (live, not a snapshot)."""
         return self.driver.stats
+
+    @property
+    def policy(self) -> FaultPolicy:
+        """The fault policy governing degradation and pool supervision."""
+        return self.driver.policy
 
     @property
     def profile(self) -> Optional[PhaseProfile]:
@@ -88,8 +96,14 @@ class DependenceEngine:
     def _pool_factory(self):
         """Create (and retain for reuse) the worker pool on first dispatch."""
         if self._pool is None:
-            self._pool = make_pool(self.jobs, self.driver.delta_options)
+            self._pool = make_pool(
+                self.jobs, self.driver.delta_options, self.policy.pair_budget
+            )
         return self._pool
+
+    def _pool_replaced(self, executor) -> None:
+        """Adopt the pool surviving a supervised recovery (may be None)."""
+        self._pool = executor
 
     def build_graph(
         self,
@@ -117,6 +131,7 @@ class DependenceEngine:
                 dedup=self.use_cache,
                 pool=self._pool,
                 pool_factory=self._pool_factory,
+                pool_replaced=self._pool_replaced,
             )
         if not self.use_cache:
             return build_dependence_graph(

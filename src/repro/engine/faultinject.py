@@ -1,0 +1,145 @@
+"""Deterministic fault injection for the engine's recovery paths.
+
+Recovery code that only runs when something breaks is untestable unless
+something can be *made* to break on demand.  This module turns the
+``REPRO_FAULTS`` environment variable into deterministic faults at three
+seams of the engine:
+
+* ``crash-chunk:<seq>`` — the worker process handling dispatch chunk
+  ``<seq>`` dies with ``os._exit`` before testing it (simulates an OOM
+  kill / segfault; the parent sees ``BrokenProcessPool``);
+* ``hang-chunk:<seq>[:<seconds>]`` — the worker handling chunk ``<seq>``
+  sleeps (default 30 s) before testing it, tripping the supervisor's
+  chunk timeout;
+* ``pair-error:<array>`` — every dependence test on a pair referencing
+  array ``<array>`` raises :class:`InjectedFaultError` (simulates an
+  in-test crash; fires in workers and in-process alike);
+* ``routine-error:<name>`` — analyzing routine ``<name>`` raises
+  (simulates a routine the pipeline cannot digest).
+
+Directives are comma-separated (``REPRO_FAULTS=crash-chunk:0,pair-error:a``).
+Chunk faults are *worker-scoped*: :data:`IN_WORKER` is set by the pool
+initializer, so a chunk re-run serially in the parent — the supervisor's
+recovery path — computes real results instead of re-tripping the fault.
+Parsing is cached per spec string and the unset-env fast path is a single
+dict lookup, so production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Default sleep for ``hang-chunk`` directives without an explicit
+#: duration — long enough to trip any sane chunk timeout, short enough
+#: that a leaked sleeping worker cannot stall interpreter shutdown badly.
+DEFAULT_HANG_SECONDS = 30.0
+
+#: True only inside pool worker processes (set by the pool initializer);
+#: chunk-scoped faults check it so parent-side serial recovery is clean.
+IN_WORKER = False
+
+
+class InjectedFaultError(RuntimeError):
+    """The deterministic failure raised by ``pair-error``/``routine-error``."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed form of one ``REPRO_FAULTS`` spec."""
+
+    crash_chunks: FrozenSet[int] = frozenset()
+    hang_chunks: Dict[int, float] = field(default_factory=dict)
+    pair_arrays: FrozenSet[str] = frozenset()
+    routines: FrozenSet[str] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.crash_chunks
+            or self.hang_chunks
+            or self.pair_arrays
+            or self.routines
+        )
+
+
+def parse_spec(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string; unknown directives are ignored."""
+    crash = set()
+    hang: Dict[int, float] = {}
+    arrays = set()
+    routines = set()
+    for raw in spec.split(","):
+        directive = raw.strip()
+        if not directive:
+            continue
+        parts = directive.split(":")
+        name, args = parts[0], parts[1:]
+        try:
+            if name == "crash-chunk" and args:
+                crash.add(int(args[0]))
+            elif name == "hang-chunk" and args:
+                seconds = float(args[1]) if len(args) > 1 else DEFAULT_HANG_SECONDS
+                hang[int(args[0])] = seconds
+            elif name == "pair-error" and args:
+                arrays.add(args[0].lower())
+            elif name == "routine-error" and args:
+                routines.add(args[0].lower())
+        except ValueError:
+            continue
+    return FaultPlan(
+        crash_chunks=frozenset(crash),
+        hang_chunks=hang,
+        pair_arrays=frozenset(arrays),
+        routines=frozenset(routines),
+    )
+
+
+# Parsed-plan cache keyed by the raw spec string, so env flips between
+# tests re-parse while steady-state runs parse once.
+_PLANS: Dict[str, FaultPlan] = {}
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan for the current environment (None when no faults armed)."""
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    plan = _PLANS.get(spec)
+    if plan is None:
+        if len(_PLANS) > 64:
+            _PLANS.clear()
+        plan = _PLANS[spec] = parse_spec(spec)
+    return None if plan.empty else plan
+
+
+def on_chunk(seq: int) -> None:
+    """Worker-side hook, called before testing dispatch chunk ``seq``."""
+    if not IN_WORKER:
+        return
+    plan = active_plan()
+    if plan is None:
+        return
+    if seq in plan.crash_chunks:
+        os._exit(3)
+    seconds = plan.hang_chunks.get(seq)
+    if seconds is not None:
+        time.sleep(seconds)
+
+
+def on_pair(array: str) -> None:
+    """Per-pair hook, called on the test (cache-miss) path everywhere."""
+    plan = active_plan()
+    if plan is not None and array.lower() in plan.pair_arrays:
+        raise InjectedFaultError(f"injected fault testing array '{array}'")
+
+
+def on_routine(name: str) -> None:
+    """Per-routine hook, called as corpus/CLI loops enter a routine."""
+    plan = active_plan()
+    if plan is not None and name.lower() in plan.routines:
+        raise InjectedFaultError(f"injected fault analyzing routine '{name}'")

@@ -1,0 +1,206 @@
+"""Fault taxonomy, per-pair budgets, and degradation policy.
+
+Dependence testing is only usable at corpus scale if it is *conservative
+under failure*: the suite may answer "no dependence" only when a test
+proves it, so a crash, hang, or resource blow-up anywhere in the engine
+must degrade to "assume dependence" — never to a lost routine, a missing
+pair, or a dead worker pool.  This module is the shared vocabulary of
+that guarantee:
+
+* the exception taxonomy (:class:`PairTestError`,
+  :class:`WorkerCrashError`, :class:`ChunkTimeoutError`,
+  :class:`BudgetExceededError`) raised when strict mode forbids
+  degradation;
+* :class:`FailureRecord` — the structured report of one absorbed failure,
+  accumulated on :class:`~repro.engine.stats.EngineStats` and surfaced by
+  ``repro-deps analyze``/``study``;
+* :class:`StepBudget` — a step counter threaded through the driver and
+  the Delta test so one pathological pair cannot monopolize a worker;
+* :class:`FaultPolicy` — the knobs: strict vs degrade, per-pair budget,
+  per-chunk timeout, pool-restart bounds and backoff.
+
+The module is a deliberate leaf: it imports nothing from the rest of the
+package, so the core driver and the Delta test can raise and catch these
+types without import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Default per-pair step budget.  One "step" is a partition dispatch or
+#: one Delta reduction-pass unit; a typical pair spends fewer than ten,
+#: the nastiest coupled groups a few hundred, so the default only ever
+#: trips on genuinely pathological inputs.
+DEFAULT_PAIR_BUDGET = 100_000
+
+#: Default per-chunk wall-clock timeout (seconds) for pool dispatch.
+#: Chunks normally finish in milliseconds; the generous default exists to
+#: catch hung workers, not slow ones.
+DEFAULT_CHUNK_TIMEOUT = 300.0
+
+#: Environment override for the per-pair step budget (integer; ``0``
+#: disables budgeting entirely).
+BUDGET_ENV_VAR = "REPRO_PAIR_BUDGET"
+
+
+class EngineFaultError(Exception):
+    """Base class of every fault the engine can convert to degradation."""
+
+
+class PairTestError(EngineFaultError):
+    """A dependence test on one reference pair failed (strict mode only).
+
+    In the default degrade mode the same failure becomes a conservative
+    assumed-dependence verdict plus a :class:`FailureRecord`.
+    """
+
+    def __init__(self, where: str, reason: str):
+        super().__init__(f"dependence test failed for {where}: {reason}")
+        self.where = where
+        self.reason = reason
+
+
+class WorkerCrashError(EngineFaultError):
+    """A pool worker died (e.g. ``BrokenProcessPool``) beyond recovery."""
+
+
+class ChunkTimeoutError(EngineFaultError):
+    """A dispatched chunk exceeded the per-chunk wall-clock timeout."""
+
+
+class BudgetExceededError(EngineFaultError):
+    """A pair exhausted its step budget mid-test."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"step budget of {limit} exhausted")
+        self.limit = limit
+
+
+class StepBudget:
+    """A per-pair step counter that trips :class:`BudgetExceededError`.
+
+    The driver charges one unit per partition dispatch and the Delta test
+    charges per reduction pass (scaled by pending subscripts), so runaway
+    multipass reductions and degenerate symbolic systems are bounded by
+    *work done*, not wall-clock — deterministic across machines.  The
+    object is duck-typed on purpose: the core driver never imports this
+    module, it just calls ``budget.spend(n)`` when handed one.
+    """
+
+    __slots__ = ("limit", "used")
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError(f"budget limit must be positive, got {limit}")
+        self.limit = limit
+        self.used = 0
+
+    def spend(self, steps: int = 1) -> None:
+        """Charge ``steps`` units; raises when the budget is exhausted."""
+        self.used += steps
+        if self.used > self.limit:
+            raise BudgetExceededError(self.limit)
+
+    @property
+    def remaining(self) -> int:
+        return max(self.limit - self.used, 0)
+
+    def __repr__(self) -> str:
+        return f"StepBudget(used={self.used}, limit={self.limit})"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One absorbed failure, in report-ready form.
+
+    ``kind`` is the failure class — ``"pair"`` (an in-test exception),
+    ``"budget"`` (step budget exhausted), ``"worker-crash"``,
+    ``"chunk-timeout"``, or ``"routine"`` (a whole routine skipped).
+    ``where`` locates it (pair description or suite/program/routine
+    path); ``error`` is the stringified cause; ``attempts`` counts how
+    many tries the supervisor spent before giving the work up or moving
+    it in-process.
+    """
+
+    kind: str
+    where: str
+    error: str
+    attempts: int = 1
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "where": self.where,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    def __str__(self) -> str:
+        suffix = f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
+        return f"[{self.kind}] {self.where}: {self.error}{suffix}"
+
+
+def failure_kind(exc: BaseException) -> str:
+    """The :class:`FailureRecord` kind for an exception instance."""
+    if isinstance(exc, BudgetExceededError):
+        return "budget"
+    if isinstance(exc, ChunkTimeoutError):
+        return "chunk-timeout"
+    if isinstance(exc, WorkerCrashError):
+        return "worker-crash"
+    return "pair"
+
+
+def describe_error(exc: BaseException) -> str:
+    """Compact ``Type: message`` rendering for failure records."""
+    text = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
+
+
+def _env_budget() -> Optional[int]:
+    raw = os.environ.get(BUDGET_ENV_VAR)
+    if raw is None:
+        return DEFAULT_PAIR_BUDGET
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_PAIR_BUDGET
+    return value if value > 0 else None
+
+
+@dataclass
+class FaultPolicy:
+    """How the engine reacts to faults.
+
+    ``strict=False`` (the default) degrades: per-pair failures become
+    conservative assumed-dependence edges, crashed or hung chunks are
+    re-run serially in the parent, and unparsable routines are skipped
+    with a report.  ``strict=True`` fails fast instead, raising the
+    taxonomy above (the CLI maps it to a distinct exit code).
+
+    ``pair_budget`` is the per-pair step allowance (None disables
+    budgeting); ``chunk_timeout`` the per-chunk dispatch timeout in
+    seconds (None waits forever); ``max_pool_restarts`` bounds how often
+    a broken pool is respawned per build before everything remaining
+    runs serially; ``restart_backoff`` is the base sleep between
+    respawns (linear: attempt × backoff).
+    """
+
+    strict: bool = False
+    pair_budget: Optional[int] = field(default_factory=_env_budget)
+    chunk_timeout: Optional[float] = DEFAULT_CHUNK_TIMEOUT
+    max_pool_restarts: int = 2
+    restart_backoff: float = 0.1
+
+    @classmethod
+    def from_env(cls, strict: bool = False) -> "FaultPolicy":
+        """A policy with environment overrides applied (see module env vars)."""
+        return cls(strict=strict)
+
+
+#: Shared default policy (degrade mode, env-tuned budget).
+DEFAULT_POLICY = FaultPolicy()

@@ -43,8 +43,9 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.pairs import PairContext
-from repro.core.driver import test_dependence
+from repro.core.driver import assumed_dependence_result, test_dependence
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.engine import faultinject
 from repro.engine.cache import CachedDriver
 from repro.engine.canonical import (
     CacheEntry,
@@ -53,6 +54,15 @@ from repro.engine.canonical import (
     rehydrate_result,
     rename_map,
 )
+from repro.engine.faults import (
+    FailureRecord,
+    FaultPolicy,
+    PairTestError,
+    StepBudget,
+    describe_error,
+    failure_kind,
+)
+from repro.engine.supervisor import PoolSupervisor
 from repro.graph.depgraph import (
     DependenceEdge,
     DependenceGraph,
@@ -79,20 +89,31 @@ MIN_PARALLEL_COST = 2048
 #: load-balance uneven test costs without drowning in per-chunk IPC.
 OVERSUBSCRIPTION = 4
 
-# Per-worker Delta options, installed once by the pool initializer.
-_WORKER: dict = {"delta_options": DEFAULT_OPTIONS}
+# Per-worker configuration (Delta options, per-pair step budget),
+# installed once by the pool initializer.
+_WORKER: dict = {"delta_options": DEFAULT_OPTIONS, "pair_budget": None}
 
 
-def _init_worker(delta_options: DeltaOptions) -> None:
+def _init_worker(
+    delta_options: DeltaOptions, pair_budget: Optional[int] = None
+) -> None:
     _WORKER["delta_options"] = delta_options
+    _WORKER["pair_budget"] = pair_budget
+    # Chunk-scoped fault injection (crash/hang) only fires in workers, so
+    # the supervisor's parent-side serial recovery computes real results.
+    faultinject.IN_WORKER = True
 
 
 def make_pool(
-    jobs: int, delta_options: DeltaOptions = DEFAULT_OPTIONS
+    jobs: int,
+    delta_options: DeltaOptions = DEFAULT_OPTIONS,
+    pair_budget: Optional[int] = None,
 ) -> ProcessPoolExecutor:
     """A worker pool configured for :func:`build_dependence_graph_parallel`."""
     return ProcessPoolExecutor(
-        max_workers=jobs, initializer=_init_worker, initargs=(delta_options,)
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(delta_options, pair_budget),
     )
 
 
@@ -151,8 +172,14 @@ def _cost_chunks(
     return chunks
 
 
-def _test_chunk(
-    task: Tuple[Sequence[Node], Optional[SymbolEnv], List[Tuple[int, int]]]
+#: One dispatch task: ``(chunk_seq, nodes, symbols, site-index pairs)``.
+ChunkTask = Tuple[int, Sequence[Node], Optional[SymbolEnv], List[Tuple[int, int]]]
+
+
+def run_chunk(
+    task: ChunkTask,
+    delta_options: DeltaOptions,
+    pair_budget: Optional[int],
 ) -> List[CacheEntry]:
     """Test a chunk of pairs (by site index); return canonical entries.
 
@@ -160,26 +187,44 @@ def _test_chunk(
     serves builds over any number of different routines.  Sites are
     re-collected locally; ``collect_access_sites`` is deterministic, so
     site indices agree with the parent's.
+
+    Every pair is individually guarded: an in-test exception (or an
+    exhausted step budget) yields a conservative assumed-dependence entry
+    with an *empty* recorder delta instead of killing the chunk, so one
+    pathological pair cannot take its chunk-mates down with it.  Runs in
+    pool workers and — as the supervisor's recovery path — in the parent.
     """
-    nodes, symbols, chunk = task
+    seq, nodes, symbols, chunk = task
+    faultinject.on_chunk(seq)
     sites = collect_access_sites(nodes)
-    delta_options = _WORKER["delta_options"]
     entries: List[CacheEntry] = []
     for src_index, sink_index in chunk:
         src, sink = sites[src_index], sites[sink_index]
         context = PairContext(src, sink, symbols)
         mapping = rename_map(context)
         local = TestRecorder()
-        result = test_dependence(
-            src,
-            sink,
-            symbols=symbols,
-            recorder=local,
-            delta_options=delta_options,
-            context=context,
-        )
+        budget = StepBudget(pair_budget) if pair_budget else None
+        try:
+            faultinject.on_pair(src.ref.array)
+            result = test_dependence(
+                src,
+                sink,
+                symbols=symbols,
+                recorder=local,
+                delta_options=delta_options,
+                context=context,
+                budget=budget,
+            )
+        except Exception as exc:
+            result = assumed_dependence_result(context, describe_error(exc))
+            local = TestRecorder()  # discard partial counters: parity
         entries.append(canonicalize_result(result, mapping, local))
     return entries
+
+
+def _test_chunk(task: ChunkTask) -> List[CacheEntry]:
+    """Pool entry point: :func:`run_chunk` under the worker's config."""
+    return run_chunk(task, _WORKER["delta_options"], _WORKER["pair_budget"])
 
 
 def _chunked(items: List, size: int) -> List[List]:
@@ -197,6 +242,7 @@ def build_dependence_graph_parallel(
     dedup: bool = True,
     pool: Optional[ProcessPoolExecutor] = None,
     pool_factory: Optional[Callable[[], ProcessPoolExecutor]] = None,
+    pool_replaced: Optional[Callable[[Optional[ProcessPoolExecutor]], None]] = None,
 ) -> DependenceGraph:
     """Test all candidate pairs of a statement list over a process pool.
 
@@ -210,9 +256,19 @@ def build_dependence_graph_parallel(
     default (None) sizes chunks adaptively by predicted cost.  ``dedup``
     mirrors the engine's cache switch: when False every pair is shipped to
     the workers and rehydrated individually, measuring pure fan-out.
+
+    Dispatch runs under a :class:`~repro.engine.supervisor.PoolSupervisor`
+    governed by the driver's :class:`~repro.engine.faults.FaultPolicy`:
+    worker crashes and chunk timeouts respawn the pool (bounded) and
+    re-run suspect chunks serially in the parent, so the build always
+    completes.  Because recovery can replace the pool, callers that reuse
+    one across builds should pass ``pool_replaced`` — it is invoked with
+    the surviving executor (possibly None) whenever it differs from the
+    one passed in.
     """
     if driver is None:
         driver = CachedDriver(symbols)
+    policy = driver.policy
     profile = driver.stats.profile
     start = perf_counter() if profile is not None else 0.0
     sites = collect_access_sites(nodes)
@@ -273,32 +329,65 @@ def build_dependence_graph_parallel(
         spec_chunks = _chunked(specs, chunksize)
     else:
         spec_chunks = _cost_chunks(specs, costs, jobs)
-    tasks = [(nodes, symbols, chunk) for chunk in spec_chunks]
+    tasks: List[ChunkTask] = [
+        (seq, nodes, symbols, chunk) for seq, chunk in enumerate(spec_chunks)
+    ]
     own_pool = False
     executor = pool
     if executor is None and pool_factory is not None:
         executor = pool_factory()
     if executor is None:
-        executor = make_pool(jobs, driver.delta_options)
+        executor = make_pool(jobs, driver.delta_options, policy.pair_budget)
         own_pool = True
+
+    def _serial_runner(task: ChunkTask) -> List[CacheEntry]:
+        return run_chunk(task, driver.delta_options, policy.pair_budget)
+
+    supervisor = PoolSupervisor(
+        executor,
+        spawn=lambda: make_pool(jobs, driver.delta_options, policy.pair_budget),
+        policy=policy,
+        stats=driver.stats,
+    )
     start = perf_counter() if profile is not None else 0.0
     try:
-        slot = 0
-        for entries in executor.map(_test_chunk, tasks):
-            for entry in entries:
-                entries_by_slot[slot] = entry
-                slot += 1
+        chunk_results = supervisor.run(tasks, _test_chunk, _serial_runner)
     finally:
         if own_pool:
-            executor.shutdown()
+            supervisor.shutdown()
+        elif supervisor.executor is not executor and pool_replaced is not None:
+            # Recovery replaced (or consumed) the caller's pool; hand the
+            # survivor back so the caller does not reuse a dead executor.
+            pool_replaced(supervisor.executor)
+    slot = 0
+    for entries in chunk_results:
+        for entry in entries:
+            entries_by_slot[slot] = entry
+            slot += 1
     if profile is not None:
         profile.add_phase("dispatch", perf_counter() - start, len(tasks))
-    if dedup:
-        for (key, _), entry in zip(work, entries_by_slot):
-            assert entry is not None
-            driver.seed(key, entry)
+
+    # Per-pair failures inside workers surface as assumed entries (the
+    # worker cannot touch the parent's stats); account for them here.  In
+    # dedup mode assumed entries are simply not seeded — the resolve pass
+    # below re-tests those pairs in the parent (recovering entirely when
+    # the fault was worker-scoped) and reports any repeat failure itself.
+    for (_, spec), entry in zip(work, entries_by_slot):
+        assert entry is not None
+        if not entry.assumed or dedup:
+            continue
+        src_index, sink_index = spec
+        where = f"{sites[src_index].ref} -> {sites[sink_index].ref}"
+        reason = entry.failure or "unknown failure"
+        if policy.strict:
+            raise PairTestError(where, reason)
+        kind = "budget" if reason.startswith("BudgetExceededError") else "pair"
+        driver.stats.record_failure(FailureRecord(kind, where, reason))
 
     if dedup:
+        for (key, _), entry in zip(work, entries_by_slot):
+            if not entry.assumed:
+                driver.seed(key, entry)
         for first, second, context, mapping, key in prepared:
             tested += 1
             result = driver.resolve(context, mapping, key, recorder)
@@ -312,6 +401,8 @@ def build_dependence_graph_parallel(
         ):
             tested += 1
             assert entry is not None
+            if entry.assumed:
+                driver.stats.assumed += 1
             if recorder is not None:
                 recorder.merge(entry.recorder)
             result = rehydrate_result(entry, context, mapping)
@@ -333,9 +424,11 @@ def _serve_serial(
     """Resolve every prepared pair in-process (degenerate / fallback pool).
 
     With ``dedup`` the shared cache serves (and fills) as usual; without
-    it the plain driver runs per pair, preserving the uncached builder's
-    exact behavior.
+    it the plain driver runs per pair — guarded by the same per-pair
+    isolation the cache's miss path applies — preserving the uncached
+    builder's exact behavior on fault-free pairs.
     """
+    policy = driver.policy
     edges: List[DependenceEdge] = []
     tested = 0
     independent = 0
@@ -344,14 +437,33 @@ def _serve_serial(
         if dedup:
             result = driver.resolve(context, mapping, key, recorder)
         else:
-            result = test_dependence(
-                first,
-                second,
-                symbols=context.symbols,
-                recorder=recorder,
-                delta_options=driver.delta_options,
-                context=context,
+            local = TestRecorder()
+            budget = (
+                StepBudget(policy.pair_budget) if policy.pair_budget else None
             )
+            try:
+                faultinject.on_pair(first.ref.array)
+                result = test_dependence(
+                    first,
+                    second,
+                    symbols=context.symbols,
+                    recorder=local,
+                    delta_options=driver.delta_options,
+                    context=context,
+                    budget=budget,
+                )
+            except Exception as exc:
+                where = f"{first.ref} -> {second.ref}"
+                if policy.strict:
+                    raise PairTestError(where, describe_error(exc)) from exc
+                result = assumed_dependence_result(context, describe_error(exc))
+                local = TestRecorder()  # discard partial counters: parity
+                driver.stats.record_failure(
+                    FailureRecord(failure_kind(exc), where, describe_error(exc))
+                )
+                driver.stats.assumed += 1
+            if recorder is not None:
+                recorder.merge(local)
         if result.independent:
             independent += 1
         else:

@@ -14,8 +14,9 @@ wall-clock timings.  The benchmark harness serializes all of it into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
+from repro.engine.faults import FailureRecord
 from repro.engine.profile import PhaseProfile
 
 
@@ -32,6 +33,15 @@ class EngineStats:
     adaptive dispatch predicted the pool would cost more than it saved and
     ran in-process instead.  ``profile`` holds per-phase wall timings when
     the engine was built with profiling on (None otherwise).
+
+    The fault-tolerance layer reports here too: ``assumed`` counts pair
+    resolutions degraded to a conservative assumed-dependence verdict,
+    ``worker_crashes``/``chunk_timeouts`` count pool faults the supervisor
+    absorbed, ``pool_restarts`` counts respawns, ``serial_recoveries``
+    counts chunks re-run in the parent after a fault, and
+    ``routines_skipped`` counts whole routines the study harness dropped.
+    ``failures`` holds one structured :class:`FailureRecord` per absorbed
+    failure event, in occurrence order.
     """
 
     hits: int = 0
@@ -42,6 +52,13 @@ class EngineStats:
     plan_hits: int = 0
     plan_misses: int = 0
     auto_serial: int = 0
+    assumed: int = 0
+    worker_crashes: int = 0
+    chunk_timeouts: int = 0
+    pool_restarts: int = 0
+    serial_recoveries: int = 0
+    routines_skipped: int = 0
+    failures: List[FailureRecord] = field(default_factory=list)
     profile: Optional[PhaseProfile] = field(default=None, compare=False)
 
     @property
@@ -55,6 +72,16 @@ class EngineStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
+    def record_failure(self, record: FailureRecord) -> None:
+        """Append one absorbed-failure report (and bump its kind counter)."""
+        self.failures.append(record)
+        if record.kind == "worker-crash":
+            self.worker_crashes += 1
+        elif record.kind == "chunk-timeout":
+            self.chunk_timeouts += 1
+        elif record.kind == "routine":
+            self.routines_skipped += 1
+
     def merge(self, other: "EngineStats") -> None:
         """Fold another stats object's counters into this one."""
         self.hits += other.hits
@@ -65,6 +92,13 @@ class EngineStats:
         self.plan_hits += other.plan_hits
         self.plan_misses += other.plan_misses
         self.auto_serial += other.auto_serial
+        self.assumed += other.assumed
+        self.worker_crashes += other.worker_crashes
+        self.chunk_timeouts += other.chunk_timeouts
+        self.pool_restarts += other.pool_restarts
+        self.serial_recoveries += other.serial_recoveries
+        self.routines_skipped += other.routines_skipped
+        self.failures.extend(other.failures)
         if other.profile is not None:
             if self.profile is None:
                 self.profile = PhaseProfile()
@@ -75,8 +109,17 @@ class EngineStats:
         self.hits = self.misses = self.evictions = 0
         self.seeded = self.dispatched = 0
         self.plan_hits = self.plan_misses = self.auto_serial = 0
+        self.assumed = self.worker_crashes = self.chunk_timeouts = 0
+        self.pool_restarts = self.serial_recoveries = 0
+        self.routines_skipped = 0
+        self.failures.clear()
         if self.profile is not None:
             self.profile.reset()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any failure was absorbed this lifetime."""
+        return bool(self.failures) or self.assumed > 0
 
     def as_dict(self) -> dict:
         """Plain-dict form for JSON serialization."""
@@ -91,9 +134,34 @@ class EngineStats:
             "auto_serial": self.auto_serial,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.degraded:
+            out["assumed"] = self.assumed
+            out["worker_crashes"] = self.worker_crashes
+            out["chunk_timeouts"] = self.chunk_timeouts
+            out["pool_restarts"] = self.pool_restarts
+            out["serial_recoveries"] = self.serial_recoveries
+            out["routines_skipped"] = self.routines_skipped
+            out["failures"] = [record.as_dict() for record in self.failures]
         if self.profile is not None:
             out["profile"] = self.profile.as_dict()
         return out
+
+    def failure_report(self) -> str:
+        """Multi-line fault report (empty string when nothing degraded)."""
+        if not self.degraded:
+            return ""
+        lines = [
+            f"fault report: {len(self.failures)} failure(s), "
+            f"{self.assumed} pair verdict(s) assumed dependent"
+        ]
+        for record in self.failures:
+            lines.append(f"  {record}")
+        if self.pool_restarts:
+            lines.append(
+                f"  pool restarted {self.pool_restarts}x; "
+                f"{self.serial_recoveries} chunk(s) recovered serially"
+            )
+        return "\n".join(lines)
 
     def __str__(self) -> str:
         text = (
@@ -104,4 +172,9 @@ class EngineStats:
             text += f"; plans: {self.plan_hits} replayed, {self.plan_misses} compiled"
         if self.auto_serial:
             text += f"; auto-serial builds: {self.auto_serial}"
+        if self.degraded:
+            text += (
+                f"; degraded: {self.assumed} assumed, "
+                f"{len(self.failures)} failure(s)"
+            )
         return text

@@ -1,0 +1,208 @@
+"""Worker-pool supervision: crash and hang recovery for chunk dispatch.
+
+``concurrent.futures`` offers no recovery story: one worker dying of a
+signal (OOM kill, segfault in a C extension, an injected ``os._exit``)
+breaks the whole pool and every in-flight future, and a hung worker
+blocks ``map`` forever.  :class:`PoolSupervisor` wraps chunk dispatch so
+a corpus build survives both:
+
+* **Crashes** — a ``BrokenProcessPool`` marks the earliest unfinished
+  chunk as the suspect, harvests every chunk that already completed,
+  respawns the pool (bounded retries with linear backoff), and resubmits
+  the innocent remainder.  The suspect chunk is *not* resubmitted — a
+  deterministically crashing input would break every fresh pool — it is
+  re-run serially in the parent instead, where the per-pair guard in the
+  chunk runner degrades any still-failing pair to a conservative
+  assumed-dependence entry.
+* **Hangs** — each chunk's result is awaited under the policy's
+  ``chunk_timeout``.  On expiry the worker processes are terminated
+  (a hung worker never returns the pool to a usable state), the pool is
+  respawned, and the suspect chunk moves in-process as above.
+* **Exhaustion** — past ``max_pool_restarts`` respawns, everything still
+  pending runs serially in the parent.  The build always completes; only
+  its parallelism degrades.
+
+Every absorbed fault lands in ``EngineStats.failures`` as a structured
+:class:`~repro.engine.faults.FailureRecord`; under a strict policy the
+first fault raises :class:`~repro.engine.faults.WorkerCrashError` or
+:class:`~repro.engine.faults.ChunkTimeoutError` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from typing import Callable, List, Optional, Sequence
+
+from repro.engine.faults import (
+    ChunkTimeoutError,
+    FailureRecord,
+    FaultPolicy,
+    WorkerCrashError,
+    describe_error,
+)
+from repro.engine.stats import EngineStats
+
+
+class PoolSupervisor:
+    """Run chunk tasks over a process pool, surviving worker faults.
+
+    ``executor`` is the (possibly caller-owned) pool to start with;
+    ``spawn`` creates a replacement after a fault.  The caller reads
+    ``supervisor.executor`` afterwards to learn which pool survived (it
+    may be a respawn, or None when dispatch ended serially) and remains
+    responsible for shutting it down.
+    """
+
+    def __init__(
+        self,
+        executor: ProcessPoolExecutor,
+        spawn: Callable[[], ProcessPoolExecutor],
+        policy: FaultPolicy,
+        stats: EngineStats,
+    ):
+        self.executor: Optional[ProcessPoolExecutor] = executor
+        self._spawn = spawn
+        self.policy = policy
+        self.stats = stats
+        self._restarts = 0
+
+    # -- pool lifecycle --------------------------------------------------
+
+    def _kill_pool(self) -> None:
+        """Tear the current pool down hard (terminates hung workers)."""
+        executor = self.executor
+        self.executor = None
+        if executor is None:
+            return
+        processes = getattr(executor, "_processes", None)
+        if processes:
+            # A worker stuck in a syscall or busy loop never honors a
+            # cooperative shutdown; SIGTERM is the only reliable way to
+            # reclaim the slot (and to keep interpreter exit from joining
+            # a sleeper).  Private attribute by necessity — the executor
+            # API has no kill.
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _respawned(self) -> Optional[ProcessPoolExecutor]:
+        """A fresh pool after a fault, or None once retries are exhausted."""
+        if self._restarts >= self.policy.max_pool_restarts:
+            return None
+        self._restarts += 1
+        self.stats.pool_restarts += 1
+        backoff = self.policy.restart_backoff * self._restarts
+        if backoff > 0:
+            time.sleep(backoff)
+        self.executor = self._spawn()
+        return self.executor
+
+    def shutdown(self) -> None:
+        """Shut down whatever pool the supervisor currently holds."""
+        if self.executor is not None:
+            self.executor.shutdown()
+            self.executor = None
+
+    # -- dispatch --------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence,
+        worker_fn: Callable,
+        serial_runner: Callable,
+    ) -> List:
+        """Execute every task; returns per-task results in task order.
+
+        ``worker_fn`` is the picklable chunk function submitted to the
+        pool; ``serial_runner`` computes the same result in the parent
+        process (used for suspect chunks and after retry exhaustion).
+        """
+        results: List = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        while pending and self.executor is not None:
+            executor = self.executor
+            futures = [(i, executor.submit(worker_fn, tasks[i])) for i in pending]
+            pending = []
+            suspects: List[int] = []
+            broken = False
+            for i, future in futures:
+                if broken:
+                    # The pool just died; harvest chunks that finished
+                    # before the fault and queue the rest for the respawn.
+                    try:
+                        if future.done():
+                            results[i] = future.result(timeout=0)
+                        else:
+                            pending.append(i)
+                    except Exception:
+                        pending.append(i)
+                    continue
+                try:
+                    results[i] = future.result(self.policy.chunk_timeout)
+                except FutureTimeoutError:
+                    self._kill_pool()
+                    if self.policy.strict:
+                        raise ChunkTimeoutError(
+                            f"dispatch chunk {i} exceeded "
+                            f"{self.policy.chunk_timeout}s"
+                        )
+                    self.stats.record_failure(
+                        FailureRecord(
+                            "chunk-timeout",
+                            f"dispatch chunk {i}",
+                            f"no result within {self.policy.chunk_timeout}s",
+                            attempts=self._restarts + 1,
+                        )
+                    )
+                    suspects.append(i)
+                    broken = True
+                except BrokenExecutor as exc:
+                    self._kill_pool()
+                    if self.policy.strict:
+                        raise WorkerCrashError(
+                            f"worker died while testing chunk {i}: "
+                            f"{describe_error(exc)}"
+                        ) from exc
+                    self.stats.record_failure(
+                        FailureRecord(
+                            "worker-crash",
+                            f"dispatch chunk {i}",
+                            describe_error(exc),
+                            attempts=self._restarts + 1,
+                        )
+                    )
+                    suspects.append(i)
+                    broken = True
+                except Exception as exc:
+                    # Chunk-level failure with a healthy pool (e.g. an
+                    # unpicklable result).  The pair guard inside the
+                    # chunk runner makes this unlikely; recover serially.
+                    if self.policy.strict:
+                        raise
+                    self.stats.record_failure(
+                        FailureRecord(
+                            "pair", f"dispatch chunk {i}", describe_error(exc)
+                        )
+                    )
+                    suspects.append(i)
+            for i in suspects:
+                results[i] = serial_runner(tasks[i])
+                self.stats.serial_recoveries += 1
+            if pending and self.executor is None:
+                self._respawned()
+        # Retries exhausted (or never available): finish in-process.
+        for i in pending:
+            results[i] = serial_runner(tasks[i])
+            self.stats.serial_recoveries += 1
+        return results

@@ -6,12 +6,46 @@ from __future__ import annotations
 class FortranSyntaxError(SyntaxError):
     """A parse error in the Fortran-subset front end.
 
-    Carries the (1-based) source line number and the offending text so the
-    corpus loader can report exactly which kernel line failed.
+    Carries the (1-based) source line number, the offending text, and —
+    when the lexer or parser knows it — the (1-based) column, so the
+    corpus loader and the CLI can report exactly which kernel position
+    failed.
     """
 
-    def __init__(self, message: str, line_number: int = 0, line_text: str = ""):
+    def __init__(
+        self,
+        message: str,
+        line_number: int = 0,
+        line_text: str = "",
+        column: int = 0,
+    ):
         location = f" (line {line_number}: {line_text.strip()!r})" if line_number else ""
         super().__init__(f"{message}{location}")
+        self.message = message
         self.line_number = line_number
         self.line_text = line_text
+        self.column = column
+
+    def diagnostic(self) -> str:
+        """Multi-line, human-oriented report: location, snippet, caret.
+
+        Used by the CLI instead of a traceback::
+
+            syntax error: unexpected character '%' at line 3, column 12
+              do i = 1 %% n
+                       ^
+        """
+        where = ""
+        if self.line_number:
+            where = f" at line {self.line_number}"
+            if self.column:
+                where += f", column {self.column}"
+        lines = [f"syntax error: {self.message}{where}"]
+        snippet = self.line_text.rstrip()
+        if snippet:
+            stripped = snippet.lstrip()
+            indent_lost = len(snippet) - len(stripped)
+            lines.append(f"  {stripped}")
+            if self.column and self.column > indent_lost:
+                lines.append("  " + " " * (self.column - indent_lost - 1) + "^")
+        return "\n".join(lines)

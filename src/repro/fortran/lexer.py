@@ -8,7 +8,7 @@ token list.  Identifiers are lowercased (Fortran is case-insensitive).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.fortran.errors import FortranSyntaxError
@@ -30,10 +30,16 @@ TOKEN_RE = re.compile(
 
 @dataclass(frozen=True)
 class Token:
-    """One lexical token: a ``kind`` tag and its source text."""
+    """One lexical token: a ``kind`` tag, its source text, and its column.
+
+    ``column`` is the 1-based position in the logical line (0 when the
+    token was built synthetically); it only feeds diagnostics, so it does
+    not participate in token equality.
+    """
 
     kind: str
     text: str
+    column: int = field(default=0, compare=False)
 
     def __str__(self) -> str:
         return self.text
@@ -42,7 +48,8 @@ class Token:
 def tokenize(line: str, line_number: int = 0) -> List[Token]:
     """Tokenize one logical source line.
 
-    Raises :class:`FortranSyntaxError` on characters outside the subset.
+    Raises :class:`FortranSyntaxError` on characters outside the subset,
+    pointing at the offending line and column.
     """
     tokens: List[Token] = []
     pos = 0
@@ -50,16 +57,20 @@ def tokenize(line: str, line_number: int = 0) -> List[Token]:
         match = TOKEN_RE.match(line, pos)
         if match is None:
             raise FortranSyntaxError(
-                f"unexpected character {line[pos]!r}", line_number, line
+                f"unexpected character {line[pos]!r}",
+                line_number,
+                line,
+                column=pos + 1,
             )
         kind = match.lastgroup or ""
         text = match.group()
+        column = match.start() + 1
         if kind == "IDENT":
-            tokens.append(Token("IDENT", text.lower()))
+            tokens.append(Token("IDENT", text.lower(), column))
         elif kind == "DOTOP":
-            tokens.append(Token("DOTOP", text.lower()))
+            tokens.append(Token("DOTOP", text.lower(), column))
         elif kind != "WS":
-            tokens.append(Token(kind, text))
+            tokens.append(Token(kind, text, column))
         pos = match.end()
     return tokens
 

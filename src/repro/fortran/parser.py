@@ -103,7 +103,19 @@ class _TokenStream:
         return self.pos >= len(self.tokens)
 
     def error(self, message: str) -> FortranSyntaxError:
-        return FortranSyntaxError(message, self.line.number, self.line.text)
+        # Point at the token the parser is looking at; past the end, at
+        # the position just after the last token.
+        token = self.peek()
+        if token is not None and token.column:
+            column = token.column
+        elif self.tokens and self.tokens[-1].column:
+            last = self.tokens[-1]
+            column = last.column + len(last.text)
+        else:
+            column = 0
+        return FortranSyntaxError(
+            message, self.line.number, self.line.text, column=column
+        )
 
 
 def _parse_expr(stream: _TokenStream) -> Expr:

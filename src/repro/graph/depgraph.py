@@ -105,6 +105,18 @@ class DependenceEdge:
         """True when the all-``=`` vector is among this edge's vectors."""
         return any(carrier_level(v) == 0 for v in self.vectors)
 
+    @property
+    def assumed(self) -> bool:
+        """True when this edge was assumed after a test failure.
+
+        Assumed edges are conservative: the pair's test crashed, was
+        injected with a fault, or exhausted its step budget, so the engine
+        degraded to "assume dependence with all directions" rather than
+        risk reporting a spurious independence.  ``result.failure`` holds
+        the reason.
+        """
+        return self.result.assumed
+
     def distance_vector(self):
         """Exact distances where known (source-order distances)."""
         distances = self.result.info.distance_vector()
@@ -117,10 +129,13 @@ class DependenceEdge:
 
     def __str__(self) -> str:
         inner = ", ".join(sorted(format_vector(v) for v in self.vectors))
-        return (
+        text = (
             f"{self.dep_type} {self.source.ref} (S{self.source.stmt.stmt_id})"
             f" -> {self.sink.ref} (S{self.sink.stmt.stmt_id}) {{{inner}}}"
         )
+        if self.assumed:
+            text += " [assumed]"
+        return text
 
 
 def loop_key(loop: Loop) -> int:

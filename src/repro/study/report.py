@@ -24,7 +24,7 @@ from repro.study.tables import (
 
 
 def precision_comparison(
-    suites: Optional[List[str]] = None, jobs: int = 1
+    suites: Optional[List[str]] = None, jobs: int = 1, engine=None
 ) -> str:
     """Independent-pairs comparison: paper's suite vs the baselines.
 
@@ -34,13 +34,17 @@ def precision_comparison(
 
     The partition+delta column runs through the engine (cached, and over
     ``jobs`` workers when asked); the baseline testers have no canonical
-    form and always run serially.
+    form and always run serially.  Routine-level failures (in either the
+    engine or a baseline tester) skip that routine for that tester and
+    land in the engine's fault report, unless the policy is strict.
     """
     from repro.engine import DependenceEngine
+    from repro.engine.faults import FailureRecord, describe_error
 
     symbols = default_symbols()
     corpus = load_corpus(suites)
-    engine = DependenceEngine(symbols=symbols, jobs=jobs)
+    if engine is None:
+        engine = DependenceEngine(symbols=symbols, jobs=jobs)
     testers = (
         ("partition+delta", None),
         ("subscript-by-subscript", test_dependence_subscript_by_subscript),
@@ -50,16 +54,29 @@ def precision_comparison(
     rows = []
     for suite, programs in corpus.items():
         cells: List[object] = [suite]
-        for _, tester in testers:
+        for tester_name, tester in testers:
             tested = independent = 0
             for program in programs:
                 for routine in program.routines:
-                    if tester is None:
-                        graph = engine.build_graph(routine.body)
-                    else:
-                        graph = build_dependence_graph(
-                            routine.body, symbols=symbols, tester=tester
+                    try:
+                        if tester is None:
+                            graph = engine.build_graph(routine.body)
+                        else:
+                            graph = build_dependence_graph(
+                                routine.body, symbols=symbols, tester=tester
+                            )
+                    except Exception as exc:
+                        if engine.policy.strict:
+                            raise
+                        engine.stats.record_failure(
+                            FailureRecord(
+                                "routine",
+                                f"{suite}/{program.name}/{routine.name}"
+                                f" ({tester_name})",
+                                describe_error(exc),
+                            )
                         )
+                        continue
                     tested += graph.tested_pairs
                     independent += graph.independent_pairs
             cells.append(f"{independent}/{tested}")
@@ -70,13 +87,26 @@ def precision_comparison(
     )
 
 
-def full_report(suites: Optional[List[str]] = None, jobs: int = 1) -> str:
-    """All tables and comparisons as one text report."""
+def full_report(
+    suites: Optional[List[str]] = None, jobs: int = 1, engine=None
+) -> str:
+    """All tables and comparisons as one text report.
+
+    One engine serves every section, so its cache stays warm across them
+    and every absorbed failure lands in a single fault report, appended
+    as a final section when anything degraded.
+    """
+    from repro.engine import DependenceEngine
+
+    if engine is None:
+        engine = DependenceEngine(symbols=default_symbols(), jobs=jobs)
     stats = corpus_stats(suites)
     sections = [
         render_table1(table1(stats)),
         render_table2(table2(stats)),
-        render_table3(table3(jobs=jobs)),
-        precision_comparison(suites, jobs=jobs),
+        render_table3(table3(suites, jobs=jobs, engine=engine)),
+        precision_comparison(suites, jobs=jobs, engine=engine),
     ]
+    if engine.stats.degraded:
+        sections.append(engine.stats.failure_report())
     return "\n\n".join(sections)

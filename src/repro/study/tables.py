@@ -21,6 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.subscript import SubscriptKind
 from repro.corpus.loader import default_symbols, load_corpus
+from repro.engine import faultinject
+from repro.engine.faults import FailureRecord, describe_error
 from repro.instrument import TestRecorder
 from repro.ir.context import SymbolEnv
 from repro.ir.program import Program
@@ -159,26 +161,48 @@ def table3(
     suites: Optional[List[str]] = None,
     symbols: Optional[SymbolEnv] = None,
     jobs: int = 1,
+    engine=None,
 ) -> List[Table3Row]:
     """Run the instrumented driver over the corpus; per-suite recorders.
 
     One :class:`~repro.engine.engine.DependenceEngine` serves the whole
     corpus, so canonical cache entries accumulate across suites; its
     recorder parity guarantees the counts match an uncached serial run.
-    ``jobs > 1`` fans the tests out over a process pool.
+    ``jobs > 1`` fans the tests out over a process pool.  Pass ``engine``
+    to share one across report sections (and to choose a fault policy).
+
+    Routines are isolated: a routine whose whole graph build fails —
+    something even the engine's per-pair degradation could not absorb —
+    is skipped and reported as a ``routine`` failure in the engine's
+    stats instead of aborting the study.  Under a strict policy the
+    failure propagates.
     """
     from repro.engine import DependenceEngine
 
     symbols = symbols or default_symbols()
     corpus = load_corpus(suites)
-    engine = DependenceEngine(symbols=symbols, jobs=jobs)
+    if engine is None:
+        engine = DependenceEngine(symbols=symbols, jobs=jobs)
     rows: List[Table3Row] = []
     for suite, programs in corpus.items():
         recorder = TestRecorder()
         tested = independent = 0
         for program in programs:
             for routine in program.routines:
-                graph = engine.build_graph(routine.body, recorder=recorder)
+                try:
+                    faultinject.on_routine(routine.name)
+                    graph = engine.build_graph(routine.body, recorder=recorder)
+                except Exception as exc:
+                    if engine.policy.strict:
+                        raise
+                    engine.stats.record_failure(
+                        FailureRecord(
+                            "routine",
+                            f"{suite}/{program.name}/{routine.name}",
+                            describe_error(exc),
+                        )
+                    )
+                    continue
                 tested += graph.tested_pairs
                 independent += graph.independent_pairs
         rows.append(Table3Row(suite, recorder, tested, independent))

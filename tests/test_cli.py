@@ -107,6 +107,61 @@ class TestMissingInput:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestSyntaxErrors:
+    @pytest.fixture()
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.f"
+        path.write_text(
+            "      subroutine s(a, n)\n"
+            "      do 10 i = 1 %% n\n"
+            " 10   continue\n"
+            "      end\n"
+        )
+        return path
+
+    def test_analyze_syntax_error_exits_2_with_diagnostic(
+        self, broken_file, capsys
+    ):
+        assert main(["analyze", str(broken_file)]) == 2
+        captured = capsys.readouterr()
+        assert "syntax error" in captured.err
+        assert "line 2" in captured.err
+        assert "column" in captured.err
+        assert "^" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_vectorize_syntax_error_exits_2(self, broken_file, capsys):
+        assert main(["vectorize", str(broken_file)]) == 2
+        captured = capsys.readouterr()
+        assert "syntax error" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestFaultHandling:
+    def test_degraded_analyze_exits_0_and_reports(
+        self, kernel_file, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "pair-error:a")
+        assert main(["analyze", str(kernel_file)]) == 0
+        out = capsys.readouterr().out
+        assert "[assumed]" in out
+        assert "fault report" in out
+        assert "InjectedFaultError" in out
+
+    def test_strict_analyze_exits_3(self, kernel_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "pair-error:a")
+        assert main(["analyze", str(kernel_file), "--strict"]) == 3
+        captured = capsys.readouterr()
+        assert "aborted by --strict" in captured.err
+
+    def test_degraded_routine_is_skipped(self, kernel_file, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "routine-error:kern")
+        assert main(["analyze", str(kernel_file)]) == 0
+        out = capsys.readouterr().out
+        assert "routine skipped after failure" in out
+        assert "fault report" in out
+
+
 class TestCorpusCommand:
     def test_lists_suites(self, capsys):
         assert main(["corpus"]) == 0
