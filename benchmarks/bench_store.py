@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Persistent-store microbenchmark: write-through overhead and replay gain.
+
+Three measurements over the bundled kernel corpus (every routine):
+
+* **memory-only cold** — the PR 1 baseline: fresh engine, LRU cache,
+  no store;
+* **store cold** — the same pass with a write-through store attached:
+  the delta is the price of persistence (pickling + buffered appends +
+  per-routine fsync'd checkpoints);
+* **store replay** — a fresh engine (cold memory tier) reopening the
+  populated store: every verdict served from disk, no test runs — the
+  resumed-run fast path.
+
+The store is **not** part of the gated engine benchmark
+(``bench_engine.py`` / ``check_bench_regression.py``): persistence is
+opt-in (``--store``), so its cost must be visible here but must not
+move the warm-path numbers the regression gate watches.  Results land
+in ``BENCH_store.json`` (informational, no committed baseline).
+
+Usage::
+
+    python benchmarks/bench_store.py [--repeats R] [--out BENCH_store.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.corpus.loader import default_symbols, load_corpus  # noqa: E402
+from repro.engine import DependenceEngine, VerdictStore  # noqa: E402
+from repro.instrument import TestRecorder  # noqa: E402
+
+
+def kernel_workload():
+    work = []
+    for suite, programs in load_corpus().items():
+        for program in programs:
+            for routine in program.routines:
+                work.append(routine.body)
+    return work
+
+
+def build_all(work, engine):
+    for nodes in work:
+        engine.build_graph(nodes, recorder=TestRecorder())
+
+
+def timed(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--out", type=Path, default=ROOT / "BENCH_store.json"
+    )
+    args = parser.parse_args(argv)
+
+    symbols = default_symbols()
+    work = kernel_workload()
+    print(f"workload: {len(work)} corpus routines", flush=True)
+
+    def memory_cold():
+        engine = DependenceEngine(symbols=symbols)
+        build_all(work, engine)
+
+    memory_s = timed(memory_cold, args.repeats)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Path(tmp) / "bench.db"
+
+        def store_cold():
+            if db.exists():
+                db.unlink()  # each repeat pays the full write-through cost
+            with VerdictStore(db) as store:
+                engine = DependenceEngine(symbols=symbols, store=store)
+                build_all(work, engine)
+                engine.close()
+
+        store_cold_s = timed(store_cold, args.repeats)
+        size = db.stat().st_size
+        with VerdictStore(db) as store:
+            verdicts, plans = len(store), store.plan_count
+
+        replay_stats = {}
+
+        def store_replay():
+            with VerdictStore(db) as store:
+                engine = DependenceEngine(symbols=symbols, store=store)
+                build_all(work, engine)
+                replay_stats.update(engine.stats.as_dict())
+                engine.close()
+
+        replay_s = timed(store_replay, args.repeats)
+
+    if replay_stats.get("misses"):
+        raise SystemExit(
+            f"replay pass tested {replay_stats['misses']} pair(s); "
+            "the store should have served everything"
+        )
+
+    overhead = (store_cold_s - memory_s) / memory_s if memory_s else 0.0
+    report = {
+        "benchmark": "store",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "routines": len(work),
+        "memory_cold_s": round(memory_s, 4),
+        "store_cold_s": round(store_cold_s, 4),
+        "write_through_overhead": round(overhead, 4),
+        "store_replay_s": round(replay_s, 4),
+        "replay_speedup": round(memory_s / replay_s, 2) if replay_s else None,
+        "store_bytes": size,
+        "verdicts": verdicts,
+        "plans": plans,
+        "bytes_per_verdict": round(size / verdicts, 1) if verdicts else None,
+        "replay_store_hits": replay_stats.get("store_hits", 0),
+    }
+    print(
+        f"memory cold {report['memory_cold_s']}s  "
+        f"store cold {report['store_cold_s']}s "
+        f"({overhead:+.1%} write-through overhead)  "
+        f"replay {report['store_replay_s']}s "
+        f"({report['replay_speedup']}x)  "
+        f"{size} bytes for {verdicts} verdicts + {plans} plans",
+        flush=True,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Kill-and-resume gate: SIGKILL an analysis mid-write, resume, diff graphs.
+
+The crash-safety contract of the persistent verdict store, checked
+end-to-end against a real corpus kernel:
+
+1. run ``repro-deps analyze`` without a store → the reference output;
+2. run it again with ``--store``, injecting ``store-die:<k>`` so the
+   process dies uncleanly (``os._exit`` mid-append — the torn-tail state
+   a SIGKILL or power loss leaves) at a randomly chosen append;
+3. reopen with ``--resume`` → must exit 0, recover whatever tail the
+   kill left, and print a dependence graph **byte-identical** (after
+   masking the global statement-label counter) to the reference;
+4. ``repro-deps store verify`` on the recovered store must report clean.
+
+Exits non-zero on any divergence.  ``--seed`` pins the kill point for
+reproduction; by default it is drawn fresh so CI walks the whole space
+over time.
+
+Usage::
+
+    python benchmarks/check_kill_resume.py [--seed N] [--kernel PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.engine import VerdictStore  # noqa: E402
+
+DEFAULT_KERNEL = ROOT / "src" / "repro" / "corpus" / "kernels" / "cdl" / "global.f"
+
+
+def run_cli(args, faults=None, timeout=600):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    else:
+        env.pop("REPRO_FAULTS", None)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+def normalize(text):
+    """Mask the global statement-label counter (drifts between parses)."""
+    return re.sub(r"\bS\d+\b", "S#", text)
+
+
+def graph_body(stdout):
+    """The dependence-graph portion of analyze output (no counters)."""
+    return stdout.split("test applications:")[0]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel", type=Path, default=DEFAULT_KERNEL)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="kill-point RNG seed (default: fresh entropy, printed)",
+    )
+    args = parser.parse_args(argv)
+    seed = args.seed if args.seed is not None else random.SystemRandom().randint(0, 10**6)
+    rng = random.Random(seed)
+    print(f"kernel: {args.kernel}")
+    print(f"seed: {seed}")
+
+    reference = run_cli(["analyze", str(args.kernel), "--counts"])
+    if reference.returncode != 0:
+        print(reference.stderr, file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        db = Path(tmp) / "resume.db"
+        probe_db = Path(tmp) / "probe.db"
+
+        # Size the record stream so the kill point always lands inside it.
+        probe = run_cli(["analyze", str(args.kernel), "--store", str(probe_db)])
+        if probe.returncode != 0:
+            print(probe.stderr, file=sys.stderr)
+            return 1
+        total = VerdictStore.scan(probe_db).records
+        if total < 4:
+            print(f"kernel too small to checkpoint ({total} records)", file=sys.stderr)
+            return 1
+        kill_at = rng.randint(3, total - 1)
+        print(f"record stream: {total} records; killing at append {kill_at}")
+
+        killed = run_cli(
+            ["analyze", str(args.kernel), "--store", str(db)],
+            faults=f"store-die:{kill_at}",
+        )
+        if killed.returncode != 9:
+            print(
+                f"FAIL: injected kill did not fire (exit {killed.returncode})",
+                file=sys.stderr,
+            )
+            return 1
+        survivors = VerdictStore.scan(db)
+        print(
+            f"killed run left {survivors.size} bytes: {survivors.verdicts} "
+            f"verdict(s), {survivors.plans} plan(s) durable"
+        )
+
+        resumed = run_cli(
+            ["analyze", str(args.kernel), "--store", str(db), "--resume", "--counts"]
+        )
+        if resumed.returncode != 0:
+            print(f"FAIL: resume exited {resumed.returncode}", file=sys.stderr)
+            print(resumed.stderr, file=sys.stderr)
+            return 1
+
+        banner, _, rest = resumed.stdout.partition("\n")
+        if "resuming" not in banner and "no checkpoint" not in banner:
+            print(f"FAIL: missing resume banner, got: {banner}", file=sys.stderr)
+            return 1
+        print(f"resume banner: {banner}")
+        if normalize(graph_body(rest.lstrip("\n"))) != normalize(
+            graph_body(reference.stdout)
+        ):
+            print("FAIL: resumed dependence graph diverges from reference:",
+                  file=sys.stderr)
+            print("--- reference ---", file=sys.stderr)
+            print(normalize(graph_body(reference.stdout)), file=sys.stderr)
+            print("--- resumed ---", file=sys.stderr)
+            print(normalize(graph_body(rest)), file=sys.stderr)
+            return 1
+        print("resumed graph is byte-identical to the reference")
+
+        hits = re.search(r"store: (\d+) hits", resumed.stdout)
+        served = int(hits.group(1)) if hits else 0
+        print(f"verdicts served from the killed run's store: {served}")
+        if survivors.verdicts > 0 and served == 0:
+            print("FAIL: durable verdicts existed but none were served",
+                  file=sys.stderr)
+            return 1
+
+        verify = run_cli(["store", "verify", str(db)])
+        if verify.returncode != 0:
+            print("FAIL: recovered store does not verify clean:", file=sys.stderr)
+            print(verify.stdout, file=sys.stderr)
+            return 1
+        print("recovered store verifies clean")
+
+    print("OK: kill-and-resume contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,22 @@ Subcommands:
 * ``study`` — regenerate the paper's tables over the corpus
   (``--table 1|2|3`` for a single table, default all).
 * ``corpus`` — list the corpus suites and programs.
+* ``store {info,verify,compact}`` — inspect, check, or compact a
+  persistent verdict store created with ``--store``.
+
+``analyze`` and ``study`` accept ``--store PATH`` (write-through
+crash-safe verdict persistence) and ``--resume`` (continue a killed
+``--store`` run from its last checkpoint; previously tested pairs are
+served from the store and the output is byte-identical to an
+uninterrupted run).
 
 Exit codes: 0 — success (including degraded runs that assumed some
 verdicts after absorbed faults; a fault report is printed); 1 — input
 file unreadable; 2 — Fortran syntax error (a diagnostic with line,
-column, and caret is printed, never a traceback); 3 — ``--strict`` run
-aborted on the first engine fault.
+column, and caret is printed, never a traceback) or bad command line;
+3 — ``--strict`` run aborted on the first engine fault; 4 — verdict
+store unusable (locked by a live process, unreadable) or
+``store verify`` found unrecoverable corruption.
 """
 
 from __future__ import annotations
@@ -27,7 +37,15 @@ from repro.corpus.loader import (
     available_suites,
     default_symbols,
 )
-from repro.engine import DependenceEngine, EngineFaultError, FaultPolicy
+from repro.engine import (
+    CheckpointLog,
+    DependenceEngine,
+    EngineFaultError,
+    FaultPolicy,
+    StoreError,
+    VerdictStore,
+    run_token,
+)
 from repro.engine.faults import FailureRecord
 from repro.fortran.errors import FortranSyntaxError
 from repro.fortran.parser import parse_program
@@ -42,6 +60,10 @@ EXIT_SYNTAX_ERROR = 2
 
 #: Exit code for a ``--strict`` run aborted by an engine fault.
 EXIT_STRICT_FAULT = 3
+
+#: Exit code for an unusable verdict store (lock, I/O) or a failed
+#: ``store verify``.
+EXIT_STORE_ERROR = 4
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -78,6 +100,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="abort on the first engine fault instead of degrading to "
         "assumed-dependence verdicts (exit code 3)",
     )
+    analyze.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help="persist verdicts and test plans to a crash-safe store at "
+        "PATH (created if missing; reused entries skip re-testing)",
+    )
+    analyze.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed --store run from its last checkpoint "
+        "(requires --store)",
+    )
 
     study = sub.add_parser("study", help="regenerate the paper's tables")
     study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
@@ -91,13 +123,36 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="abort on the first engine fault instead of skipping the "
         "affected pair or routine (exit code 3)",
     )
+    study.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help="persist verdicts and test plans to a crash-safe store at "
+        "PATH (created if missing; reused entries skip re-testing)",
+    )
+    study.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed --store run from its last checkpoint "
+        "(requires --store)",
+    )
 
     vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
     vector.add_argument("file", type=Path)
 
     sub.add_parser("corpus", help="list corpus suites and programs")
 
+    store = sub.add_parser(
+        "store", help="inspect or maintain a persistent verdict store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    for name, text in (
+        ("info", "print store contents and checkpoint summary"),
+        ("verify", "check every record; exit 4 on unrecoverable corruption"),
+        ("compact", "rewrite the store, dropping superseded records"),
+    ):
+        store_sub.add_parser(name, help=text).add_argument("path", type=Path)
+
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and getattr(args, "store", None) is None:
+        parser.error("--resume requires --store PATH")
     if args.command == "analyze":
         return _analyze(args)
     if args.command == "study":
@@ -106,6 +161,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _vectorize(args)
     if args.command == "corpus":
         return _corpus()
+    if args.command == "store":
+        return _store(args)
     return 2
 
 
@@ -142,6 +199,90 @@ def _strict_abort(exc: EngineFaultError) -> int:
     return EXIT_STRICT_FAULT
 
 
+def _open_store(path: Path) -> Optional[VerdictStore]:
+    """Open (or create) a verdict store; on failure print and return None.
+
+    Lock contention, unreadable paths, and I/O errors all surface as one
+    clean diagnostic — the caller maps None to :data:`EXIT_STORE_ERROR`.
+    Corrupt tails and schema mismatches do *not* fail: the store recovers
+    them on open (printing what it dropped) by design.
+    """
+    try:
+        return VerdictStore(path)
+    except (StoreError, OSError) as exc:
+        print(f"repro-deps: cannot open store '{path}': {exc}", file=sys.stderr)
+        return None
+
+
+def _attach_checkpoint(
+    store: VerdictStore, token: str, label: str, resume: bool
+) -> CheckpointLog:
+    """Build the run's checkpoint log; print the resume banner if asked."""
+    log = CheckpointLog(store, token)
+    if resume:
+        print(log.resume_summary())
+    log.begin_run(label)
+    return log
+
+
+def _store(args: argparse.Namespace) -> int:
+    """``repro-deps store {info,verify,compact}`` dispatcher."""
+    path: Path = args.path
+    if args.store_command == "verify":
+        report = VerdictStore.scan(path)
+        for line in report.lines():
+            print(line)
+        return 0 if report.clean else EXIT_STORE_ERROR
+    if args.store_command == "info":
+        report = VerdictStore.scan(path)
+        if report.size == 0 and report.problems:
+            print(f"repro-deps: cannot read store '{path}'", file=sys.stderr)
+            return EXIT_STORE_ERROR
+        for line in report.lines():
+            print(line)
+        store = _open_store(path)
+        if store is None:
+            return EXIT_STORE_ERROR
+        try:
+            runs = store.runs()
+            if runs:
+                token, label = next(
+                    (
+                        (t, lbl)
+                        for t, lbl in reversed(runs)
+                        if not lbl.startswith("routine:")
+                    ),
+                    runs[-1],
+                )
+                print(f"  last run: {label} (token {token})")
+                routines = len({
+                    lbl
+                    for t, lbl in runs
+                    if t == token and lbl.startswith("routine:")
+                })
+                if routines:
+                    print(f"  routines checkpointed: {routines}")
+        finally:
+            store.close()
+        return 0
+    # compact
+    store = _open_store(path)
+    if store is None:
+        return EXIT_STORE_ERROR
+    try:
+        before, after = store.compact()
+    except (StoreError, OSError) as exc:
+        store.close()
+        print(f"repro-deps: compaction failed for '{path}': {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
+    store.close()
+    print(
+        f"compacted {path}: {before} -> {after} bytes "
+        f"({len(store)} verdict(s), {store.plan_count} plan(s) kept)"
+    )
+    return 0
+
+
 def _vectorize(args: argparse.Namespace) -> int:
     from repro.transform.vectorize import vectorize
 
@@ -162,9 +303,33 @@ def _analyze(args: argparse.Namespace) -> int:
     from repro.engine import faultinject
     from repro.engine.faults import describe_error
 
-    program, code = _parse_input(args.file)
-    if program is None:
-        return code
+    source = _read_source(args.file)
+    if source is None:
+        return 1
+    try:
+        program = normalize_program(parse_program(source, name=args.file.stem))
+    except FortranSyntaxError as exc:
+        print(f"repro-deps: {args.file}:", file=sys.stderr)
+        print(exc.diagnostic(), file=sys.stderr)
+        return EXIT_SYNTAX_ERROR
+    store = checkpoint = None
+    if args.store is not None:
+        if args.no_cache:
+            print(
+                "repro-deps: --store requires the verdict cache "
+                "(drop --no-cache)",
+                file=sys.stderr,
+            )
+            return EXIT_STORE_ERROR
+        store = _open_store(args.store)
+        if store is None:
+            return EXIT_STORE_ERROR
+        checkpoint = _attach_checkpoint(
+            store,
+            run_token("analyze", source, str(args.jobs)),
+            f"analyze:{args.file.name}",
+            args.resume,
+        )
     symbols = default_symbols()
     engine = DependenceEngine(
         symbols=symbols,
@@ -172,41 +337,52 @@ def _analyze(args: argparse.Namespace) -> int:
         use_cache=not args.no_cache,
         profile=args.profile,
         policy=FaultPolicy.from_env(strict=args.strict),
+        store=store,
+        checkpoint=checkpoint,
     )
     recorder = TestRecorder()
-    with engine:
-        for routine in program.routines:
-            print(f"== routine {routine.name} ==")
-            try:
-                faultinject.on_routine(routine.name)
-                graph = engine.build_graph(routine.body, recorder=recorder)
-            except EngineFaultError as exc:
-                return _strict_abort(exc)
-            except Exception as exc:
-                if args.strict:
-                    raise
-                engine.stats.record_failure(
-                    FailureRecord(
-                        "routine", f"{args.file.stem}/{routine.name}",
-                        describe_error(exc),
+    try:
+        with engine:
+            for routine in program.routines:
+                print(f"== routine {routine.name} ==")
+                try:
+                    faultinject.on_routine(routine.name)
+                    graph = engine.build_graph(routine.body, recorder=recorder)
+                except EngineFaultError as exc:
+                    return _strict_abort(exc)
+                except Exception as exc:
+                    if args.strict:
+                        raise
+                    engine.stats.record_failure(
+                        FailureRecord(
+                            "routine", f"{args.file.stem}/{routine.name}",
+                            describe_error(exc),
+                        )
                     )
-                )
-                print(f"routine skipped after failure: {describe_error(exc)}")
+                    print(f"routine skipped after failure: {describe_error(exc)}")
+                    print()
+                    continue
+                print(graph)
+                for verdict in find_parallel_loops(routine.body, symbols, graph):
+                    print(verdict)
+                if args.transforms:
+                    for suggestion in find_peeling_opportunities(
+                        routine.body, symbols, graph
+                    ):
+                        print(suggestion)
+                    for suggestion in find_splitting_opportunities(
+                        routine.body, symbols, graph
+                    ):
+                        print(suggestion)
                 print()
-                continue
-            print(graph)
-            for verdict in find_parallel_loops(routine.body, symbols, graph):
-                print(verdict)
-            if args.transforms:
-                for suggestion in find_peeling_opportunities(
-                    routine.body, symbols, graph
-                ):
-                    print(suggestion)
-                for suggestion in find_splitting_opportunities(
-                    routine.body, symbols, graph
-                ):
-                    print(suggestion)
-            print()
+                if checkpoint is not None and engine.store is not None:
+                    try:
+                        checkpoint.mark_routine(routine.name)
+                    except Exception as exc:
+                        engine.driver._degrade_store(exc)
+    finally:
+        if store is not None:
+            store.close()
     if args.counts:
         print("test applications:")
         print(recorder)
@@ -230,10 +406,24 @@ def _study(args: argparse.Namespace) -> int:
     if args.table == 2:
         print(render_table2())
         return 0
+    store = checkpoint = None
+    if args.store is not None:
+        store = _open_store(args.store)
+        if store is None:
+            return EXIT_STORE_ERROR
+        suites = sorted(args.suite) if args.suite else ["<all>"]
+        checkpoint = _attach_checkpoint(
+            store,
+            run_token("study", args.table, *suites, str(jobs)),
+            f"study:table{args.table or 'all'}",
+            args.resume,
+        )
     engine = DependenceEngine(
         symbols=default_symbols(),
         jobs=jobs,
         policy=FaultPolicy.from_env(strict=args.strict),
+        store=store,
+        checkpoint=checkpoint,
     )
     try:
         with engine:
@@ -248,6 +438,9 @@ def _study(args: argparse.Namespace) -> int:
                 print(full_report(args.suite, jobs=jobs, engine=engine))
     except EngineFaultError as exc:
         return _strict_abort(exc)
+    finally:
+        if store is not None:
+            store.close()
     return 0
 
 

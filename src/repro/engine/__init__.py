@@ -33,6 +33,14 @@ embarrassingly parallel.  This package exploits both:
   and re-run suspect chunks serially in the parent;
 * :mod:`repro.engine.faultinject` — the deterministic fault-injection
   harness behind the ``REPRO_FAULTS`` environment hook (test-only);
+* :mod:`repro.engine.store` — :class:`VerdictStore`, a crash-safe
+  append-only on-disk verdict/plan store (CRC-checked length-prefixed
+  records, schema-versioned, advisory-locked, corrupt tails truncated on
+  open) serving as a persistent third cache tier;
+* :mod:`repro.engine.checkpoint` — :class:`CheckpointLog` and
+  :func:`run_token`: durable completed-chunk/routine markers over the
+  store, so ``repro-deps ... --store s.db --resume`` continues a killed
+  run from its last fsync'd checkpoint;
 * :mod:`repro.engine.engine` — the :class:`DependenceEngine` facade the
   CLI, the study harness, and the benchmarks drive.
 
@@ -51,6 +59,7 @@ from repro.engine.canonical import (
     rename_map,
 )
 from repro.engine.cache import CachedDriver
+from repro.engine.checkpoint import CheckpointLog, run_token
 from repro.engine.engine import DependenceEngine
 from repro.engine.faults import (
     BudgetExceededError,
@@ -68,12 +77,14 @@ from repro.engine.parallel import (
 )
 from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
+from repro.engine.store import StoreError, StoreLockError, StoreReport, VerdictStore
 from repro.engine.supervisor import PoolSupervisor
 
 __all__ = [
     "BudgetExceededError",
     "CacheEntry",
     "CachedDriver",
+    "CheckpointLog",
     "ChunkTimeoutError",
     "DependenceEngine",
     "EngineFaultError",
@@ -84,6 +95,10 @@ __all__ = [
     "PhaseProfile",
     "PoolSupervisor",
     "StepBudget",
+    "StoreError",
+    "StoreLockError",
+    "StoreReport",
+    "VerdictStore",
     "WorkerCrashError",
     "build_dependence_graph_parallel",
     "canonical_pair_key",
@@ -91,4 +106,5 @@ __all__ = [
     "estimate_pair_cost",
     "rehydrate_result",
     "rename_map",
+    "run_token",
 ]

@@ -20,6 +20,16 @@ private :class:`~repro.instrument.TestRecorder` and stores the counter
 delta in the entry; hits and misses alike merge that delta into the
 caller's recorder, so Table 3 statistics are byte-identical to a serial
 uncached run.
+
+An optional third tier sits below both: a crash-safe persistent
+:class:`~repro.engine.store.VerdictStore`.  Lookups probe memory first,
+then the store (promoting hits into the LRU); fresh verdicts and plans
+are written through, so a killed run's successor reopens the store and
+serves every previously tested shape without re-testing.  Assumed
+(degraded) verdicts never reach the store — PR 3's contamination
+guarantee extends across process boundaries.  A store *write* failure
+mid-run degrades the driver back to memory-only operation with a
+``store`` failure record rather than aborting analysis.
 """
 
 from __future__ import annotations
@@ -55,6 +65,7 @@ from repro.engine.canonical import (
     rename_map,
 )
 from repro.engine.stats import EngineStats
+from repro.engine.store import VerdictStore
 from repro.instrument import TestRecorder
 from repro.ir.context import SymbolEnv
 from repro.ir.loop import AccessSite
@@ -98,6 +109,7 @@ class CachedDriver:
         stats: Optional[EngineStats] = None,
         plan_capacity: Optional[int] = None,
         policy: FaultPolicy = DEFAULT_POLICY,
+        store: Optional[VerdictStore] = None,
     ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
@@ -113,6 +125,9 @@ class CachedDriver:
         self.delta_options = delta_options
         self.policy = policy
         self.stats = stats if stats is not None else EngineStats()
+        #: Persistent write-through tier (``store.py``); None = memory-only.
+        #: Named ``persist`` because :meth:`store` is the LRU insert.
+        self.persist = store
         self._entries: "OrderedDict[CanonicalKey, CacheEntry]" = OrderedDict()
         self._plans: "OrderedDict[CanonicalKey, TestPlan]" = OrderedDict()
 
@@ -122,18 +137,61 @@ class CachedDriver:
         return len(self._entries)
 
     def contains(self, key: CanonicalKey) -> bool:
-        """True when ``key`` is resident (does not touch LRU order)."""
-        return key in self._entries
+        """True when ``key`` is resident in any tier (LRU order untouched)."""
+        if key in self._entries:
+            return True
+        return self.persist is not None and self.persist.contains(key)
 
     def lookup(self, key: CanonicalKey) -> Optional[CacheEntry]:
-        """Fetch an entry and mark it most recently used; counts hit/miss."""
+        """Fetch an entry, memory tier first, then the persistent store.
+
+        Marks memory hits most recently used; promotes store hits into
+        the LRU.  Counts provenance separately (``hits`` / ``store_hits``
+        / ``misses``) so resumed runs report honestly.
+        """
         entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        if self.persist is not None:
+            entry = self.persist.get(key)
+            if entry is not None:
+                self.stats.store_hits += 1
+                self.store(key, entry)
+                return entry
+        self.stats.misses += 1
+        return None
+
+    # -- the persistent tier ---------------------------------------------
+
+    def _degrade_store(self, exc: Exception) -> None:
+        """Drop to memory-only operation after a store write failure."""
+        store, self.persist = self.persist, None
+        self.stats.record_failure(
+            FailureRecord(
+                "store",
+                f"store {getattr(store, 'path', '?')}",
+                describe_error(exc),
+            )
+        )
+
+    def _persist_entry(self, key: CanonicalKey, entry: CacheEntry) -> None:
+        if self.persist is None or entry.assumed:
+            return
+        try:
+            self.persist.put(key, entry)
+            self.stats.store_writes += 1
+        except Exception as exc:
+            self._degrade_store(exc)
+
+    def _persist_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
+        if self.persist is None:
+            return
+        try:
+            self.persist.put_plan(key, plan)
+        except Exception as exc:
+            self._degrade_store(exc)
 
     def store(self, key: CanonicalKey, entry: CacheEntry) -> None:
         """Insert an entry, evicting the least recently used past capacity."""
@@ -144,10 +202,16 @@ class CachedDriver:
             self.stats.evictions += 1
 
     def seed(self, key: CanonicalKey, entry: CacheEntry) -> None:
-        """Adopt a worker-produced entry without counting a miss."""
+        """Adopt a worker-produced entry without counting a miss.
+
+        Write-through: seeded entries are the parallel builder's test
+        results, so they persist like any miss fill (making per-chunk
+        progress durable for checkpointed runs).
+        """
         if key not in self._entries:
             self.stats.seeded += 1
         self.store(key, entry)
+        self._persist_entry(key, entry)
 
     def clear(self) -> None:
         """Drop every verdict and plan (counters kept; see ``stats.reset``)."""
@@ -161,18 +225,32 @@ class CachedDriver:
         return len(self._plans)
 
     def plan_for(self, key: CanonicalKey) -> Optional[TestPlan]:
-        """The precompiled plan for ``key`` (marks it recently used)."""
+        """The precompiled plan for ``key`` (marks it recently used).
+
+        Falls back to the persistent store, promoting hits into the
+        memory tier, so plans survive process restarts too.
+        """
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
+            return plan
+        if self.persist is not None:
+            plan = self.persist.get_plan(key)
+            if plan is not None:
+                self.store_plan(key, plan)
         return plan
 
     def store_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
-        """Keep a compiled plan, evicting the least recently used past cap."""
+        """Keep a compiled plan, evicting the least recently used past cap.
+
+        Write-through to the persistent store (a no-op for plans already
+        on disk, including ones just promoted from it).
+        """
         self._plans[key] = plan
         self._plans.move_to_end(key)
         while len(self._plans) > self.plan_capacity:
             self._plans.popitem(last=False)
+        self._persist_plan(key, plan)
 
     # -- the tester interface --------------------------------------------
 
@@ -299,10 +377,13 @@ class CachedDriver:
         if profile is not None:
             profile.add_phase("test", perf_counter() - start)
         if not result.assumed:
-            # Assumed verdicts never enter the cache: a faulted pair must
-            # not contaminate structurally identical healthy pairs, and a
-            # transient failure deserves a fresh test next time.
-            self.store(key, canonicalize_result(result, mapping, local))
+            # Assumed verdicts never enter the cache (or the store): a
+            # faulted pair must not contaminate structurally identical
+            # healthy pairs, and a transient failure deserves a fresh
+            # test next time — in this process or any later one.
+            entry = canonicalize_result(result, mapping, local)
+            self.store(key, entry)
+            self._persist_entry(key, entry)
         if recorder is not None:
             recorder.merge(local)
         return result

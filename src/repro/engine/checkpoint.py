@@ -1,0 +1,123 @@
+"""Checkpoint/resume protocol over the persistent verdict store.
+
+Resumability of a dependence sweep falls out of two facts: verdicts are
+pure functions of canonical pair keys (so the store tier replays them
+byte-identically), and every analysis output is rebuilt from verdicts
+cheaply once the tests themselves are skipped.  A *checkpoint* therefore
+never tries to snapshot control flow — it records **progress markers**
+(completed dispatch chunks, completed routines) under a *run token* that
+identifies the input, so a resumed run can prove it is continuing the
+same work and report how far the killed run got, while the store tier
+does the actual heavy lifting of skipping finished tests.
+
+The run token hashes the analysis input (file bytes, or the corpus suite
+selection) together with the options that change the verdict stream.  A
+``--resume`` against a store whose markers carry a different token still
+works — the verdict tier is input-agnostic by construction — but the
+resume report says so instead of claiming prior progress.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Set, Tuple
+
+from repro.engine.store import VerdictStore
+
+
+def run_token(*parts: object) -> str:
+    """A stable hex token identifying one analysis input + option set.
+
+    ``parts`` may be str/bytes/int/bool/None; anything else contributes
+    its ``repr``.  The token survives process restarts (no ids, no
+    addresses) so a killed run and its resume agree.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            blob = part
+        elif isinstance(part, str):
+            blob = part.encode("utf-8", "surrogatepass")
+        else:
+            blob = repr(part).encode("utf-8")
+        digest.update(len(blob).to_bytes(8, "little"))
+        digest.update(blob)
+    return digest.hexdigest()[:16]
+
+
+class CheckpointLog:
+    """Progress markers for one run token, backed by a :class:`VerdictStore`.
+
+    The engine bumps the *build* counter once per graph build (one per
+    routine), and the parallel builder marks each dispatch chunk as its
+    canonical entries land in the store — both under this log's token, so
+    markers from different inputs sharing a store never collide.  Routine
+    markers work the same way through :meth:`mark_routine` (the CLI and
+    study harness call it after printing each routine's results).
+
+    Marker writes checkpoint the store eagerly: a marker that says "chunk
+    done" must never be durable *before* the verdicts it covers.
+    ``VerdictStore`` appends in order and :meth:`~VerdictStore.checkpoint`
+    flushes everything buffered, so the ordering holds by construction.
+    """
+
+    def __init__(self, store: VerdictStore, token: str):
+        self.store = store
+        self.token = token
+        self._build = -1
+        # Progress the killed run left behind for this token, frozen at
+        # open time so the resume report does not count our own markers.
+        self.prior_chunks: Set[Tuple[int, int]] = store.chunks_done(token)
+        self.prior_runs: int = sum(
+            1 for t, _ in store.runs() if t == token
+        )
+        self.prior_routines: Set[str] = {
+            label[len("routine:"):]
+            for t, label in store.runs()
+            if t == token and label.startswith("routine:")
+        }
+
+    # -- markers ---------------------------------------------------------
+
+    def begin_run(self, label: str) -> None:
+        """Record that a run over this token started (durably)."""
+        self.store.mark_run(self.token, label)
+        self.store.checkpoint()
+
+    def begin_build(self) -> int:
+        """Enter the next graph build; returns its build ordinal."""
+        self._build += 1
+        return self._build
+
+    def mark_chunk(self, seq: int) -> None:
+        """Record one completed dispatch chunk of the current build."""
+        self.store.mark_chunk(self.token, max(self._build, 0), seq)
+        self.store.checkpoint()
+
+    def mark_routine(self, name: str) -> None:
+        """Record one fully analyzed routine (durably)."""
+        self.store.mark_run(self.token, f"routine:{name}")
+        self.store.checkpoint()
+
+    # -- resume reporting ------------------------------------------------
+
+    @property
+    def resumable(self) -> bool:
+        """True when the store holds prior progress for this exact input."""
+        return bool(
+            self.prior_runs or self.prior_chunks or self.prior_routines
+        )
+
+    def resume_summary(self) -> str:
+        """One-line human summary for ``--resume`` banners."""
+        if not self.resumable:
+            return (
+                "no checkpoint for this input in the store; starting fresh "
+                f"({len(self.store)} verdict(s) resident remain usable)"
+            )
+        parts = [f"{len(self.store)} verdict(s) resident"]
+        if self.prior_routines:
+            parts.append(f"{len(self.prior_routines)} routine(s) checkpointed")
+        if self.prior_chunks:
+            parts.append(f"{len(self.prior_chunks)} chunk(s) checkpointed")
+        return "resuming: " + ", ".join(parts)

@@ -24,7 +24,9 @@ from typing import Optional, Sequence
 
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine.cache import DEFAULT_CAPACITY, CachedDriver
+from repro.engine.checkpoint import CheckpointLog
 from repro.engine.faults import DEFAULT_POLICY, FaultPolicy
+from repro.engine.store import VerdictStore
 from repro.engine.parallel import build_dependence_graph_parallel, make_pool
 from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
@@ -48,6 +50,8 @@ class DependenceEngine:
         plan_capacity: Optional[int] = None,
         profile: bool = False,
         policy: FaultPolicy = DEFAULT_POLICY,
+        store: Optional[VerdictStore] = None,
+        checkpoint: Optional[CheckpointLog] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -55,6 +59,10 @@ class DependenceEngine:
         self.jobs = jobs
         self.use_cache = use_cache
         self.chunksize = chunksize
+        #: Optional resume protocol (chunk/routine markers over ``store``).
+        #: The engine *uses* the store and log but does not own them — the
+        #: caller that opened the store closes it (``close`` only flushes).
+        self.checkpoint = checkpoint
         stats = EngineStats(profile=PhaseProfile()) if profile else None
         self.driver = CachedDriver(
             symbols=symbols,
@@ -63,6 +71,7 @@ class DependenceEngine:
             stats=stats,
             plan_capacity=plan_capacity,
             policy=policy,
+            store=store if use_cache else None,
         )
         self._pool = None
 
@@ -81,11 +90,21 @@ class DependenceEngine:
         """Per-phase wall timings, when built with ``profile=True``."""
         return self.driver.stats.profile
 
+    @property
+    def store(self) -> Optional[VerdictStore]:
+        """The persistent verdict store, when one is attached (live)."""
+        return self.driver.persist
+
     def close(self) -> None:
-        """Shut down the worker pool (a later build recreates it)."""
+        """Shut down the worker pool and flush the store (not closing it)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self.driver.persist is not None:
+            try:
+                self.driver.persist.checkpoint()
+            except Exception:
+                pass  # flushing is best-effort; close() must not raise
 
     def __enter__(self) -> "DependenceEngine":
         return self
@@ -119,6 +138,8 @@ class DependenceEngine:
         mixing environments cannot cross-contaminate entries).
         """
         env = symbols if symbols is not None else self.symbols
+        if self.checkpoint is not None:
+            self.checkpoint.begin_build()
         if self.jobs > 1:
             return build_dependence_graph_parallel(
                 nodes,
@@ -132,6 +153,7 @@ class DependenceEngine:
                 pool=self._pool,
                 pool_factory=self._pool_factory,
                 pool_replaced=self._pool_replaced,
+                checkpoint=self.checkpoint,
             )
         if not self.use_cache:
             return build_dependence_graph(

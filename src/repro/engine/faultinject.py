@@ -15,7 +15,11 @@ seams of the engine:
   array ``<array>`` raises :class:`InjectedFaultError` (simulates an
   in-test crash; fires in workers and in-process alike);
 * ``routine-error:<name>`` — analyzing routine ``<name>`` raises
-  (simulates a routine the pipeline cannot digest).
+  (simulates a routine the pipeline cannot digest);
+* ``store-die:<n>`` — the process dies with ``os._exit`` immediately
+  after the ``n``-th record appended to a persistent verdict store
+  (simulates a SIGKILL landing mid-write at a deterministic point; the
+  kill-and-resume tests and CI job are built on it).
 
 Directives are comma-separated (``REPRO_FAULTS=crash-chunk:0,pair-error:a``).
 Chunk faults are *worker-scoped*: :data:`IN_WORKER` is set by the pool
@@ -56,6 +60,7 @@ class FaultPlan:
     hang_chunks: Dict[int, float] = field(default_factory=dict)
     pair_arrays: FrozenSet[str] = frozenset()
     routines: FrozenSet[str] = frozenset()
+    store_die: Optional[int] = None
 
     @property
     def empty(self) -> bool:
@@ -64,6 +69,7 @@ class FaultPlan:
             or self.hang_chunks
             or self.pair_arrays
             or self.routines
+            or self.store_die is not None
         )
 
 
@@ -73,6 +79,7 @@ def parse_spec(spec: str) -> FaultPlan:
     hang: Dict[int, float] = {}
     arrays = set()
     routines = set()
+    store_die: Optional[int] = None
     for raw in spec.split(","):
         directive = raw.strip()
         if not directive:
@@ -89,6 +96,8 @@ def parse_spec(spec: str) -> FaultPlan:
                 arrays.add(args[0].lower())
             elif name == "routine-error" and args:
                 routines.add(args[0].lower())
+            elif name == "store-die" and args:
+                store_die = int(args[0])
         except ValueError:
             continue
     return FaultPlan(
@@ -96,6 +105,7 @@ def parse_spec(spec: str) -> FaultPlan:
         hang_chunks=hang,
         pair_arrays=frozenset(arrays),
         routines=frozenset(routines),
+        store_die=store_die,
     )
 
 
@@ -143,3 +153,24 @@ def on_routine(name: str) -> None:
     plan = active_plan()
     if plan is not None and name.lower() in plan.routines:
         raise InjectedFaultError(f"injected fault analyzing routine '{name}'")
+
+
+# Appends this process has made to any verdict store (store-die counter).
+_STORE_APPENDS = 0
+
+
+def on_store_append() -> None:
+    """Per-record hook, called after each verdict-store append.
+
+    ``store-die:<n>`` kills the process *uncleanly* (no flush, no atexit,
+    no lock release beyond what the OS reclaims) right after the n-th
+    append, leaving whatever the page cache happened to hold — the same
+    torn-tail state a SIGKILL or power loss produces.
+    """
+    global _STORE_APPENDS
+    plan = active_plan()
+    if plan is None or plan.store_die is None:
+        return
+    _STORE_APPENDS += 1
+    if _STORE_APPENDS >= plan.store_die:
+        os._exit(9)

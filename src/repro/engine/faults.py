@@ -118,7 +118,9 @@ class FailureRecord:
 
     ``kind`` is the failure class — ``"pair"`` (an in-test exception),
     ``"budget"`` (step budget exhausted), ``"worker-crash"``,
-    ``"chunk-timeout"``, or ``"routine"`` (a whole routine skipped).
+    ``"chunk-timeout"``, ``"routine"`` (a whole routine skipped), or
+    ``"store"`` (a persistent-store write failed and the run degraded
+    to memory-only caching).
     ``where`` locates it (pair description or suite/program/routine
     path); ``error`` is the stringified cause; ``attempts`` counts how
     many tries the supervisor spent before giving the work up or moving

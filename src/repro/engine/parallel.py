@@ -40,9 +40,12 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.pairs import PairContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.checkpoint import CheckpointLog
 from repro.core.driver import assumed_dependence_result, test_dependence
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine import faultinject
@@ -243,6 +246,7 @@ def build_dependence_graph_parallel(
     pool: Optional[ProcessPoolExecutor] = None,
     pool_factory: Optional[Callable[[], ProcessPoolExecutor]] = None,
     pool_replaced: Optional[Callable[[Optional[ProcessPoolExecutor]], None]] = None,
+    checkpoint: Optional["CheckpointLog"] = None,
 ) -> DependenceGraph:
     """Test all candidate pairs of a statement list over a process pool.
 
@@ -265,6 +269,13 @@ def build_dependence_graph_parallel(
     one across builds should pass ``pool_replaced`` — it is invoked with
     the surviving executor (possibly None) whenever it differs from the
     one passed in.
+
+    When the driver carries a persistent store, each chunk's canonical
+    entries are seeded (and written through) *as the chunk completes*,
+    and ``checkpoint`` (a :class:`~repro.engine.checkpoint.CheckpointLog`)
+    records a durable completed-chunk marker — so a run killed mid-build
+    resumes from every finished chunk, not from the last routine
+    boundary.
     """
     if driver is None:
         driver = CachedDriver(symbols)
@@ -349,9 +360,35 @@ def build_dependence_graph_parallel(
         policy=policy,
         stats=driver.stats,
     )
+
+    on_result = None
+    if dedup and (driver.persist is not None or checkpoint is not None):
+        # Checkpointing seam: adopt (and persist) each chunk's entries the
+        # moment it completes, then make the progress durable with a chunk
+        # marker.  Entries precede their marker in the append order, so a
+        # marker never claims verdicts a crash could have lost.
+        key_chunks: List[List[CanonicalKey]] = []
+        base = 0
+        keys = [key for key, _ in work]
+        for chunk in spec_chunks:
+            key_chunks.append(keys[base : base + len(chunk)])
+            base += len(chunk)
+
+        def on_result(seq: int, entries: List[CacheEntry]) -> None:
+            for key, entry in zip(key_chunks[seq], entries):
+                if not entry.assumed:
+                    driver.seed(key, entry)
+            if checkpoint is not None and driver.persist is not None:
+                try:
+                    checkpoint.mark_chunk(seq)
+                except Exception as exc:
+                    driver._degrade_store(exc)
+
     start = perf_counter() if profile is not None else 0.0
     try:
-        chunk_results = supervisor.run(tasks, _test_chunk, _serial_runner)
+        chunk_results = supervisor.run(
+            tasks, _test_chunk, _serial_runner, on_result=on_result
+        )
     finally:
         if own_pool:
             supervisor.shutdown()
@@ -385,9 +422,11 @@ def build_dependence_graph_parallel(
         driver.stats.record_failure(FailureRecord(kind, where, reason))
 
     if dedup:
-        for (key, _), entry in zip(work, entries_by_slot):
-            if not entry.assumed:
-                driver.seed(key, entry)
+        if on_result is None:
+            # Not checkpointing: entries were not seeded as chunks landed.
+            for (key, _), entry in zip(work, entries_by_slot):
+                if not entry.assumed:
+                    driver.seed(key, entry)
         for first, second, context, mapping, key in prepared:
             tested += 1
             result = driver.resolve(context, mapping, key, recorder)

@@ -24,7 +24,11 @@ from repro.engine.profile import PhaseProfile
 class EngineStats:
     """Counters for one engine (or one :class:`CachedDriver`) lifetime.
 
-    ``hits``/``misses`` count canonical-key verdict lookups; ``evictions``
+    ``hits``/``store_hits``/``misses`` count canonical-key verdict
+    lookups by provenance — served from the in-memory LRU, served from
+    the persistent :class:`~repro.engine.store.VerdictStore` (a resumed
+    run's prior work), or actually tested; ``store_writes`` counts fresh
+    verdicts written through to the store.  ``evictions``
     counts LRU drops; ``seeded`` counts entries inserted by the parallel
     builder (worker-produced results adopted without a local miss);
     ``dispatched`` counts pairs actually tested in worker processes.
@@ -45,6 +49,8 @@ class EngineStats:
     """
 
     hits: int = 0
+    store_hits: int = 0
+    store_writes: int = 0
     misses: int = 0
     evictions: int = 0
     seeded: int = 0
@@ -63,14 +69,27 @@ class EngineStats:
 
     @property
     def lookups(self) -> int:
-        """Total cache probes."""
-        return self.hits + self.misses
+        """Total cache probes (memory hits + store hits + misses)."""
+        return self.hits + self.store_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of probes answered from cache (0.0 when unused)."""
+        """Fraction of probes answered without testing (0.0 when unused)."""
         total = self.lookups
-        return self.hits / total if total else 0.0
+        return (self.hits + self.store_hits) / total if total else 0.0
+
+    def provenance_report(self) -> str:
+        """Where verdicts came from: memory / store / fresh test / assumed.
+
+        The honesty line for degraded-and-resumed runs — an ``assumed``
+        count is never hidden inside a hit rate, and store-served
+        verdicts are distinguished from this process's own work.
+        """
+        return (
+            f"verdict provenance: {self.hits} memory hit(s), "
+            f"{self.store_hits} store hit(s), {self.misses} tested, "
+            f"{self.assumed} assumed"
+        )
 
     def record_failure(self, record: FailureRecord) -> None:
         """Append one absorbed-failure report (and bump its kind counter)."""
@@ -85,6 +104,8 @@ class EngineStats:
     def merge(self, other: "EngineStats") -> None:
         """Fold another stats object's counters into this one."""
         self.hits += other.hits
+        self.store_hits += other.store_hits
+        self.store_writes += other.store_writes
         self.misses += other.misses
         self.evictions += other.evictions
         self.seeded += other.seeded
@@ -107,6 +128,7 @@ class EngineStats:
     def reset(self) -> None:
         """Zero every counter (keeps the profile object, zeroing its timers)."""
         self.hits = self.misses = self.evictions = 0
+        self.store_hits = self.store_writes = 0
         self.seeded = self.dispatched = 0
         self.plan_hits = self.plan_misses = self.auto_serial = 0
         self.assumed = self.worker_crashes = self.chunk_timeouts = 0
@@ -134,6 +156,9 @@ class EngineStats:
             "auto_serial": self.auto_serial,
             "hit_rate": round(self.hit_rate, 4),
         }
+        if self.store_hits or self.store_writes:
+            out["store_hits"] = self.store_hits
+            out["store_writes"] = self.store_writes
         if self.degraded:
             out["assumed"] = self.assumed
             out["worker_crashes"] = self.worker_crashes
@@ -152,7 +177,8 @@ class EngineStats:
             return ""
         lines = [
             f"fault report: {len(self.failures)} failure(s), "
-            f"{self.assumed} pair verdict(s) assumed dependent"
+            f"{self.assumed} pair verdict(s) assumed dependent",
+            f"  {self.provenance_report()}",
         ]
         for record in self.failures:
             lines.append(f"  {record}")
@@ -168,6 +194,11 @@ class EngineStats:
             f"cache: {self.hits} hits, {self.misses} misses "
             f"({self.hit_rate:.1%} hit rate), {self.evictions} evictions"
         )
+        if self.store_hits or self.store_writes:
+            text += (
+                f"; store: {self.store_hits} hits, "
+                f"{self.store_writes} writes"
+            )
         if self.plan_hits or self.plan_misses:
             text += f"; plans: {self.plan_hits} replayed, {self.plan_misses} compiled"
         if self.auto_serial:

@@ -1,0 +1,560 @@
+"""Crash-safe persistent verdict/plan store.
+
+The canonical pair key makes a driver verdict a pure function of
+structure (see :mod:`repro.engine.canonical`), which is exactly what
+makes verdicts safe to persist across processes and runs: a
+:class:`VerdictStore` is an on-disk third tier below the in-memory LRU,
+so a killed corpus sweep resumes from every pair it already tested
+instead of restarting from zero.
+
+The format is a single append-only segment file:
+
+* an 8-byte header — 4-byte magic ``RVS1`` plus a little-endian ``u32``
+  schema version;
+* zero or more records, each ``[u32 length][u32 crc32][payload]`` with
+  both integers little-endian and the CRC taken over the payload bytes;
+* each payload is a pickled ``(kind, ...)`` tuple — ``"v"`` (canonical
+  key → :class:`~repro.engine.canonical.CacheEntry`), ``"p"`` (canonical
+  key → :class:`~repro.core.plan.TestPlan`), ``"r"`` (run-begin marker:
+  token + label), or ``"c"`` (completed-chunk marker: token, build, seq).
+
+Durability and recovery rules:
+
+* a new store (and every compaction) is written to a temp file in the
+  same directory and atomically renamed into place, so a crash during
+  either leaves the previous state intact;
+* appends are buffered and flushed with ``fsync`` at every *checkpoint*
+  (automatic every :data:`CHECKPOINT_INTERVAL` appends, explicit at
+  chunk/routine boundaries, always on close);
+* on open, the tail is scanned: a torn or CRC-corrupt record truncates
+  the file back to the last valid record boundary (logged and dropped —
+  never trusted, never a crash), and a CRC-valid record whose payload no
+  longer unpickles is skipped individually;
+* a magic or schema-version mismatch triggers a clean rebuild — the old
+  bytes are discarded and an empty store of the current version is
+  written (verdicts are derived data; rebuilding is always safe);
+* an advisory ``fcntl`` file lock on a ``<path>.lock`` sidecar (with the
+  holder's PID recorded for stale-lock diagnostics, and bounded
+  retry/backoff on contention) makes concurrent runs safe: the second
+  writer fails cleanly instead of interleaving records.
+
+Assumed (degraded) verdicts are never written: persistence must not
+extend PR 3's contamination guarantee across runs — a faulted pair gets
+a fresh test next process, not a stale assumption.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import struct
+import sys
+import tempfile
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.plan import TestPlan
+from repro.engine import faultinject
+from repro.engine.canonical import CacheEntry, CanonicalKey
+
+try:  # POSIX only; on platforms without fcntl the store runs unlocked.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+#: File magic: "Repro Verdict Store", format generation 1.
+MAGIC = b"RVS1"
+
+#: Schema version of the pickled payloads.  Bump whenever CacheEntry,
+#: TestPlan, or the canonical-key layout changes shape; an on-disk
+#: mismatch rebuilds the store instead of deserializing stale data.
+SCHEMA_VERSION = 1
+
+_HEADER = struct.Struct("<4sI")
+_FRAME = struct.Struct("<II")
+
+#: Appends between automatic fsync'd checkpoints.  Records lost in a
+#: crash are bounded by this window (minus explicit chunk/routine
+#: checkpoints, which flush eagerly).
+CHECKPOINT_INTERVAL = 64
+
+#: A single record larger than this is treated as framing corruption:
+#: real records are a few KB, so a length field this big is garbage.
+MAX_RECORD_SIZE = 64 * 1024 * 1024
+
+#: Lock-acquisition schedule: attempts and linear backoff base (seconds).
+LOCK_RETRIES = 5
+LOCK_BACKOFF = 0.05
+
+
+class StoreError(Exception):
+    """Base class for verdict-store failures."""
+
+
+class StoreLockError(StoreError):
+    """The store is locked by another live process (after bounded retry)."""
+
+
+@dataclass
+class StoreReport:
+    """What a scan of a store file found (see :meth:`VerdictStore.scan`).
+
+    ``problems`` holds one human-readable line per defect; ``truncated_at``
+    is the byte offset a repairing open would cut the file back to (None
+    when the tail is clean); ``rebuilt`` marks a magic/schema mismatch
+    (the whole file is discarded on open).
+    """
+
+    path: Path
+    size: int = 0
+    version: Optional[int] = None
+    verdicts: int = 0
+    plans: int = 0
+    chunks: int = 0
+    runs: int = 0
+    records: int = 0
+    dropped: int = 0
+    truncated_at: Optional[int] = None
+    rebuilt: bool = False
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every byte of the file parsed as a valid record."""
+        return not self.problems
+
+    def lines(self) -> List[str]:
+        """Line-item report (path, counts, then one line per problem)."""
+        out = [
+            f"store {self.path}: {self.size} bytes, schema "
+            f"{'?' if self.version is None else self.version}",
+            f"  {self.verdicts} verdict(s), {self.plans} plan(s), "
+            f"{self.chunks} chunk marker(s), {self.runs} run marker(s) "
+            f"in {self.records} record(s)",
+        ]
+        for problem in self.problems:
+            out.append(f"  PROBLEM: {problem}")
+        if self.clean:
+            out.append("  clean: no corruption found")
+        return out
+
+
+def _write_header(handle: io.BufferedWriter) -> None:
+    handle.write(_HEADER.pack(MAGIC, SCHEMA_VERSION))
+
+
+def _encode_record(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _atomic_create(path: Path, body: bytes = b"") -> None:
+    """Write header (+ optional body) to a temp file, fsync, rename over."""
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as tmp:
+            _write_header(tmp)
+            if body:
+                tmp.write(body)
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Make a rename durable (best-effort on filesystems without dir fds)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic fs
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic fs
+        pass
+    finally:
+        os.close(fd)
+
+
+class _FileLock:
+    """Advisory exclusive lock on a ``<store>.lock`` sidecar file.
+
+    ``fcntl.flock`` releases automatically when the holder dies, so a
+    crashed writer never wedges the store; the PID written into the file
+    only serves diagnostics (naming the live holder, or flagging a stale
+    PID from a dead one on contention races).
+    """
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._handle: Optional[io.TextIOWrapper] = None
+
+    def acquire(self, retries: int = LOCK_RETRIES, backoff: float = LOCK_BACKOFF) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        handle = open(self.path, "a+")
+        for attempt in range(1, retries + 1):
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if attempt == retries:
+                    holder = self._holder(handle)
+                    handle.close()
+                    raise StoreLockError(
+                        f"store {self.path.with_suffix('')} is locked by "
+                        f"{holder} (gave up after {retries} attempts)"
+                    )
+                time.sleep(backoff * attempt)
+            else:
+                handle.seek(0)
+                handle.truncate()
+                handle.write(f"{os.getpid()}\n")
+                handle.flush()
+                self._handle = handle
+                return
+
+    def _holder(self, handle: io.TextIOWrapper) -> str:
+        try:
+            handle.seek(0)
+            pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return "an unknown process"
+        if pid <= 0:
+            return "an unknown process"
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            # The flock is held yet the recorded PID is dead: the lock
+            # was re-acquired between our flock attempt and this read.
+            return f"pid {pid} (stale: process is gone)"
+        except PermissionError:  # pragma: no cover - other-user process
+            pass
+        return f"pid {pid}"
+
+    def release(self) -> None:
+        if self._handle is None:
+            return
+        handle, self._handle = self._handle, None
+        if fcntl is not None:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - lock already gone
+                pass
+        handle.close()
+
+
+class VerdictStore:
+    """Append-only, crash-safe on-disk verdict and plan store.
+
+    Open-or-create at ``path``; the whole live state loads into memory on
+    open (a corpus store holds a few thousand small entries), appends go
+    to the tail, and :meth:`checkpoint` makes them durable.  All mutation
+    goes through one process at a time (advisory lock); readers use the
+    lock-free :meth:`scan` classmethod.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        checkpoint_interval: int = CHECKPOINT_INTERVAL,
+        lock: bool = True,
+    ):
+        self.path = Path(path)
+        self.checkpoint_interval = max(int(checkpoint_interval), 1)
+        self._verdicts: Dict[CanonicalKey, CacheEntry] = {}
+        self._plans: Dict[CanonicalKey, TestPlan] = {}
+        self._chunks: Set[Tuple[str, int, int]] = set()
+        self._runs: List[Tuple[str, str]] = []
+        self._dirty = 0
+        self.recovered_report: Optional[StoreReport] = None
+        self._lock = _FileLock(self.path.with_name(self.path.name + ".lock"))
+        if lock:
+            self._lock.acquire()
+        try:
+            self._handle = self._open_and_recover()
+        except BaseException:
+            self._lock.release()
+            raise
+
+    # -- open / recovery -------------------------------------------------
+
+    def _open_and_recover(self) -> io.BufferedRandom:
+        if not self.path.exists():
+            _atomic_create(self.path)
+        report = self.scan(self.path, into=self)
+        self.recovered_report = report
+        if report.rebuilt:
+            # Wrong magic or schema: discard and start clean.  Verdicts
+            # are pure derived data, so a rebuild can never lose truth.
+            self._verdicts.clear()
+            self._plans.clear()
+            self._chunks.clear()
+            self._runs.clear()
+            _atomic_create(self.path)
+            print(
+                f"repro-deps: store {self.path}: {report.problems[0]}; "
+                "rebuilt empty",
+                file=sys.stderr,
+            )
+        handle = open(self.path, "r+b")
+        if not report.rebuilt and report.truncated_at is not None:
+            # Torn tail from a crashed writer: cut back to the last valid
+            # record boundary.  Never trust a bad record.
+            handle.truncate(report.truncated_at)
+            handle.flush()
+            os.fsync(handle.fileno())
+            print(
+                f"repro-deps: store {self.path}: dropped corrupt tail at "
+                f"byte {report.truncated_at} ({report.problems[-1]})",
+                file=sys.stderr,
+            )
+        handle.seek(0, os.SEEK_END)
+        return handle
+
+    @classmethod
+    def scan(
+        cls, path: os.PathLike, into: Optional["VerdictStore"] = None
+    ) -> StoreReport:
+        """Parse a store file without repairing it; returns a report.
+
+        ``into`` (internal) additionally loads live state into a store
+        instance.  Used by ``repro-deps store verify``/``info`` and by
+        the repairing open.
+        """
+        path = Path(path)
+        report = StoreReport(path=path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            report.problems.append(f"cannot read: {exc.strerror or exc}")
+            return report
+        report.size = len(data)
+        if len(data) < _HEADER.size:
+            report.rebuilt = True
+            report.problems.append(
+                f"header truncated ({len(data)} bytes, need {_HEADER.size})"
+            )
+            return report
+        magic, version = _HEADER.unpack_from(data, 0)
+        if magic != MAGIC:
+            report.rebuilt = True
+            report.problems.append(f"bad magic {magic!r} (want {MAGIC!r})")
+            return report
+        report.version = version
+        if version != SCHEMA_VERSION:
+            report.rebuilt = True
+            report.problems.append(
+                f"schema version {version} (this build writes {SCHEMA_VERSION})"
+            )
+            return report
+        offset = _HEADER.size
+        while offset < len(data):
+            if offset + _FRAME.size > len(data):
+                report.truncated_at = offset
+                report.problems.append(
+                    f"torn record frame at byte {offset} "
+                    f"({len(data) - offset} trailing byte(s))"
+                )
+                break
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if length > MAX_RECORD_SIZE or end > len(data):
+                report.truncated_at = offset
+                report.problems.append(
+                    f"torn record at byte {offset} "
+                    f"(claims {length} payload byte(s))"
+                )
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                report.truncated_at = offset
+                report.problems.append(f"CRC mismatch at byte {offset}")
+                break
+            report.records += 1
+            try:
+                record = pickle.loads(payload)
+                kind = record[0]
+            except Exception as exc:
+                # Framing and CRC are sound, so the stream resyncs at the
+                # next record: drop just this one.
+                report.dropped += 1
+                report.problems.append(
+                    f"undecodable record at byte {offset} dropped "
+                    f"({type(exc).__name__})"
+                )
+                offset = end
+                continue
+            if kind == "v":
+                report.verdicts += 1
+                if into is not None:
+                    into._verdicts[record[1]] = record[2]
+            elif kind == "p":
+                report.plans += 1
+                if into is not None:
+                    into._plans[record[1]] = record[2]
+            elif kind == "c":
+                report.chunks += 1
+                if into is not None:
+                    into._chunks.add((record[1], record[2], record[3]))
+            elif kind == "r":
+                report.runs += 1
+                if into is not None:
+                    into._runs.append((record[1], record[2]))
+            else:
+                report.dropped += 1
+                report.problems.append(
+                    f"unknown record kind {kind!r} at byte {offset} dropped"
+                )
+            offset = end
+        return report
+
+    # -- sizes -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._plans)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, key: CanonicalKey) -> Optional[CacheEntry]:
+        return self._verdicts.get(key)
+
+    def contains(self, key: CanonicalKey) -> bool:
+        return key in self._verdicts
+
+    def get_plan(self, key: CanonicalKey) -> Optional[TestPlan]:
+        return self._plans.get(key)
+
+    def chunk_done(self, token: str, build: int, seq: int) -> bool:
+        return (token, build, seq) in self._chunks
+
+    def chunks_done(self, token: str) -> Set[Tuple[int, int]]:
+        """Completed ``(build, seq)`` markers recorded under ``token``."""
+        return {(b, s) for t, b, s in self._chunks if t == token}
+
+    def runs(self) -> List[Tuple[str, str]]:
+        """Every ``(token, label)`` run marker, in append order."""
+        return list(self._runs)
+
+    # -- writes ----------------------------------------------------------
+
+    def _append(self, record: Tuple) -> None:
+        if self._handle is None:
+            raise StoreError(f"store {self.path} is closed")
+        payload = pickle.dumps(record, protocol=4)
+        self._handle.write(_encode_record(payload))
+        self._dirty += 1
+        faultinject.on_store_append()
+        if self._dirty >= self.checkpoint_interval:
+            self.checkpoint()
+
+    def put(self, key: CanonicalKey, entry: CacheEntry) -> None:
+        """Persist one verdict.  Assumed (degraded) verdicts are refused."""
+        if entry.assumed:
+            raise StoreError(
+                "assumed verdicts are never persisted "
+                "(conservative-degradation contamination guarantee)"
+            )
+        if self._verdicts.get(key) is not None:
+            return
+        self._append(("v", key, entry))
+        self._verdicts[key] = entry
+
+    def put_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
+        if self._plans.get(key) is not None:
+            return
+        self._append(("p", key, plan))
+        self._plans[key] = plan
+
+    def mark_chunk(self, token: str, build: int, seq: int) -> None:
+        marker = (token, build, seq)
+        if marker in self._chunks:
+            return
+        self._append(("c", token, build, seq))
+        self._chunks.add(marker)
+
+    def mark_run(self, token: str, label: str) -> None:
+        self._append(("r", token, label))
+        self._runs.append((token, label))
+
+    def checkpoint(self) -> None:
+        """Flush and fsync buffered appends (a durability barrier)."""
+        if self._handle is None or self._dirty == 0:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._dirty = 0
+
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite the live state as one fresh segment; ``(before, after)``.
+
+        Drops superseded duplicates and every undecodable record; written
+        via temp file + atomic rename, so a crash mid-compaction leaves
+        the old segment untouched.
+        """
+        if self._handle is None:
+            raise StoreError(f"store {self.path} is closed")
+        self.checkpoint()
+        before = self.path.stat().st_size
+        body = io.BytesIO()
+        for key, entry in self._verdicts.items():
+            body.write(_encode_record(pickle.dumps(("v", key, entry), protocol=4)))
+        for key, plan in self._plans.items():
+            body.write(_encode_record(pickle.dumps(("p", key, plan), protocol=4)))
+        for token, build, seq in sorted(self._chunks):
+            body.write(
+                _encode_record(pickle.dumps(("c", token, build, seq), protocol=4))
+            )
+        for token, label in self._runs[-1:]:
+            # Only the latest run marker stays relevant after compaction.
+            body.write(_encode_record(pickle.dumps(("r", token, label), protocol=4)))
+        self._runs = self._runs[-1:]
+        self._handle.close()
+        self._handle = None
+        _atomic_create(self.path, body.getvalue())
+        self._handle = open(self.path, "r+b")
+        self._handle.seek(0, os.SEEK_END)
+        self._dirty = 0
+        return before, self.path.stat().st_size
+
+    def close(self) -> None:
+        """Checkpoint and release the file and its lock (idempotent)."""
+        if self._handle is not None:
+            try:
+                self.checkpoint()
+            finally:
+                self._handle.close()
+                self._handle = None
+        self._lock.release()
+
+    def __enter__(self) -> "VerdictStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"VerdictStore({str(self.path)!r}, {len(self)} verdicts, "
+            f"{self.plan_count} plans, {state})"
+        )

@@ -121,15 +121,26 @@ class PoolSupervisor:
         tasks: Sequence,
         worker_fn: Callable,
         serial_runner: Callable,
+        on_result: Optional[Callable[[int, object], None]] = None,
     ) -> List:
         """Execute every task; returns per-task results in task order.
 
         ``worker_fn`` is the picklable chunk function submitted to the
         pool; ``serial_runner`` computes the same result in the parent
         process (used for suspect chunks and after retry exhaustion).
+        ``on_result`` is invoked exactly once per task, as its result
+        lands (pool completion, post-crash harvest, or serial recovery)
+        — the checkpointing seam: the parallel builder persists each
+        chunk's entries there, so a killed run resumes from every chunk
+        that finished, not just from fully completed builds.
         """
         results: List = [None] * len(tasks)
         pending = list(range(len(tasks)))
+
+        def deliver(i: int, value) -> None:
+            results[i] = value
+            if on_result is not None:
+                on_result(i, value)
         while pending and self.executor is not None:
             executor = self.executor
             futures = [(i, executor.submit(worker_fn, tasks[i])) for i in pending]
@@ -142,14 +153,14 @@ class PoolSupervisor:
                     # before the fault and queue the rest for the respawn.
                     try:
                         if future.done():
-                            results[i] = future.result(timeout=0)
+                            deliver(i, future.result(timeout=0))
                         else:
                             pending.append(i)
                     except Exception:
                         pending.append(i)
                     continue
                 try:
-                    results[i] = future.result(self.policy.chunk_timeout)
+                    deliver(i, future.result(self.policy.chunk_timeout))
                 except FutureTimeoutError:
                     self._kill_pool()
                     if self.policy.strict:
@@ -197,12 +208,12 @@ class PoolSupervisor:
                     )
                     suspects.append(i)
             for i in suspects:
-                results[i] = serial_runner(tasks[i])
+                deliver(i, serial_runner(tasks[i]))
                 self.stats.serial_recoveries += 1
             if pending and self.executor is None:
                 self._respawned()
         # Retries exhausted (or never available): finish in-process.
         for i in pending:
-            results[i] = serial_runner(tasks[i])
+            deliver(i, serial_runner(tasks[i]))
             self.stats.serial_recoveries += 1
         return results

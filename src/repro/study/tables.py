@@ -205,6 +205,14 @@ def table3(
                     continue
                 tested += graph.tested_pairs
                 independent += graph.independent_pairs
+                checkpoint = getattr(engine, "checkpoint", None)
+                if checkpoint is not None and engine.store is not None:
+                    try:
+                        checkpoint.mark_routine(
+                            f"{suite}/{program.name}/{routine.name}"
+                        )
+                    except Exception as exc:
+                        engine.driver._degrade_store(exc)
         rows.append(Table3Row(suite, recorder, tested, independent))
     return rows
 

@@ -115,3 +115,40 @@ def brute_force_dependent(
 ) -> bool:
     """True when any overlap exists."""
     return bool(brute_force_vectors(src, sink, env))
+
+
+def random_pair_sample(
+    seed: int,
+    nests: int = 10,
+    extent: int = 4,
+    max_pairs: int = 200,
+) -> List[Tuple[AccessSite, AccessSite, FrozenSet[DirectionVector]]]:
+    """A seeded sample of oracle-checkable pairs from random loop nests.
+
+    Generates small-extent random affine nests (concrete bounds, so the
+    oracle needs no symbol environment), collects their candidate
+    reference pairs, and attaches each pair's brute-force truth set.
+    Deterministic for a given seed — differential tests can regenerate
+    the identical sample in a second process.
+    """
+    from repro.corpus.generator import random_nest
+    from repro.graph.depgraph import iter_candidate_pairs
+    from repro.ir.loop import collect_access_sites
+
+    sample: List[Tuple[AccessSite, AccessSite, FrozenSet[DirectionVector]]] = []
+    for k in range(nests):
+        nodes = random_nest(
+            seed + k,
+            depth=2,
+            statements=3,
+            arrays=2,
+            ndim=2,
+            extent=extent,
+            max_const=2,
+        )
+        for src, sink in iter_candidate_pairs(collect_access_sites(nodes)):
+            truth = brute_force_vectors(src, sink)
+            sample.append((src, sink, truth))
+            if len(sample) >= max_pairs:
+                return sample
+    return sample

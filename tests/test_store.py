@@ -1,0 +1,522 @@
+"""Tests for the crash-safe persistent verdict store and resume protocol.
+
+Covers the record format (round-trip through a reopen), every recovery
+rule (torn frame, CRC mismatch, undecodable record, schema mismatch),
+locking, the contamination guarantee (assumed verdicts refused), the
+checkpoint log, the ``store`` CLI subcommands, and the headline
+robustness property: a run killed mid-write (``store-die`` injection —
+an ``os._exit`` with unflushed buffers, the same torn-tail state a
+SIGKILL produces) reopens cleanly and ``--resume`` reproduces the
+uninterrupted run's output byte-for-byte with verdicts served from the
+store.
+"""
+
+import os
+import re
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    CachedDriver,
+    CheckpointLog,
+    StoreError,
+    StoreLockError,
+    VerdictStore,
+    run_token,
+)
+from repro.engine.store import MAGIC, SCHEMA_VERSION, _HEADER
+from repro.graph.depgraph import build_dependence_graph, iter_candidate_pairs
+from repro.ir.loop import collect_access_sites
+from repro.corpus.generator import random_nest
+
+SRC_DIR = str(Path(__file__).parent.parent / "src")
+
+KERNEL = """
+      subroutine kern1(n, b, c)
+      integer n, i
+      real b(n), c(n)
+      do 10 i = 1, n
+         b(i+1) = b(i) + c(i)
+   10 continue
+      end
+      subroutine kern2(n, a, b)
+      integer n, i, j
+      real a(n,n), b(n)
+      do 30 j = 1, n
+         do 20 i = 1, n
+            a(i,j) = a(i,j-1) + b(i)
+   20    continue
+   30 continue
+      end
+"""
+
+#: ``store-die`` point landing inside routine 2 of ``KERNEL``: routine 1's
+#: completion checkpoint (its ``mark_routine``) has already fsynced that
+#: routine's verdicts, so the killed run leaves durable progress behind.
+DIE_MID_RUN = 8
+
+
+def subprocess_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def run_cli(args, *, faults=None, timeout=600):
+    env = subprocess_env()
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+def normalize(text):
+    """Mask the global statement-label counter for cross-run comparison."""
+    return re.sub(r"\bS\d+\b", "S#", text)
+
+
+def fill_store(path, seed=7):
+    """Analyze a random nest through a store-backed driver; returns keys."""
+    nodes = random_nest(seed, depth=2, statements=3, arrays=2, ndim=2, extent=8)
+    with VerdictStore(path) as store:
+        driver = CachedDriver(store=store)
+        build_dependence_graph(nodes, tester=driver)
+        keys = [
+            driver.prepare(a, b)[2]
+            for a, b in iter_candidate_pairs(collect_access_sites(nodes))
+        ]
+    return nodes, keys
+
+
+class TestRecordFormat:
+    def test_round_trip_through_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        nodes, keys = fill_store(path)
+        with VerdictStore(path) as store:
+            assert len(store) > 0
+            assert store.plan_count > 0
+            for key in keys:
+                assert store.contains(key)
+                assert store.get(key) is not None
+                assert store.get_plan(key) is not None
+            assert store.recovered_report.clean
+
+    def test_markers_round_trip(self, tmp_path):
+        path = tmp_path / "s.db"
+        with VerdictStore(path) as store:
+            store.mark_run("tok1", "analyze:x.f")
+            store.mark_chunk("tok1", 0, 3)
+            store.mark_chunk("tok1", 1, 0)
+            store.mark_chunk("other", 0, 9)
+        with VerdictStore(path) as store:
+            assert store.runs() == [("tok1", "analyze:x.f")]
+            assert store.chunks_done("tok1") == {(0, 3), (1, 0)}
+            assert store.chunk_done("other", 0, 9)
+            assert not store.chunk_done("tok1", 0, 9)
+
+    def test_put_dedups_by_key(self, tmp_path):
+        path = tmp_path / "s.db"
+        nodes, keys = fill_store(path)
+        size = path.stat().st_size
+        with VerdictStore(path) as store:
+            for key in keys:
+                entry = store.get(key)
+                if entry is not None:
+                    store.put(key, entry)  # duplicate: must not append
+        assert path.stat().st_size == size
+
+    def test_assumed_verdicts_refused(self, tmp_path):
+        from repro.classify.pairs import PairContext
+        from repro.core.driver import assumed_dependence_result
+        from repro.engine import canonicalize_result, rename_map
+        from repro.instrument import TestRecorder
+
+        nodes = random_nest(3, depth=1, statements=1, arrays=1, ndim=1, extent=4)
+        sites = collect_access_sites(nodes)
+        src, sink = next(iter_candidate_pairs(sites))
+        context = PairContext(src, sink, None)
+        mapping = rename_map(context)
+        result = assumed_dependence_result(context, "injected")
+        entry = canonicalize_result(result, mapping, TestRecorder())
+        with VerdictStore(tmp_path / "s.db") as store:
+            with pytest.raises(StoreError, match="assumed"):
+                store.put(_key(context, mapping), entry)
+
+    def test_closed_store_raises(self, tmp_path):
+        store = VerdictStore(tmp_path / "s.db")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            store.mark_run("t", "l")
+
+
+def _key(context, mapping):
+    from repro.engine import canonical_pair_key
+
+    return canonical_pair_key(context, mapping)
+
+
+class TestRecovery:
+    def test_trailing_garbage_truncated(self, tmp_path, capsys):
+        path = tmp_path / "s.db"
+        nodes, keys = fill_store(path)
+        good_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 5)
+        with VerdictStore(path) as store:
+            assert not store.recovered_report.clean
+            assert store.recovered_report.truncated_at == good_size
+            for key in keys:
+                assert store.contains(key)
+        assert path.stat().st_size == good_size
+        assert "dropped corrupt tail" in capsys.readouterr().err
+
+    def test_torn_half_record_truncated(self, tmp_path):
+        path = tmp_path / "s.db"
+        fill_store(path)
+        good_size = path.stat().st_size
+        # A plausible frame header claiming more payload than exists.
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 10_000, 0) + b"partial")
+        with VerdictStore(path) as store:
+            assert store.recovered_report.truncated_at == good_size
+        assert path.stat().st_size == good_size
+
+    def test_crc_flip_truncates_tail(self, tmp_path):
+        path = tmp_path / "s.db"
+        fill_store(path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the last record's payload
+        path.write_bytes(data)
+        with VerdictStore(path) as store:
+            report = store.recovered_report
+            assert not report.clean
+            assert report.truncated_at is not None
+            assert any("CRC" in p or "torn" in p for p in report.problems)
+        # The surviving prefix must now be fully clean.
+        assert VerdictStore.scan(path).clean
+
+    def test_schema_mismatch_rebuilds_empty(self, tmp_path, capsys):
+        path = tmp_path / "s.db"
+        nodes, keys = fill_store(path)
+        data = bytearray(path.read_bytes())
+        data[:_HEADER.size] = _HEADER.pack(MAGIC, SCHEMA_VERSION + 1)
+        path.write_bytes(data)
+        with VerdictStore(path) as store:
+            assert len(store) == 0
+            assert store.plan_count == 0
+            assert store.recovered_report.rebuilt
+        assert "rebuilt empty" in capsys.readouterr().err
+        assert VerdictStore.scan(path).clean
+
+    def test_bad_magic_rebuilds_empty(self, tmp_path):
+        path = tmp_path / "s.db"
+        path.write_bytes(b"not a store at all")
+        with VerdictStore(path) as store:
+            assert len(store) == 0
+        assert VerdictStore.scan(path).clean
+
+    def test_recovered_store_still_writable(self, tmp_path):
+        path = tmp_path / "s.db"
+        fill_store(path)
+        with open(path, "ab") as handle:
+            handle.write(b"junk")
+        with VerdictStore(path) as store:
+            store.mark_run("t", "after-recovery")
+        with VerdictStore(path) as store:
+            assert ("t", "after-recovery") in store.runs()
+
+    def test_compact_drops_dead_weight(self, tmp_path):
+        path = tmp_path / "s.db"
+        with VerdictStore(path) as store:
+            for i in range(50):
+                store.mark_run("tok", f"run-{i}")
+            before, after = store.compact()
+            assert after < before
+            assert store.runs() == [("tok", "run-49")]
+        with VerdictStore(path) as store:
+            assert store.runs() == [("tok", "run-49")]
+
+
+class TestLocking:
+    def test_second_opener_rejected(self, tmp_path):
+        path = tmp_path / "s.db"
+        with VerdictStore(path):
+            with pytest.raises(StoreLockError, match="locked by"):
+                VerdictStore(path)
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = tmp_path / "s.db"
+        VerdictStore(path).close()
+        VerdictStore(path).close()
+
+    def test_lock_survives_holder_death(self, tmp_path):
+        """flock dies with its holder: a SIGKILLed writer never wedges."""
+        path = tmp_path / "s.db"
+        script = (
+            "import os, sys; sys.path.insert(0, sys.argv[2]); "
+            "from repro.engine import VerdictStore; "
+            "VerdictStore(sys.argv[1]); os._exit(9)"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(path), SRC_DIR],
+            capture_output=True,
+            timeout=600,
+        )
+        assert result.returncode == 9
+        VerdictStore(path).close()  # stale lock must not block
+
+
+class TestCheckpointLog:
+    def test_run_token_stable_and_discriminating(self):
+        assert run_token("analyze", "src") == run_token("analyze", "src")
+        assert run_token("analyze", "src") != run_token("analyze", "src2")
+        assert run_token("a", "bc") != run_token("ab", "c")  # length-prefixed
+
+    def test_markers_and_resume_summary(self, tmp_path):
+        path = tmp_path / "s.db"
+        token = run_token("analyze", "x")
+        with VerdictStore(path) as store:
+            log = CheckpointLog(store, token)
+            assert not log.resumable
+            assert "no checkpoint" in log.resume_summary()
+            log.begin_run("analyze:x.f")
+            assert log.begin_build() == 0
+            log.mark_chunk(0)
+            log.mark_chunk(1)
+            log.mark_routine("kern")
+        with VerdictStore(path) as store:
+            log = CheckpointLog(store, token)
+            assert log.resumable
+            assert log.prior_chunks == {(0, 0), (0, 1)}
+            assert log.prior_routines == {"kern"}
+            summary = log.resume_summary()
+            assert "resuming" in summary
+            assert "1 routine(s)" in summary
+            assert "2 chunk(s)" in summary
+            # A different input's token sees none of it.
+            other = CheckpointLog(store, run_token("analyze", "y"))
+            assert not other.resumable
+
+
+class TestProvenance:
+    """Cache-tier provenance: memory hit / store hit / miss / assumed."""
+
+    def test_store_hits_counted_separately(self, tmp_path):
+        path = tmp_path / "s.db"
+        nodes, keys = fill_store(path)
+        with VerdictStore(path) as store:
+            driver = CachedDriver(store=store)
+            build_dependence_graph(nodes, tester=driver)
+            stats = driver.stats
+            assert stats.misses == 0
+            assert stats.store_hits > 0
+            assert stats.hit_rate == 1.0  # store hits count as hits
+            report = stats.provenance_report()
+            assert "0 memory hit(s)" in report
+            assert f"{stats.store_hits} store hit(s)" in report
+            assert "0 tested" in report
+            # Promotion: a second pass over the same body hits memory.
+            stats.reset()
+            build_dependence_graph(nodes, tester=driver)
+            assert stats.store_hits == 0
+            assert stats.hits > 0
+
+    def test_store_write_failure_degrades_to_memory(self, tmp_path):
+        nodes = random_nest(11, depth=2, statements=3, arrays=2, ndim=2, extent=8)
+        store = VerdictStore(tmp_path / "s.db")
+        driver = CachedDriver(store=store)
+        store.close()  # every write now raises StoreError
+        graph = build_dependence_graph(nodes, tester=driver)
+        assert graph is not None  # analysis survived
+        assert driver.persist is None  # degraded to memory-only
+        kinds = {record.kind for record in driver.stats.failures}
+        assert kinds == {"store"}
+        report = driver.stats.failure_report()
+        assert "store" in report
+        assert "verdict provenance" in report
+
+    def test_stats_merge_and_str_include_store(self):
+        from repro.engine import EngineStats
+
+        a = EngineStats(hits=1, store_hits=2, store_writes=3, misses=4)
+        b = EngineStats(store_hits=5, store_writes=1)
+        a.merge(b)
+        assert a.store_hits == 7 and a.store_writes == 4
+        assert a.lookups == 12
+        assert "store: 7 hits, 4 writes" in str(a)
+        assert a.as_dict()["store_hits"] == 7
+        a.reset()
+        assert a.store_hits == a.store_writes == 0
+        assert "store:" not in str(a)
+
+
+class TestStoreCli:
+    @pytest.fixture()
+    def kernel_file(self, tmp_path):
+        path = tmp_path / "kern.f"
+        path.write_text(KERNEL)
+        return path
+
+    def test_analyze_store_then_resume_hits(self, kernel_file, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        assert main(["analyze", str(kernel_file), "--store", str(db), "--counts"]) == 0
+        first = capsys.readouterr().out
+        assert re.search(r"store: 0 hits, [1-9]\d* writes", first)
+        assert main(
+            ["analyze", str(kernel_file), "--store", str(db), "--resume", "--counts"]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "resuming:" in second
+        assert re.search(r"store: [1-9]\d* hits, 0 writes", second)
+        assert "0 misses" in second
+
+    def test_resume_requires_store(self, kernel_file):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", str(kernel_file), "--resume"])
+        assert excinfo.value.code == 2
+
+    def test_store_rejects_no_cache(self, kernel_file, tmp_path, capsys):
+        code = main(
+            ["analyze", str(kernel_file), "--no-cache", "--store", str(tmp_path / "s.db")]
+        )
+        assert code == 4
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_info_and_verify_clean(self, kernel_file, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        main(["analyze", str(kernel_file), "--store", str(db)])
+        capsys.readouterr()
+        assert main(["store", "info", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict(s)" in out
+        assert "last run: analyze:kern.f" in out
+        assert "routines checkpointed: 2" in out
+        assert main(["store", "verify", str(db)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, kernel_file, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        main(["analyze", str(kernel_file), "--store", str(db)])
+        with open(db, "ab") as handle:
+            handle.write(b"\x55" * 13)
+        capsys.readouterr()
+        assert main(["store", "verify", str(db)]) == 4
+        assert "PROBLEM" in capsys.readouterr().out
+
+    def test_verify_missing_file(self, tmp_path, capsys):
+        assert main(["store", "verify", str(tmp_path / "absent.db")]) == 4
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_compact(self, kernel_file, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        main(["analyze", str(kernel_file), "--store", str(db)])
+        main(["analyze", str(kernel_file), "--store", str(db)])
+        capsys.readouterr()
+        assert main(["store", "compact", str(db)]) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["store", "verify", str(db)]) == 0
+
+    def test_locked_store_exits_4(self, kernel_file, tmp_path, capsys):
+        db = tmp_path / "s.db"
+        with VerdictStore(db):
+            code = main(["analyze", str(kernel_file), "--store", str(db)])
+        assert code == 4
+        assert "cannot open store" in capsys.readouterr().err
+
+    def test_study_store_round_trip(self, tmp_path, capsys):
+        db = tmp_path / "study.db"
+        args = ["study", "--table", "3", "--suite", "linpack", "--store", str(db)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "resuming:" in second
+        assert normalize(first) in normalize(second)
+        report = VerdictStore.scan(db)
+        assert report.clean
+        assert report.verdicts > 0
+
+
+class TestKillAndResume:
+    """The headline property: SIGKILL mid-write, reopen, byte-identical."""
+
+    @pytest.fixture()
+    def kernel_file(self, tmp_path):
+        path = tmp_path / "kern.f"
+        path.write_text(KERNEL)
+        return path
+
+    def test_store_die_then_resume_byte_identical(self, kernel_file, tmp_path):
+        db = tmp_path / "s.db"
+        fresh = run_cli(["analyze", str(kernel_file), "--counts"])
+        assert fresh.returncode == 0
+
+        killed = run_cli(
+            ["analyze", str(kernel_file), "--store", str(db)],
+            faults=f"store-die:{DIE_MID_RUN}",
+        )
+        assert killed.returncode == 9  # died uncleanly mid-append
+        # The first routine's checkpoint made its verdicts durable.
+        assert VerdictStore.scan(db).verdicts > 0
+
+        resumed = run_cli(
+            [
+                "analyze", str(kernel_file),
+                "--store", str(db), "--resume", "--counts",
+            ]
+        )
+        assert resumed.returncode == 0, resumed.stderr[-2000:]
+        # The dependence output must match an uninterrupted run exactly.
+        body = resumed.stdout.split("test applications:")[0]
+        banner, _, rest = body.partition("\n")
+        assert "resuming" in banner or "no checkpoint" in banner
+        fresh_body = fresh.stdout.split("test applications:")[0]
+        assert normalize(rest.lstrip("\n")) == normalize(fresh_body)
+        # And at least one verdict must have come from the killed run.
+        assert re.search(r"store: [1-9]\d* hits", resumed.stdout), resumed.stdout
+
+    def test_killed_run_store_verifies_after_reopen(self, kernel_file, tmp_path):
+        db = tmp_path / "s.db"
+        killed = run_cli(
+            ["analyze", str(kernel_file), "--store", str(db)],
+            faults="store-die:3",
+        )
+        assert killed.returncode == 9
+        # First reopen repairs whatever tail the kill left behind...
+        with VerdictStore(db) as store:
+            assert store.recovered_report is not None
+        # ...after which the file verifies clean.
+        assert run_cli(["store", "verify", str(db)]).returncode == 0
+
+    def test_parallel_kill_resume(self, kernel_file, tmp_path):
+        """Chunk checkpointing: a killed --jobs run resumes cleanly too."""
+        db = tmp_path / "s.db"
+        killed = run_cli(
+            ["analyze", str(kernel_file), "--store", str(db), "--jobs", "2"],
+            faults=f"store-die:{DIE_MID_RUN}",
+        )
+        assert killed.returncode == 9
+        resumed = run_cli(
+            [
+                "analyze", str(kernel_file),
+                "--store", str(db), "--resume", "--counts", "--jobs", "2",
+            ]
+        )
+        assert resumed.returncode == 0, resumed.stderr[-2000:]
+        fresh = run_cli(["analyze", str(kernel_file), "--counts", "--jobs", "2"])
+        body = resumed.stdout.split("test applications:")[0]
+        _, _, rest = body.partition("\n")
+        fresh_body = fresh.stdout.split("test applications:")[0]
+        assert normalize(rest.lstrip("\n")) == normalize(fresh_body)
