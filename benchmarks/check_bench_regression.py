@@ -1,22 +1,35 @@
 #!/usr/bin/env python
 """Compare a fresh engine-benchmark run against the committed baseline.
 
-CI runs ``bench_engine.py --quick`` and feeds the fresh JSON here together
-with the committed ``BENCH_engine.json``.  The check fails when any
-workload's *warm* cached speedup regresses by more than the allowed
-fraction (default 25%) relative to the baseline, or when a fresh workload
-no longer reports byte-identical verdicts.
+CI runs ``bench_engine.py`` and feeds the fresh JSON here together with
+the committed ``BENCH_engine.json``.  The check fails when
+
+* any workload's *warm* cached speedup regresses by more than the allowed
+  fraction (default 25%) relative to the baseline,
+* a fresh workload no longer reports byte-identical verdicts,
+* warm per-pair latency (p50 or p95) exceeds the baseline by more than
+  ``--latency-tolerance`` (default 1.0, i.e. 2x) — absolute latency is
+  machine-dependent, so this is a coarse guard against structural
+  regressions (an accidental O(n^2) in the per-pair path), not a tight
+  performance bound,
+* the ``generated`` workload carries both backend sections and the
+  batched backend's cold test-phase seconds or warm pair latencies exceed
+  the reference backend's by more than ``--backend-slack`` (default
+  0.10).  This is the vectorization contract: batching must not lose to
+  the per-pair path on the workload it is built for; the slack absorbs
+  run-to-run noise on the ~50ms measurements.
 
 Warm speedup is the sturdiest number in the report for a noisy CI box: it
 is a ratio of two measurements from the same run (machine speed cancels
-out), and it is the figure the caching engine exists to deliver.  Absolute
-times and cold/parallel ratios vary with runner load and core count, so
-they are reported but not gated on.
+out), and it is the figure the caching engine exists to deliver.  Other
+absolute times and cold/parallel ratios vary with runner load and core
+count, so they are reported but not gated on.
 
 Usage::
 
     python benchmarks/check_bench_regression.py fresh.json \
-        [--baseline BENCH_engine.json] [--tolerance 0.25]
+        [--baseline BENCH_engine.json] [--tolerance 0.25] \
+        [--latency-tolerance 1.0] [--backend-slack 0.10]
 """
 
 from __future__ import annotations
@@ -36,7 +49,70 @@ def load(path: Path) -> dict:
         raise SystemExit(f"{path} is not valid JSON: {exc}")
 
 
-def check(fresh: dict, baseline: dict, tolerance: float) -> int:
+LATENCY_KEYS = ("pair_latency_warm_p50_us", "pair_latency_warm_p95_us")
+
+
+def check_latencies(
+    name: str, current: dict, base: dict, latency_tolerance: float, failures
+) -> None:
+    """Fresh warm pair latencies must stay within tolerance of baseline."""
+    for key in LATENCY_KEYS:
+        base_value = base.get(key)
+        value = current.get(key)
+        if not base_value or not value:
+            continue
+        ceiling = base_value * (1.0 + latency_tolerance)
+        status = "OK" if value <= ceiling else "REGRESSION"
+        print(
+            f"{name}: {key} {value:.2f}us vs baseline {base_value:.2f}us "
+            f"(ceiling {ceiling:.2f}us) ... {status}"
+        )
+        if value > ceiling:
+            failures.append(
+                f"{name}: {key} {value:.2f}us exceeded {ceiling:.2f}us "
+                f"({latency_tolerance:.0%} over baseline {base_value:.2f}us)"
+            )
+
+
+def check_backends(current: dict, backend_slack: float, failures) -> None:
+    """On the generated workload, batched must not lose to reference.
+
+    Compares the fresh run against itself (both backends measured in the
+    same process moments apart), so machine speed cancels out exactly like
+    the warm-speedup ratio.
+    """
+    backends = current.get("backends", {})
+    batched = backends.get("batched")
+    reference = backends.get("reference")
+    if not batched or not reference:
+        print("generated: backend gate skipped (need both backends)")
+        return
+    gates = [("cold_test_phase_s", "s"), *[(key, "us") for key in LATENCY_KEYS]]
+    for key, unit in gates:
+        ref_value = reference.get(key)
+        value = batched.get(key)
+        if not ref_value or not value:
+            continue
+        ceiling = ref_value * (1.0 + backend_slack)
+        status = "OK" if value <= ceiling else "REGRESSION"
+        print(
+            f"generated/batched: {key} {value}{unit} vs reference "
+            f"{ref_value}{unit} (ceiling {ceiling:.4f}{unit}) ... {status}"
+        )
+        if value > ceiling:
+            failures.append(
+                f"generated: batched {key} {value}{unit} exceeded reference "
+                f"{ref_value}{unit} by more than {backend_slack:.0%}"
+            )
+
+
+def check(
+    fresh: dict,
+    baseline: dict,
+    tolerance: float,
+    latency_tolerance: float = 1.0,
+    backend_slack: float = 0.10,
+) -> int:
     failures = []
     for name, base in baseline.get("workloads", {}).items():
         current = fresh.get("workloads", {}).get(name)
@@ -45,6 +121,7 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> int:
             continue
         if not current.get("verdicts_identical"):
             failures.append(f"{name}: verdicts no longer identical")
+        check_latencies(name, current, base, latency_tolerance, failures)
         base_warm = base.get("cached_warm_speedup")
         warm = current.get("cached_warm_speedup")
         if not base_warm or not warm:
@@ -61,6 +138,9 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> int:
                 f"{floor:.2f}x ({tolerance:.0%} under baseline "
                 f"{base_warm:.2f}x)"
             )
+    generated = fresh.get("workloads", {}).get("generated")
+    if generated is not None:
+        check_backends(generated, backend_slack, failures)
     if failures:
         print()
         for failure in failures:
@@ -83,8 +163,24 @@ def main(argv=None) -> int:
         "--tolerance", type=float, default=0.25,
         help="allowed fractional warm-speedup drop (default 0.25)",
     )
+    parser.add_argument(
+        "--latency-tolerance", type=float, default=1.0,
+        help="allowed fractional warm pair-latency rise over baseline "
+             "(default 1.0, i.e. up to 2x)",
+    )
+    parser.add_argument(
+        "--backend-slack", type=float, default=0.10,
+        help="how far the batched backend may trail the reference backend "
+             "on the generated workload (default 0.10)",
+    )
     args = parser.parse_args(argv)
-    return check(load(args.fresh), load(args.baseline), args.tolerance)
+    return check(
+        load(args.fresh),
+        load(args.baseline),
+        args.tolerance,
+        args.latency_tolerance,
+        args.backend_slack,
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,113 @@
+"""Pluggable test backends: registry, selection, and graceful fallback.
+
+The registry maps backend names to factories.  Selection order for
+:func:`get_backend`: an explicit ``name`` argument (the ``--backend``
+CLI flag), then the ``REPRO_BACKEND`` environment variable, then the
+``reference`` default.  A backend whose construction raises
+:class:`BackendUnavailableError` (e.g. ``batched`` without numpy)
+degrades to the reference backend with a single :class:`RuntimeWarning`
+— never a traceback — so ``--backend batched`` on a numpy-less install
+still analyzes, just without the speedup.
+
+Instances are memoized per name: backends are stateless evaluators, and
+sharing one instance keeps lazy imports (numpy) from repeating.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable, Dict, List
+
+from repro.backends.base import BatchItem, TestBackend
+
+__all__ = [
+    "BackendUnavailableError",
+    "BatchItem",
+    "TestBackend",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "register_backend",
+]
+
+ENV_VAR = "REPRO_BACKEND"
+DEFAULT_BACKEND = "reference"
+
+
+class BackendUnavailableError(RuntimeError):
+    """A backend's prerequisites (e.g. numpy) are missing on this install."""
+
+
+_REGISTRY: Dict[str, Callable[[], TestBackend]] = {}
+_INSTANCES: Dict[str, TestBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], TestBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def backend_names() -> List[str]:
+    """All registered backend names (available or not), sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Names of backends that actually construct on this install."""
+    names = []
+    for name in backend_names():
+        try:
+            _instantiate(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return names
+
+
+def _instantiate(name: str) -> TestBackend:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known backends: "
+            f"{', '.join(backend_names())}"
+        ) from None
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = factory()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def get_backend(name: str = None) -> TestBackend:
+    """Resolve a backend by name, env var, or default — never raising
+    for an *unavailable* (as opposed to unknown) backend."""
+    requested = name or os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+    try:
+        return _instantiate(requested)
+    except BackendUnavailableError as exc:
+        warnings.warn(
+            f"backend {requested!r} unavailable ({exc}); "
+            f"falling back to {DEFAULT_BACKEND!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _instantiate(DEFAULT_BACKEND)
+
+
+def _reference_factory() -> TestBackend:
+    from repro.backends.reference import ReferenceBackend
+
+    return ReferenceBackend()
+
+
+def _batched_factory() -> TestBackend:
+    from repro.backends.batched import BatchedBackend
+
+    return BatchedBackend()
+
+
+register_backend("reference", _reference_factory)
+register_backend("batched", _batched_factory)

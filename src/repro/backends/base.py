@@ -1,0 +1,131 @@
+"""The backend seam: one pair-test request, and the interface that serves it.
+
+A *backend* is the thing that actually evaluates the paper's test cascade
+for a prepared pair.  The driver stack above it — canonical-key cache,
+test plans, the persistent store, the parallel builder — is backend
+agnostic: it hands a backend :class:`BatchItem` objects (a pair's
+:class:`~repro.classify.pairs.PairContext` plus the run's knobs) and gets
+back a :class:`~repro.core.driver.DependenceResult` per item, with the
+item's private :class:`~repro.instrument.TestRecorder` carrying exactly
+the counter delta a serial uncached run would have produced.
+
+Two call shapes exist:
+
+``run_pair``
+    One pair, synchronously, exceptions propagating — the drop-in
+    equivalent of calling :func:`~repro.core.driver.test_dependence`.
+    The *caller* owns fault handling (the cache's miss path wraps it).
+
+``run_batch``
+    Many pairs at once.  Each item is individually guarded: a failing
+    pair records its exception in ``item.error`` (and resets the item's
+    recorder, preserving counter parity with the degraded path) instead
+    of taking its batch-mates down.  The per-pair fault-injection hook
+    fires inside the guard, exactly where the per-pair paths fire it.
+    Batch-capable backends override this to group items by test class
+    and evaluate each group in bulk; the base implementation is the
+    plain per-pair loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.classify.pairs import PairContext
+from repro.core.driver import DependenceResult, test_dependence
+from repro.core.plan import PlanRecorder, TestPlan
+from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
+from repro.instrument import TestRecorder
+
+
+@dataclass
+class BatchItem:
+    """One pair-test request flowing through a backend's batch interface.
+
+    Inputs mirror the keyword surface of
+    :func:`~repro.core.driver.test_dependence`; ``recorder`` is the item's
+    *private* recorder (callers merge it on success and discard it on
+    failure, exactly like the cache's miss path).  After ``run_batch``,
+    exactly one of ``result`` / ``error`` is set.
+    """
+
+    context: PairContext
+    delta_options: DeltaOptions = DEFAULT_OPTIONS
+    plan: Optional[TestPlan] = None
+    plan_recorder: Optional[PlanRecorder] = None
+    profile: object = None
+    budget: object = None
+    recorder: TestRecorder = field(default_factory=TestRecorder)
+    result: Optional[DependenceResult] = None
+    error: Optional[BaseException] = None
+
+
+class TestBackend:
+    """Interface all registered backends implement.
+
+    ``batching`` advertises whether graph builders should gather prepared
+    pairs and call :meth:`run_batch` in bulk; per-pair backends leave it
+    False so the serial fast path stays exactly as it was.
+    """
+
+    __test__ = False  # not a pytest test class despite the name
+
+    name = "abstract"
+    batching = False
+
+    def run_pair(
+        self,
+        context: PairContext,
+        recorder: Optional[TestRecorder] = None,
+        delta_options: DeltaOptions = DEFAULT_OPTIONS,
+        plan: Optional[TestPlan] = None,
+        plan_recorder: Optional[PlanRecorder] = None,
+        profile=None,
+        budget=None,
+    ) -> DependenceResult:
+        """Test one prepared pair; exceptions propagate to the caller."""
+        return test_dependence(
+            context.src_site,
+            context.sink_site,
+            symbols=context.symbols,
+            recorder=recorder,
+            delta_options=delta_options,
+            context=context,
+            plan=plan,
+            plan_recorder=plan_recorder,
+            profile=profile,
+            budget=budget,
+        )
+
+    def run_batch(self, items: Sequence[BatchItem]) -> None:
+        """Test every item, filling ``result`` or ``error`` per item."""
+        for item in items:
+            self._run_item(item)
+
+    def _run_item(self, item: BatchItem, dispatcher=None) -> None:
+        """One guarded item: fault hook, test, per-item error capture."""
+        # Imported here, not at module top: the engine package imports the
+        # backends package (via the cached driver), so a top-level import
+        # of any ``repro.engine`` module would be circular.
+        from repro.engine import faultinject
+
+        try:
+            faultinject.on_pair(item.context.src_site.ref.array)
+            item.result = test_dependence(
+                item.context.src_site,
+                item.context.sink_site,
+                symbols=item.context.symbols,
+                recorder=item.recorder,
+                delta_options=item.delta_options,
+                context=item.context,
+                plan=item.plan,
+                plan_recorder=item.plan_recorder,
+                profile=item.profile,
+                budget=item.budget,
+                dispatcher=dispatcher,
+            )
+        except Exception as exc:
+            item.error = exc
+            item.result = None
+            item.recorder = TestRecorder()  # discard partial counters: parity

@@ -1,0 +1,21 @@
+"""The reference backend: the per-pair driver path, behind the interface.
+
+This is the exact code path every release before the backend split ran —
+:func:`~repro.core.driver.test_dependence` once per pair, partitions
+dispatched one at a time.  It exists as a named backend so the batched
+implementation has a ground truth to be parity-checked against (the
+breezy ``_groupcompress_py`` pattern: the pure-Python reference defines
+correct behavior; fast implementations must match it byte for byte) and
+so environments without numpy lose nothing but speed.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import TestBackend
+
+
+class ReferenceBackend(TestBackend):
+    """Per-pair evaluation via the unmodified partition-based driver."""
+
+    name = "reference"
+    batching = False

@@ -32,6 +32,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.backends import backend_names
 from repro.corpus.loader import (
     available_programs,
     available_suites,
@@ -88,6 +89,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="test reference pairs over N worker processes (default 1)",
     )
     analyze.add_argument(
+        "--backend", choices=backend_names(), default=None, metavar="NAME",
+        help="test backend: 'reference' (per-pair) or 'batched' "
+        "(numpy-vectorized; falls back to reference without numpy). "
+        "Default: $REPRO_BACKEND or 'reference'",
+    )
+    analyze.add_argument(
         "--no-cache", action="store_true",
         help="disable the canonical-pair verdict cache",
     )
@@ -117,6 +124,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     study.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="test reference pairs over N worker processes (default 1)",
+    )
+    study.add_argument(
+        "--backend", choices=backend_names(), default=None, metavar="NAME",
+        help="test backend: 'reference' (per-pair) or 'batched' "
+        "(numpy-vectorized; falls back to reference without numpy). "
+        "Default: $REPRO_BACKEND or 'reference'",
     )
     study.add_argument(
         "--strict", action="store_true",
@@ -339,6 +352,7 @@ def _analyze(args: argparse.Namespace) -> int:
         policy=FaultPolicy.from_env(strict=args.strict),
         store=store,
         checkpoint=checkpoint,
+        backend=args.backend,
     )
     recorder = TestRecorder()
     try:
@@ -424,6 +438,7 @@ def _study(args: argparse.Namespace) -> int:
         policy=FaultPolicy.from_env(strict=args.strict),
         store=store,
         checkpoint=checkpoint,
+        backend=args.backend,
     )
     try:
         with engine:

@@ -48,26 +48,43 @@ def random_nest(
     max_coeff: int = 2,
     max_const: int = 5,
     miv_fraction: float = 0.2,
+    coupled_fraction: Optional[float] = None,
 ) -> List[Node]:
     """A random perfect nest of assignments with mixed subscript classes.
 
     ``miv_fraction`` controls how often a subscript mentions two indices
     (matching the paper's observation that MIV subscripts are rare).
+
+    ``coupled_fraction`` controls how subscript *positions* choose their
+    loop index.  ``None`` (the default) keeps the legacy behaviour: every
+    position samples an index uniformly, so in a depth-2 nest roughly half
+    of all reference pairs share an index across positions and land in a
+    coupled group.  A float switches to the paper's empirical profile —
+    position ``k`` uses index ``k`` (the ubiquitous ``a(i, j)`` pattern,
+    separable) and only with the given probability picks some other index
+    (coupled subscript groups are rare in the surveyed programs).
     """
     rng = random.Random(seed)
     indices = [f"i{k}" for k in range(depth)]
     array_names = [f"a{k}" for k in range(arrays)]
 
-    def subscript() -> Expr:
+    def subscript(position: int) -> Expr:
         if rng.random() < miv_fraction and depth >= 2:
             return _affine(rng, indices, max_coeff, max_const, 2)
         if rng.random() < 0.15:
             return Const(rng.randint(1, extent))  # ZIV
-        return _affine(rng, indices, max_coeff, max_const, 1)
+        if coupled_fraction is None:
+            pool = indices
+        elif rng.random() < coupled_fraction:
+            pool = indices
+        else:
+            pool = [indices[position % depth]]
+        return _affine(rng, pool, max_coeff, max_const, 1)
 
     def ref() -> ArrayRef:
         return ArrayRef(
-            rng.choice(array_names), tuple(subscript() for _ in range(ndim))
+            rng.choice(array_names),
+            tuple(subscript(position) for position in range(ndim)),
         )
 
     body: List[Node] = []

@@ -52,6 +52,7 @@ class DependenceEngine:
         policy: FaultPolicy = DEFAULT_POLICY,
         store: Optional[VerdictStore] = None,
         checkpoint: Optional[CheckpointLog] = None,
+        backend: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -72,6 +73,7 @@ class DependenceEngine:
             plan_capacity=plan_capacity,
             policy=policy,
             store=store if use_cache else None,
+            backend=backend,
         )
         self._pool = None
 
@@ -116,7 +118,10 @@ class DependenceEngine:
         """Create (and retain for reuse) the worker pool on first dispatch."""
         if self._pool is None:
             self._pool = make_pool(
-                self.jobs, self.driver.delta_options, self.policy.pair_budget
+                self.jobs,
+                self.driver.delta_options,
+                self.policy.pair_budget,
+                self.driver.backend.name,
             )
         return self._pool
 

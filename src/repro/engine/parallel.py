@@ -46,6 +46,7 @@ from repro.classify.pairs import PairContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.checkpoint import CheckpointLog
+from repro.backends import BatchItem, TestBackend, get_backend
 from repro.core.driver import assumed_dependence_result, test_dependence
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine import faultinject
@@ -92,16 +93,25 @@ MIN_PARALLEL_COST = 2048
 #: load-balance uneven test costs without drowning in per-chunk IPC.
 OVERSUBSCRIPTION = 4
 
-# Per-worker configuration (Delta options, per-pair step budget),
-# installed once by the pool initializer.
-_WORKER: dict = {"delta_options": DEFAULT_OPTIONS, "pair_budget": None}
+# Per-worker configuration (Delta options, per-pair step budget, backend
+# name), installed once by the pool initializer.
+_WORKER: dict = {
+    "delta_options": DEFAULT_OPTIONS,
+    "pair_budget": None,
+    "backend": None,
+}
 
 
 def _init_worker(
-    delta_options: DeltaOptions, pair_budget: Optional[int] = None
+    delta_options: DeltaOptions,
+    pair_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> None:
     _WORKER["delta_options"] = delta_options
     _WORKER["pair_budget"] = pair_budget
+    # Backends cross the process boundary by *name* (instances hold lazy
+    # imports); each worker resolves its own instance on first chunk.
+    _WORKER["backend"] = backend
     # Chunk-scoped fault injection (crash/hang) only fires in workers, so
     # the supervisor's parent-side serial recovery computes real results.
     faultinject.IN_WORKER = True
@@ -111,12 +121,13 @@ def make_pool(
     jobs: int,
     delta_options: DeltaOptions = DEFAULT_OPTIONS,
     pair_budget: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> ProcessPoolExecutor:
     """A worker pool configured for :func:`build_dependence_graph_parallel`."""
     return ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(delta_options, pair_budget),
+        initargs=(delta_options, pair_budget, backend),
     )
 
 
@@ -183,6 +194,7 @@ def run_chunk(
     task: ChunkTask,
     delta_options: DeltaOptions,
     pair_budget: Optional[int],
+    backend: "TestBackend | str | None" = None,
 ) -> List[CacheEntry]:
     """Test a chunk of pairs (by site index); return canonical entries.
 
@@ -191,43 +203,57 @@ def run_chunk(
     re-collected locally; ``collect_access_sites`` is deterministic, so
     site indices agree with the parent's.
 
-    Every pair is individually guarded: an in-test exception (or an
-    exhausted step budget) yields a conservative assumed-dependence entry
-    with an *empty* recorder delta instead of killing the chunk, so one
-    pathological pair cannot take its chunk-mates down with it.  Runs in
-    pool workers and — as the supervisor's recovery path — in the parent.
+    The chunk's pairs flow to ``backend.run_batch`` together, so a
+    batching backend vectorizes *inside* each worker — parallelism and
+    batching compose.  Every pair is individually guarded by the batch
+    interface: an in-test exception (or an exhausted step budget) yields
+    a conservative assumed-dependence entry with an *empty* recorder
+    delta instead of killing the chunk, so one pathological pair cannot
+    take its chunk-mates down with it.  Runs in pool workers and — as
+    the supervisor's recovery path — in the parent.
     """
     seq, nodes, symbols, chunk = task
     faultinject.on_chunk(seq)
+    if backend is None or isinstance(backend, str):
+        backend = get_backend(backend)
     sites = collect_access_sites(nodes)
-    entries: List[CacheEntry] = []
+    work: List[Tuple[BatchItem, dict]] = []
     for src_index, sink_index in chunk:
         src, sink = sites[src_index], sites[sink_index]
         context = PairContext(src, sink, symbols)
-        mapping = rename_map(context)
-        local = TestRecorder()
-        budget = StepBudget(pair_budget) if pair_budget else None
-        try:
-            faultinject.on_pair(src.ref.array)
-            result = test_dependence(
-                src,
-                sink,
-                symbols=symbols,
-                recorder=local,
-                delta_options=delta_options,
-                context=context,
-                budget=budget,
+        work.append(
+            (
+                BatchItem(
+                    context=context,
+                    delta_options=delta_options,
+                    budget=StepBudget(pair_budget) if pair_budget else None,
+                ),
+                rename_map(context),
             )
-        except Exception as exc:
-            result = assumed_dependence_result(context, describe_error(exc))
-            local = TestRecorder()  # discard partial counters: parity
-        entries.append(canonicalize_result(result, mapping, local))
+        )
+    backend.run_batch([item for item, _ in work])
+    entries: List[CacheEntry] = []
+    for item, mapping in work:
+        if item.error is not None:
+            result = assumed_dependence_result(
+                item.context, describe_error(item.error)
+            )
+            entries.append(canonicalize_result(result, mapping, TestRecorder()))
+        else:
+            entries.append(
+                canonicalize_result(item.result, mapping, item.recorder)
+            )
     return entries
 
 
 def _test_chunk(task: ChunkTask) -> List[CacheEntry]:
     """Pool entry point: :func:`run_chunk` under the worker's config."""
-    return run_chunk(task, _WORKER["delta_options"], _WORKER["pair_budget"])
+    return run_chunk(
+        task,
+        _WORKER["delta_options"],
+        _WORKER["pair_budget"],
+        _WORKER["backend"],
+    )
 
 
 def _chunked(items: List, size: int) -> List[List]:
@@ -347,16 +373,23 @@ def build_dependence_graph_parallel(
     executor = pool
     if executor is None and pool_factory is not None:
         executor = pool_factory()
+    backend_name = driver.backend.name
     if executor is None:
-        executor = make_pool(jobs, driver.delta_options, policy.pair_budget)
+        executor = make_pool(
+            jobs, driver.delta_options, policy.pair_budget, backend_name
+        )
         own_pool = True
 
     def _serial_runner(task: ChunkTask) -> List[CacheEntry]:
-        return run_chunk(task, driver.delta_options, policy.pair_budget)
+        return run_chunk(
+            task, driver.delta_options, policy.pair_budget, driver.backend
+        )
 
     supervisor = PoolSupervisor(
         executor,
-        spawn=lambda: make_pool(jobs, driver.delta_options, policy.pair_budget),
+        spawn=lambda: make_pool(
+            jobs, driver.delta_options, policy.pair_budget, backend_name
+        ),
         policy=policy,
         stats=driver.stats,
     )
@@ -427,13 +460,26 @@ def build_dependence_graph_parallel(
             for (key, _), entry in zip(work, entries_by_slot):
                 if not entry.assumed:
                     driver.seed(key, entry)
-        for first, second, context, mapping, key in prepared:
-            tested += 1
-            result = driver.resolve(context, mapping, key, recorder)
-            if result.independent:
-                independent += 1
-            else:
-                edges.extend(edges_from_result(first, second, result))
+        if driver.wants_batch:
+            # Mostly hits by now; the stragglers (assumed entries that
+            # were not seeded) re-test as one batch instead of one by one.
+            results = driver.resolve_batch(
+                [(c, m, k) for _, _, c, m, k in prepared], recorder
+            )
+            for (first, second, *_), result in zip(prepared, results):
+                tested += 1
+                if result.independent:
+                    independent += 1
+                else:
+                    edges.extend(edges_from_result(first, second, result))
+        else:
+            for first, second, context, mapping, key in prepared:
+                tested += 1
+                result = driver.resolve(context, mapping, key, recorder)
+                if result.independent:
+                    independent += 1
+                else:
+                    edges.extend(edges_from_result(first, second, result))
     else:
         for (first, second, context, mapping, _), entry in zip(
             prepared, entries_by_slot
@@ -471,6 +517,17 @@ def _serve_serial(
     edges: List[DependenceEdge] = []
     tested = 0
     independent = 0
+    if dedup and driver.wants_batch:
+        results = driver.resolve_batch(
+            [(c, m, k) for _, _, c, m, k in prepared], recorder
+        )
+        for (first, second, *_), result in zip(prepared, results):
+            tested += 1
+            if result.independent:
+                independent += 1
+            else:
+                edges.extend(edges_from_result(first, second, result))
+        return DependenceGraph(sites, edges, independent, tested, recorder)
     for first, second, context, mapping, key in prepared:
         tested += 1
         if dedup:

@@ -1,0 +1,33 @@
+"""Backend scenario parametrization (breezy's apply-scenarios idiom).
+
+Modules that set ``apply_backend_scenarios = True`` have every one of
+their tests run once per available backend: the ``backend_scenario``
+fixture is autouse, so it appears in every test's fixture set, and
+``pytest_generate_tests`` parametrizes it with the backend names for
+opted-in modules (a single unparametrized instance elsewhere, which
+keeps the fixture free for non-scenario modules).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests import scenarios
+
+
+def pytest_generate_tests(metafunc):
+    if "backend_scenario" not in metafunc.fixturenames:
+        return
+    if getattr(metafunc.module, "apply_backend_scenarios", False):
+        metafunc.parametrize(
+            "backend_scenario", scenarios.backend_scenarios(), indirect=True
+        )
+
+
+@pytest.fixture(autouse=True)
+def backend_scenario(request):
+    """The active backend name for this test (reference outside scenarios)."""
+    name = getattr(request, "param", "reference")
+    scenarios.set_active_backend(name)
+    yield name
+    scenarios.set_active_backend("reference")

@@ -1,0 +1,78 @@
+"""Backend scenarios: run existing suites against every registered backend.
+
+Breezy's ``load_tests_apply_scenarios`` idiom, in pytest form: a test
+module opts in by setting ``apply_backend_scenarios = True`` at module
+level, and ``conftest.py`` parametrizes every test in it once per
+*available* backend (the ``backend_scenario`` autouse fixture).  The
+suites themselves stay backend-agnostic — they call
+:func:`backend_test_dependence`, which routes the pair through the
+scenario's backend — so the same assertions (paper examples, property
+suites, the brute-force oracle) certify byte-identical verdicts and
+recorder deltas on every implementation.
+
+``backend_test_dependence`` deliberately goes through ``run_batch`` with
+a single-item batch rather than ``run_pair``: for the batched backend
+that exercises the real vectorized lanes (extraction, numpy evaluation,
+precomputed-outcome dispatch) even for one pair, which is exactly the
+code a parity suite needs to cover.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends import BatchItem, available_backends, get_backend
+from repro.classify.pairs import PairContext
+from repro.core.driver import DependenceResult
+from repro.instrument import TestRecorder
+
+__test__ = False
+
+#: Name of the scenario the current test runs under; the conftest fixture
+#: sets it for the duration of each test.  Defaults to the reference
+#: backend so helper imports behave identically outside scenario modules.
+_ACTIVE = "reference"
+
+
+def backend_scenarios():
+    """The scenario axis: every backend that constructs on this install."""
+    return available_backends()
+
+
+def set_active_backend(name: str) -> None:
+    _ACTIVE = name  # noqa: F841 — see module global below
+    globals()["_ACTIVE"] = name
+
+
+def active_backend() -> str:
+    return _ACTIVE
+
+
+def backend_test_dependence(
+    src_site,
+    sink_site,
+    symbols=None,
+    recorder: Optional[TestRecorder] = None,
+    **kwargs,
+) -> DependenceResult:
+    """``test_dependence``-compatible entry routed through the scenario backend.
+
+    Raises whatever the underlying test raises (matching the plain
+    driver's contract: the caller owns fault handling).
+    """
+    backend = get_backend(_ACTIVE)
+    context = kwargs.pop("context", None) or PairContext(
+        src_site, sink_site, symbols
+    )
+    item = BatchItem(context=context, **kwargs)
+    backend.run_batch([item])
+    if item.error is not None:
+        raise item.error
+    if recorder is not None:
+        recorder.merge(item.recorder)
+    return item.result
+
+
+# Modules alias this as ``test_dependence``; keep pytest from collecting
+# the helper itself as a test item under that name.
+backend_test_dependence.__test__ = False

@@ -1,0 +1,276 @@
+"""The backend registry, fallback behavior, and cross-backend parity.
+
+The scenario-parametrized suites (``test_driver``, ``test_properties``,
+``test_corpus_oracle``) certify each backend against the oracle; this
+module tests the machinery itself — registration, selection via argument
+and environment, graceful degradation without numpy — and asserts
+*direct* reference-vs-batched parity: identical verdicts, direction
+vectors, recorder deltas, and compiled plans on generated corpora, plus
+batch-level behavior (deduplication, error isolation) the per-pair
+suites cannot reach.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+import pytest
+
+import repro.backends as backends
+from repro.backends import (
+    BackendUnavailableError,
+    BatchItem,
+    TestBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
+from repro.classify.pairs import PairContext
+from repro.core.plan import PlanRecorder
+from repro.corpus.generator import random_nest
+from repro.corpus.loader import default_symbols, load_corpus
+from repro.engine import DependenceEngine
+from repro.graph.depgraph import iter_candidate_pairs
+from repro.instrument import TestRecorder
+from repro.ir.loop import collect_access_sites
+
+from tests.helpers import sites_of
+from tests.oracle import random_pair_sample
+
+
+def result_signature(result):
+    """Everything observable about a driver result, for byte-parity checks."""
+    if result is None:
+        return None
+    return (
+        result.independent,
+        result.exact,
+        result.assumed,
+        result.failure,
+        frozenset(result.direction_vectors),
+        result.info.distance_vector() if not result.independent else None,
+        [
+            (o.test, o.applicable, o.independent, o.exact, o.notes)
+            for o in result.outcomes
+        ],
+    )
+
+
+def corpus_pairs():
+    symbols = default_symbols()
+    for _, programs in load_corpus().items():
+        for program in programs:
+            for routine in program.routines:
+                sites = collect_access_sites(routine.body)
+                for src, sink in iter_candidate_pairs(sites):
+                    yield src, sink, symbols
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert "reference" in backend_names()
+        assert "batched" in backend_names()
+
+    def test_get_backend_default_is_reference(self, monkeypatch):
+        monkeypatch.delenv(backends.ENV_VAR, raising=False)
+        assert get_backend().name == "reference"
+
+    def test_get_backend_by_name(self):
+        assert get_backend("reference").name == "reference"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "batched")
+        pytest.importorskip("numpy")
+        assert get_backend().name == "batched"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "batched")
+        assert get_backend("reference").name == "reference"
+
+    def test_unknown_backend_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_instances_are_memoized(self):
+        assert get_backend("reference") is get_backend("reference")
+
+    def test_register_and_replace(self):
+        class Custom(TestBackend):
+            name = "custom-test-backend"
+
+        register_backend("custom-test-backend", Custom)
+        try:
+            assert get_backend("custom-test-backend").name == "custom-test-backend"
+            assert "custom-test-backend" in available_backends()
+        finally:
+            backends._REGISTRY.pop("custom-test-backend", None)
+            backends._INSTANCES.pop("custom-test-backend", None)
+
+    def test_unavailable_backend_warns_and_falls_back(self):
+        def broken():
+            raise BackendUnavailableError("synthetic prerequisite missing")
+
+        register_backend("broken-test-backend", broken)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                backend = get_backend("broken-test-backend")
+            assert backend.name == "reference"
+            assert any(
+                issubclass(w.category, RuntimeWarning)
+                and "falling back to 'reference'" in str(w.message)
+                for w in caught
+            )
+        finally:
+            backends._REGISTRY.pop("broken-test-backend", None)
+            backends._INSTANCES.pop("broken-test-backend", None)
+
+    def test_batched_without_numpy_warns_not_raises(self, monkeypatch):
+        """--backend batched on a numpy-less install degrades cleanly."""
+        monkeypatch.setitem(sys.modules, "numpy", None)  # import -> error
+        monkeypatch.delitem(backends._INSTANCES, "batched", raising=False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            backend = get_backend("batched")
+        assert backend.name == "reference"
+        assert any(
+            issubclass(w.category, RuntimeWarning)
+            and "'batched' unavailable" in str(w.message)
+            for w in caught
+        )
+        # The memo must not have cached the degraded resolution under
+        # the batched name: with numpy back, batched works again.
+        monkeypatch.undo()
+        pytest.importorskip("numpy")
+        assert get_backend("batched").name == "batched"
+
+
+@pytest.mark.skipif(
+    "batched" not in available_backends(), reason="numpy not installed"
+)
+class TestBatchedParity:
+    def run_both(self, triples, plan_recorders=False):
+        ref = get_backend("reference")
+        bat = get_backend("batched")
+        out = []
+        for backend in (ref, bat):
+            items = [
+                BatchItem(
+                    context=PairContext(src, sink, symbols),
+                    plan_recorder=PlanRecorder() if plan_recorders else None,
+                )
+                for src, sink, symbols in triples
+            ]
+            backend.run_batch(items)
+            out.append(items)
+        return out
+
+    def test_corpus_parity(self):
+        triples = list(corpus_pairs())
+        ref_items, bat_items = self.run_both(triples)
+        for ir, ib in zip(ref_items, bat_items):
+            assert result_signature(ir.result) == result_signature(ib.result)
+            assert ir.recorder.rows() == ib.recorder.rows()
+            assert ir.error is None and ib.error is None
+
+    def test_generated_nest_parity_with_plans(self):
+        triples = []
+        for seed in range(12):
+            nest = random_nest(seed, depth=2 + seed % 2, statements=5, arrays=3)
+            sites = collect_access_sites([nest])
+            for src, sink in iter_candidate_pairs(sites):
+                triples.append((src, sink, None))
+        ref_items, bat_items = self.run_both(triples, plan_recorders=True)
+        for ir, ib in zip(ref_items, bat_items):
+            assert result_signature(ir.result) == result_signature(ib.result)
+            assert ir.recorder.rows() == ib.recorder.rows()
+            # The batched backend's synthesized schedules must compile to
+            # the exact plan a reference run records, or the plan tier
+            # would diverge between backends.
+            assert (
+                ir.plan_recorder.compile("k").steps
+                == ib.plan_recorder.compile("k").steps
+            )
+
+    def test_random_sample_parity(self):
+        triples = [
+            (src, sink, None)
+            for src, sink, _ in random_pair_sample(seed=7, max_pairs=120)
+        ]
+        ref_items, bat_items = self.run_both(triples)
+        for ir, ib in zip(ref_items, bat_items):
+            assert result_signature(ir.result) == result_signature(ib.result)
+            assert ir.recorder.rows() == ib.recorder.rows()
+
+    def test_engine_graphs_identical(self):
+        symbols = default_symbols()
+        work = []
+        for _, programs in load_corpus().items():
+            for program in programs:
+                for routine in program.routines:
+                    work.append(routine.body)
+        signatures = {}
+        for name in ("reference", "batched"):
+            recorder = TestRecorder()
+            with DependenceEngine(symbols=symbols, backend=name) as engine:
+                graphs = [
+                    engine.build_graph(body, recorder=recorder) for body in work
+                ]
+            signatures[name] = (
+                [
+                    (g.tested_pairs, g.independent_pairs,
+                     sorted(str(e) for e in g.edges))
+                    for g in graphs
+                ],
+                recorder.rows(),
+                (engine.stats.hits, engine.stats.misses,
+                 engine.stats.plan_hits, engine.stats.plan_misses,
+                 engine.stats.assumed),
+            )
+        assert signatures["reference"] == signatures["batched"]
+
+    def test_batch_error_isolation(self, monkeypatch):
+        """A faulted pair degrades alone; batch-mates still get verdicts."""
+        from repro.engine import faultinject
+
+        src = "do i = 1, 10\n a(i) = a(i-1)\n b(i) = b(i+2)\nenddo"
+        sites = sites_of(src)
+        a_sites = [s for s in sites if s.ref.array == "a"]
+        b_sites = [s for s in sites if s.ref.array == "b"]
+        monkeypatch.setenv(faultinject.ENV_VAR, "pair-error:a")
+        items = [
+            BatchItem(context=PairContext(a_sites[0], a_sites[1], None)),
+            BatchItem(context=PairContext(b_sites[0], b_sites[1], None)),
+        ]
+        get_backend("batched").run_batch(items)
+        assert isinstance(items[0].error, faultinject.InjectedFaultError)
+        assert items[0].result is None
+        assert items[0].recorder.rows() == []  # partial counters discarded
+        assert items[1].error is None and items[1].result is not None
+
+
+def test_cli_backend_flag(tmp_path, capsys):
+    """``analyze --backend`` is accepted for every registered backend."""
+    from repro.cli import main
+
+    source = tmp_path / "loop.f"
+    source.write_text(
+        "      subroutine s(n, a)\n"
+        "      integer n, i\n"
+        "      real a(n)\n"
+        "      do 10 i = 1, n\n"
+        "         a(i+1) = a(i)\n"
+        "   10 continue\n"
+        "      end\n"
+    )
+    import re
+
+    outputs = {}
+    for name in available_backends():
+        assert main(["analyze", str(source), "--backend", name]) == 0
+        # Statement ids are a process-global counter; normalize them so
+        # the comparison sees only the dependence content.
+        outputs[name] = re.sub(r"S\d+", "S#", capsys.readouterr().out)
+    assert len(set(outputs.values())) == 1, "backends must print identically"
