@@ -7,6 +7,9 @@ Builds the dependence graph of two workloads —
 * **generated** — random nests with deliberately low coefficient/constant
   diversity, modelling the paper's observation that real programs repeat a
   small number of subscript shapes,
+* **coupled** — nests dominated by coupled subscript groups (the Delta
+  test's constraint-propagation path), the workload the batched
+  backend's coupled-group lock-step pre-run is gated on,
 
 three ways: the plain serial builder, the serial builder behind the
 canonical-pair LRU cache, and the process-pool builder with adaptive
@@ -39,7 +42,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backends import available_backends
-from repro.corpus.generator import random_nest
+from repro.corpus.generator import coupled_group_nest, random_nest
 from repro.corpus.loader import default_symbols, load_corpus
 from repro.engine import DependenceEngine
 from repro.graph.depgraph import build_dependence_graph
@@ -85,6 +88,42 @@ def generated_workload(nests: int, shapes: int = 12):
             )
         )
     return [(f"nest{i}", pool[i % shapes]) for i in range(nests)]
+
+
+def coupled_workload(nests: int):
+    """Nests dominated by coupled subscript groups.
+
+    The inverse mix of ``generated_workload``: most subscript positions
+    reuse another position's loop index, so almost every reference pair
+    lands in the Delta test's constraint-propagation path instead of a
+    single separable ZIV/SIV query.  Interleaves the minimal
+    ``coupled_group_nest`` family (one group of 2–4 positions per pair,
+    varied offsets — Section 5.4's linear-complexity workload) with
+    random nests at ``coupled_fraction=0.9``.  This is the workload the
+    batched backend's coupled-group lock-step pre-run is measured and
+    gated on.
+    """
+    work = []
+    for i in range(nests):
+        if i % 2 == 0:
+            nodes = coupled_group_nest(
+                2 + (i // 2) % 3, extent=100, offset=1 + (i // 2) % 3
+            )
+        else:
+            nodes = random_nest(
+                1000 + i % 8,
+                depth=2 + i % 2,
+                statements=5,
+                arrays=3,
+                ndim=2,
+                extent=100,
+                max_coeff=1,
+                max_const=2,
+                miv_fraction=0.1,
+                coupled_fraction=0.9,
+            )
+        work.append((f"coupled{i}", nodes))
+    return work
 
 
 def graph_signature(graph):
@@ -216,6 +255,7 @@ def bench_backends(name, work, symbols, repeats, serial_sigs):
     # too noisy to gate CI on.
     latencies = {backend: None for backend in backends}
     phases = {backend: None for backend in backends}
+    coverage = {backend: {} for backend in backends}
     for _ in range(rounds):
         for backend in backends:
             samples = pair_latencies(work, warm_engines[backend])
@@ -235,6 +275,10 @@ def bench_backends(name, work, symbols, repeats, serial_sigs):
                 < phases[backend]["phases"].get("test", {"s": 0.0})["s"]
             ):
                 phases[backend] = candidate
+                # Coverage of the kept profiled pass: how many pairs the
+                # backend resolved fully vectorized vs fell back per-pair
+                # (empty for the reference backend).
+                coverage[backend] = dict(profiled.stats.backend_coverage)
 
     sections = {}
     for backend in backends:
@@ -250,6 +294,8 @@ def bench_backends(name, work, symbols, repeats, serial_sigs):
             "pair_latency_warm_p95_us": round(p95 * 1e6, 2) if p95 else None,
             "phases": phases[backend],
         }
+        if coverage[backend]:
+            sections[backend]["coverage"] = coverage[backend]
     return sections
 
 
@@ -367,6 +413,7 @@ def main(argv=None):
     workloads = {
         "kernels": kernel_workload(),
         "generated": generated_workload(nests),
+        "coupled": coupled_workload(12 if args.quick else 36),
     }
     results = {}
     for name, work in workloads.items():
@@ -393,6 +440,16 @@ def main(argv=None):
                 f"{b['pair_latency_warm_p95_us']}us",
                 flush=True,
             )
+            cov = b.get("coverage", {})
+            if cov.get("pairs"):
+                print(
+                    f"    coverage: {cov.get('pairs_batched', 0)}"
+                    f"/{cov['pairs']} pair(s) fully batched, "
+                    f"{cov.get('delta:groups_batched', 0)}"
+                    f"/{cov.get('delta:groups', 0)} coupled group(s) "
+                    "pre-run",
+                    flush=True,
+                )
 
     report = {
         "benchmark": "engine",

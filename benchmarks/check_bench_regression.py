@@ -12,12 +12,19 @@ the committed ``BENCH_engine.json``.  The check fails when
   machine-dependent, so this is a coarse guard against structural
   regressions (an accidental O(n^2) in the per-pair path), not a tight
   performance bound,
-* the ``generated`` workload carries both backend sections and the
-  batched backend's cold test-phase seconds or warm pair latencies exceed
-  the reference backend's by more than ``--backend-slack`` (default
-  0.10).  This is the vectorization contract: batching must not lose to
-  the per-pair path on the workload it is built for; the slack absorbs
-  run-to-run noise on the ~50ms measurements.
+* the ``generated`` or ``coupled`` workload carries both backend
+  sections and the batched backend's cold test-phase seconds or warm
+  pair latencies exceed the reference backend's by more than
+  ``--backend-slack`` (default 0.10).  This is the vectorization
+  contract: batching must not lose to the per-pair path on the workloads
+  it is built for — separable-dominated (``generated``) and
+  coupled-group-dominated (``coupled``) alike; the slack absorbs
+  run-to-run noise on the ~50ms measurements,
+* the batched backend reports zero coupled-group batched coverage
+  (``delta:groups_batched``) on the ``generated`` or ``coupled``
+  workload — a silent fall-back of every coupled group to the per-pair
+  walk would otherwise let the timing gates pass while the lock-step
+  pre-run is effectively disabled.
 
 Warm speedup is the sturdiest number in the report for a noisy CI box: it
 is a ratio of two measurements from the same run (machine speed cancels
@@ -74,8 +81,13 @@ def check_latencies(
             )
 
 
-def check_backends(current: dict, backend_slack: float, failures) -> None:
-    """On the generated workload, batched must not lose to reference.
+BACKEND_GATED_WORKLOADS = ("generated", "coupled")
+
+
+def check_backends(
+    name: str, current: dict, backend_slack: float, failures
+) -> None:
+    """On a gated workload, batched must not lose to reference.
 
     Compares the fresh run against itself (both backends measured in the
     same process moments apart), so machine speed cancels out exactly like
@@ -85,7 +97,7 @@ def check_backends(current: dict, backend_slack: float, failures) -> None:
     batched = backends.get("batched")
     reference = backends.get("reference")
     if not batched or not reference:
-        print("generated: backend gate skipped (need both backends)")
+        print(f"{name}: backend gate skipped (need both backends)")
         return
     gates = [("cold_test_phase_s", "s"), *[(key, "us") for key in LATENCY_KEYS]]
     for key, unit in gates:
@@ -96,14 +108,49 @@ def check_backends(current: dict, backend_slack: float, failures) -> None:
         ceiling = ref_value * (1.0 + backend_slack)
         status = "OK" if value <= ceiling else "REGRESSION"
         print(
-            f"generated/batched: {key} {value}{unit} vs reference "
+            f"{name}/batched: {key} {value}{unit} vs reference "
             f"{ref_value}{unit} (ceiling {ceiling:.4f}{unit}) ... {status}"
         )
         if value > ceiling:
             failures.append(
-                f"generated: batched {key} {value}{unit} exceeded reference "
+                f"{name}: batched {key} {value}{unit} exceeded reference "
                 f"{ref_value}{unit} by more than {backend_slack:.0%}"
             )
+    check_coverage(name, batched, failures)
+
+
+def check_coverage(name: str, batched: dict, failures) -> None:
+    """The batched backend must actually pre-run coupled groups.
+
+    The timing gates can pass even when every coupled group silently
+    falls back to the per-pair Delta walk (separable lanes carry the
+    win), so coverage is gated structurally: on workloads that contain
+    coupled groups, at least one must have completed the lock-step
+    pre-run.
+    """
+    coverage = batched.get("coverage", {})
+    if not coverage.get("pairs"):
+        failures.append(
+            f"{name}: batched backend reported no coverage counters"
+        )
+        return
+    groups = coverage.get("delta:groups", 0)
+    pre_run = coverage.get("delta:groups_batched", 0)
+    status = "OK" if (groups == 0 or pre_run > 0) else "REGRESSION"
+    print(
+        f"{name}/batched: coupled groups {pre_run}/{groups} pre-run "
+        f"... {status}"
+    )
+    if groups and not pre_run:
+        failures.append(
+            f"{name}: batched coupled-group coverage is zero "
+            f"({groups} group(s), none pre-run)"
+        )
+    if name == "coupled" and not groups:
+        failures.append(
+            "coupled: workload produced no coupled groups "
+            "(generator drifted?)"
+        )
 
 
 def check(
@@ -138,9 +185,10 @@ def check(
                 f"{floor:.2f}x ({tolerance:.0%} under baseline "
                 f"{base_warm:.2f}x)"
             )
-    generated = fresh.get("workloads", {}).get("generated")
-    if generated is not None:
-        check_backends(generated, backend_slack, failures)
+    for name in BACKEND_GATED_WORKLOADS:
+        current = fresh.get("workloads", {}).get(name)
+        if current is not None:
+            check_backends(name, current, backend_slack, failures)
     if failures:
         print()
         for failure in failures:

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Render the batched backend's lane-coverage counters from a bench JSON.
+
+``bench_engine.py`` stores the raw coverage counter dict (harvested from
+``TestBackend.take_coverage`` during the profiled cold pass) under each
+workload's ``backends.batched.coverage`` key.  This script renders them
+through :meth:`repro.engine.stats.EngineStats.coverage_report` — the same
+formatter ``analyze --profile`` uses — into one human-readable report per
+workload, suitable for uploading as a CI artifact.  The hard *gate* on
+these numbers (zero coupled-group coverage fails the build) lives in
+``check_bench_regression.py``; this report is the diagnostic that tells a
+reader *which* lanes carried the run and why any pairs fell back.
+
+Usage::
+
+    python benchmarks/report_batched_coverage.py BENCH_fresh.json \
+        [--out batched_coverage.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.stats import EngineStats
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"batched-lane coverage ({report.get('mode', '?')} mode, "
+        f"python {report.get('python', '?')})"
+    ]
+    for name, workload in report.get("workloads", {}).items():
+        lines.append("")
+        batched = workload.get("backends", {}).get("batched")
+        if not batched:
+            lines.append(f"{name}: no batched backend section (numpy absent?)")
+            continue
+        stats = EngineStats()
+        stats.add_coverage(batched.get("coverage", {}))
+        body = stats.coverage_report()
+        if not body:
+            lines.append(f"{name}: no coverage counters recorded")
+            continue
+        lines.append(f"{name}:")
+        lines.extend(f"  {line}" for line in body.splitlines())
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bench", type=Path, help="bench_engine.py output JSON")
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the report to this file (prints to stdout always)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = json.loads(args.bench.read_text())
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.bench}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{args.bench} is not valid JSON: {exc}")
+    text = render(report)
+    if args.out is not None:
+        args.out.write_text(text)
+    print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

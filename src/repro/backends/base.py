@@ -103,6 +103,17 @@ class TestBackend:
         for item in items:
             self._run_item(item)
 
+    def take_coverage(self):
+        """Drain accumulated batch-coverage counters, or None.
+
+        Batch-capable backends count, per :meth:`run_batch`, how much of
+        the work ran through vectorized lanes versus fell back to the
+        per-pair walk (and why).  The engine harvests the counters after
+        each batch and folds them into ``EngineStats.backend_coverage``;
+        per-pair backends have nothing to report.
+        """
+        return None
+
     def _run_item(self, item: BatchItem, dispatcher=None) -> None:
         """One guarded item: fault hook, test, per-item error capture."""
         # Imported here, not at module top: the engine package imports the

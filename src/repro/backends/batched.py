@@ -14,6 +14,15 @@ test class and evaluates each group with numpy array operations:
   ``|distance| <= span`` bound checks over coefficient arrays;
 * **weak-zero SIV** (constant target): vectorized divisibility,
   pinned-iteration, and range-membership checks;
+* **weak-crossing SIV** (constant target): vectorized divisibility of
+  the crossing sum, feasibility against the doubled index range, and
+  the even-crossing / interior direction conditions;
+* **general (exact) SIV and RDIV** (constant target): the two-variable
+  Diophantine queries of Section 4.2/4.4 — extended Euclid runs as a
+  masked vectorized iteration producing Bezout coefficients for the
+  whole lane at once, and each box/direction condition becomes an
+  integer interval on the family parameter ``t`` (all division in
+  int64, so the ceil/floor arithmetic is exact);
 * **MIV Banerjee-GCD** (bounded, small depth): the direction hierarchy's
   legal-leaf set computed as a min/max accumulation over per-index,
   per-direction bound arrays for all ``3^d`` full direction assignments
@@ -25,17 +34,42 @@ test class and evaluates each group with numpy array operations:
   equals ``{full assignments whose bounds contain 0}`` — exactly what
   the vectorized evaluation computes.
 
-Everything irrational for arrays falls back to the reference path *per
-partition*, inside the same driver walk: symbolic differences or bounds,
-weak-crossing and general SIV shapes, RDIV, coupled groups (the Delta
-test's propagation is inherently sequential), non-integer or huge
-endpoints (beyond exact float range), and deep MIV hierarchies.  The
-precomputed outcomes are injected through the driver's ``dispatcher``
-hook, so budget charging, plan recording, recorder counters, early
-exits, and constraint merging all run through the identical code path —
-verdicts, direction vectors, and Table 3 counters are byte-identical to
-the reference backend by construction, and the scenario suites assert
-it.
+**Coupled groups** no longer fall back per pair.  The Delta test's
+reduction loop is round-structured (see :mod:`repro.delta.delta`): each
+pass collects every pending ZIV/SIV subscript against one shared
+round context, evaluates them, then intersects constraints
+sequentially.  The backend pre-runs every coupled group of the batch in
+*lock step*: all groups' generators advance one round at a time, and
+each round's collected single-subscript tests — across every group
+still running — are evaluated through the same vectorized lanes (with
+per-subscript fallback to the identical ``ziv_test``/``siv_test``
+calls for shapes the lanes cannot take).  Constraint intersection,
+propagation, and RDIV handling stay the sequential per-group walk.
+Each pre-run records into a private recorder and logs its budget
+spends; at dispatch time the walk replays the spends against the
+item's real budget (so exhaustion raises at exactly the reference
+point) and merges the recorder — a group the walk never reaches (an
+earlier partition proved independence) contributes nothing, exactly as
+in a sequential run.  Any pre-run failure simply drops that group's
+precomputation and the walk runs the real ``delta_test``.
+
+Everything still irrational for arrays falls back to the reference path
+*per partition*, inside the same driver walk: symbolic differences or
+bounds, non-integer or huge endpoints (beyond exact float range), and
+deep MIV hierarchies.  The precomputed outcomes are injected through
+the driver's ``dispatcher`` hook, so budget charging, plan recording,
+recorder counters, early exits, and constraint merging all run through
+the identical code path — verdicts, direction vectors, and Table 3
+counters are byte-identical to the reference backend by construction,
+and the scenario suites assert it.
+
+The backend counts what it covered: per-lane subscript counters, per
+pair fully-batched / partial / fallback totals, coupled-group and
+per-round counters, and per-lane fallback reasons.  The engine harvests
+them through :meth:`~repro.backends.base.TestBackend.take_coverage`
+into ``EngineStats`` so ``--profile`` runs report what fraction of the
+batch actually ran vectorized (in-process batches only: worker
+processes keep their own backend instances).
 
 numpy is optional (the ``repro[fast]`` extra): the module imports it
 lazily, and construction raises
@@ -46,6 +80,8 @@ warning.
 
 from __future__ import annotations
 
+from collections import Counter
+from fractions import Fraction
 from itertools import product
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -56,24 +92,34 @@ from repro.classify.partition import partition_subscripts
 from repro.classify.subscript import (
     SubscriptKind,
     _classify_siv,
+    rdiv_shape,
     siv_shape,
 )
 from repro.core.driver import default_dispatch
 from repro.core.plan import PlanAction, TestPlan
+from repro.delta.delta import delta_finalize, delta_prepare
 from repro.dirvec.direction import (
     Direction,
     IndexConstraint,
     constraint_from_distance,
 )
-from repro.instrument import maybe_record
+from repro.instrument import TestRecorder, maybe_record
 from repro.single.miv import _is_index_occurrence, _term_bounds
 from repro.single.outcome import TestOutcome
-from repro.single.siv import _weak_zero_directions
+from repro.single.siv import _weak_zero_directions, siv_test
+from repro.single.ziv import ziv_test
 from repro.symbolic.ranges import Interval
 
 #: Endpoint magnitude cap: float64 represents integers exactly below
 #: 2**53; staying well under keeps every vectorized comparison exact.
 _SAFE_INT = 1 << 50
+
+#: Coefficient / constant caps for the Diophantine lanes: Bezout
+#: coefficients are bounded by the inputs, so ``|a| <= 2^20`` and
+#: ``|c| <= 2^31`` keep ``x0 = bezout * (c/g)`` under ``2^51`` — every
+#: intermediate stays exact in int64 and exact as float64.
+_DIO_COEF_MAX = 1 << 20
+_DIO_CONST_MAX = 1 << 31
 
 #: Deepest direction hierarchy evaluated as a 3^d sweep (3^4 = 81
 #: assignments per pair); deeper nests fall back to the pruned DFS.
@@ -107,25 +153,123 @@ def _endpoint(value) -> Optional[float]:
 class _Table:
     """Per-item precomputation: outcome table and synthesized schedule."""
 
-    __slots__ = ("pre", "plan")
+    __slots__ = ("pre", "plan", "steps")
 
     def __init__(self) -> None:
-        #: positions tuple -> (TestOutcome, PlanAction), filled by lanes.
-        self.pre: Dict[Tuple[int, ...], Tuple[TestOutcome, PlanAction]] = {}
+        #: positions tuple -> (TestOutcome, PlanAction) or _DeltaPre,
+        #: filled by lanes and the coupled-group lock-step runner.
+        self.pre: Dict[Tuple[int, ...], object] = {}
         #: Full-schedule plan handed to the driver walk so it skips
         #: re-partitioning (None when the item already has a real plan,
         #: or when a step's action cannot be synthesized faithfully).
         self.plan: Optional[TestPlan] = None
+        #: Partition count of the schedule (for coverage accounting).
+        self.steps = 0
+
+
+class _DeltaPre:
+    """A precomputed Delta run: outcome + recorder delta + budget replay.
+
+    The dispatcher serves these specially: the logged spends replay
+    against the walk's *real* budget (raising at exactly the point the
+    reference run would), and the private recorder — which already holds
+    the final ``delta`` outcome's record — merges into the walk's.
+    """
+
+    __slots__ = ("outcome", "recorder", "spends")
+
+    def __init__(
+        self, outcome: TestOutcome, recorder: TestRecorder, spends: Tuple[int, ...]
+    ) -> None:
+        self.outcome = outcome
+        self.recorder = recorder
+        self.spends = spends
+
+
+class _ShadowExhausted(Exception):
+    """A pre-run delta outran the item's full step budget: fall back."""
+
+
+class _SpendLog:
+    """Budget shadow for pre-run deltas.
+
+    Logs every ``spend`` for replay against the real budget at dispatch
+    time, while enforcing the item's full limit itself so a pathological
+    group cannot monopolize precomputation (the walk's own ``delta_test``
+    then raises the real ``BudgetExceededError`` at the reference point).
+    """
+
+    __slots__ = ("limit", "used", "log")
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+        self.log: List[int] = []
+
+    def spend(self, steps: int = 1) -> None:
+        self.log.append(steps)
+        self.used += steps
+        if self.used > self.limit:
+            raise _ShadowExhausted()
+
+
+class _GroupTask:
+    """One coupled group awaiting (or undergoing) a lock-step pre-run."""
+
+    __slots__ = (
+        "table", "positions", "pairs", "context", "options", "limit",
+        "state", "gen", "recorder", "budget", "request",
+    )
+
+    def __init__(self, table, positions, pairs, context, options, limit):
+        self.table = table
+        self.positions = positions
+        self.pairs = pairs
+        self.context = context
+        self.options = options
+        self.limit = limit
+        self.state = None
+        self.gen = None
+        self.recorder = None
+        self.budget = None
+        self.request = None
+
+
+def _pre_emit(table: _Table, positions: Tuple[int, ...]):
+    """An emit callback depositing into a table's precomputed outcomes."""
+
+    def emit(outcome: TestOutcome, action: PlanAction) -> None:
+        table.pre[positions] = (outcome, action)
+
+    return emit
+
+
+def _slot_emit(outcomes: List[Optional[TestOutcome]], index: int):
+    """An emit callback filling one slot of a delta round's outcome list."""
+
+    def emit(outcome: TestOutcome, action: PlanAction) -> None:
+        outcomes[index] = outcome
+
+    return emit
 
 
 class BatchedBackend(TestBackend):
-    """numpy-vectorized evaluation of ZIV/SIV/GCD/Banerjee test groups."""
+    """numpy-vectorized evaluation of ZIV/SIV/RDIV/GCD/Banerjee/Delta groups."""
 
     name = "batched"
     batching = True
 
     def __init__(self) -> None:
         self.np = _load_numpy()
+        self._coverage: Counter = Counter()
+
+    def take_coverage(self) -> Optional[Dict[str, int]]:
+        """Drain the accumulated batch-coverage counters (None when empty)."""
+        if not self._coverage:
+            return None
+        out = dict(self._coverage)
+        self._coverage.clear()
+        return out
 
     # -- batch entry point ------------------------------------------------
 
@@ -137,10 +281,20 @@ class BatchedBackend(TestBackend):
             # unexpected failure degrades the whole batch to the
             # reference per-pair walk, never to a wrong verdict.
             tables = [None] * len(items)
+        cov = self._coverage
         for item, table in zip(items, tables):
+            cov["pairs"] += 1
             if table is None:
+                cov["pairs_fallback"] += 1
                 self._run_item(item)
                 continue
+            covered = len(table.pre)
+            if covered >= table.steps:
+                cov["pairs_batched"] += 1
+            elif covered:
+                cov["pairs_partial"] += 1
+            else:
+                cov["pairs_fallback"] += 1
             if table.plan is not None and item.plan is None:
                 # The synthesized schedule rides in as a plan so the walk
                 # skips re-partitioning; the item's PlanRecorder still
@@ -165,6 +319,13 @@ class BatchedBackend(TestBackend):
         ):
             hit = pre.get(positions)
             if hit is not None:
+                if type(hit) is _DeltaPre:
+                    if budget is not None:
+                        for steps in hit.spends:
+                            budget.spend(steps)
+                    if recorder is not None:
+                        recorder.merge(hit.recorder)
+                    return hit.outcome, PlanAction.DELTA
                 outcome, resolved = hit
                 return maybe_record(recorder, outcome), resolved
             return default_dispatch(
@@ -177,22 +338,33 @@ class BatchedBackend(TestBackend):
     # -- precomputation ---------------------------------------------------
 
     def _precompute(self, items: Sequence[BatchItem]) -> List[Optional[_Table]]:
-        lanes = _Lanes()
+        lanes = _Lanes(self._coverage)
         tables: List[Optional[_Table]] = []
         for item in items:
             try:
                 tables.append(self._extract_item(item, lanes))
             except Exception:
+                self._coverage["fallback:extract-error"] += 1
                 tables.append(None)
         profile = next(
             (item.profile for item in items if item.profile is not None), None
         )
         lanes.evaluate(self.np, profile)
+        if lanes.groups:
+            if profile is None:
+                self._run_groups(lanes.groups)
+            else:
+                start = perf_counter()
+                try:
+                    self._run_groups(lanes.groups)
+                finally:
+                    profile.add_test("delta", perf_counter() - start)
         return tables
 
     def _extract_item(self, item: BatchItem, lanes: "_Lanes") -> Optional[_Table]:
         context = item.context
         if context.rank_mismatch:
+            self._coverage["fallback:rank-mismatch"] += 1
             return None  # the driver returns before the schedule walk
         subscripts = context.subscripts
         if item.plan is not None:
@@ -206,11 +378,12 @@ class BatchedBackend(TestBackend):
                 for partition in partition_subscripts(subscripts, context)
             ]
         table = _Table()
+        table.steps = len(schedule)
         synth: List[Tuple[Tuple[int, ...], PlanAction]] = []
         synthesizable = item.plan is None
         for pairs, positions, action in schedule:
             resolved = self._extract_step(
-                table, lanes, pairs, positions, action, context
+                table, lanes, pairs, positions, action, context, item
             )
             if resolved is None:
                 synthesizable = False
@@ -228,34 +401,54 @@ class BatchedBackend(TestBackend):
         positions: Tuple[int, ...],
         action: Optional[PlanAction],
         context: PairContext,
+        item: BatchItem,
     ) -> Optional[PlanAction]:
         """Classify one partition; route it to a lane when vectorizable.
 
         Returns the action a fresh dispatch would record (for schedule
         synthesis), or None when it cannot be predicted without running
-        the test (the RDIV applicability fallback).
+        the test.
         """
+        cov = self._coverage
         if len(pairs) > 1:
-            return PlanAction.DELTA  # coupled group: Delta falls back
+            # Coupled group: registered for the lock-step Delta pre-run.
+            limit = getattr(item.budget, "limit", None)
+            if item.budget is None or limit is not None:
+                cov["delta:groups"] += 1
+                lanes.groups.append(
+                    _GroupTask(
+                        table, positions, pairs, context,
+                        item.delta_options, limit,
+                    )
+                )
+            else:
+                # An opaque budget object cannot be shadowed faithfully.
+                cov["delta:groups_fallback"] += 1
+            return PlanAction.DELTA
         pair = pairs[0]
         # Open-coded ``classify``: the lanes need the bases and the SIV
         # shape anyway, so deriving the kind from them (instead of calling
         # ``classify`` and re-extracting) computes each exactly once per
         # pair — the batching boundary's share of the speedup.
         if not pair.is_linear:
+            cov["fallback:nonlinear"] += 1
             return PlanAction.NONLINEAR
         bases = context.subscript_bases(pair)
         if not bases:
-            lanes.add_ziv(table, positions, pair, context)
+            emit = _pre_emit(table, positions)
+            if lanes.add_ziv(emit, pair):
+                cov["lane:ziv"] += 1
+            else:
+                cov["fallback:ziv"] += 1
             return PlanAction.ZIV
         if len(bases) == 1:
             shape = siv_shape(pair, context, next(iter(bases)))
             kind = _classify_siv(shape)
-            if kind is SubscriptKind.SIV_STRONG:
-                lanes.add_strong_siv(table, positions, shape, context)
-            elif kind is SubscriptKind.SIV_WEAK_ZERO:
-                lanes.add_weak_zero_siv(table, positions, shape, context)
-            # weak-crossing and general SIV shapes fall back per pair
+            emit = _pre_emit(table, positions)
+            if self._route_siv(lanes, emit, shape, kind, context):
+                cov[f"lane:{kind.value}"] += 1
+            else:
+                cov[f"fallback:{kind.value}"] += 1
             return PlanAction.SIV
         if len(bases) == 2:
             src_bases = context.base_indices_of(pair.src) if pair.src else set()
@@ -267,54 +460,311 @@ class BatchedBackend(TestBackend):
                 and len(sink_bases) == 1
                 and src_bases != sink_bases
             ):
-                # RDIV: the recorded action depends on runtime
-                # applicability (RDIV vs RDIV_MIV); leave the schedule
-                # unsynthesized so the walk derives and records it
-                # exactly as reference.
-                return None
-        lanes.add_miv(table, positions, pair, context, bases)
+                shape = rdiv_shape(pair, context)
+                emit = _pre_emit(table, positions)
+                if (shape.c2 - shape.c1).is_constant():
+                    # Constant target: the RDIV test always applies, so
+                    # the recorded action is RDIV either way.
+                    if lanes.add_rdiv(emit, shape, context):
+                        cov["lane:rdiv"] += 1
+                    else:
+                        cov["fallback:rdiv"] += 1
+                    return PlanAction.RDIV
+                # Symbolic target: the reference records the inapplicable
+                # RDIV attempt (never counted) and runs Banerjee-GCD, so
+                # the pair routes straight to the MIV lane.
+                if lanes.add_miv(
+                    emit, pair, context, bases, PlanAction.RDIV_MIV
+                ):
+                    cov["lane:miv"] += 1
+                else:
+                    cov["fallback:miv"] += 1
+                return PlanAction.RDIV_MIV
+        emit = _pre_emit(table, positions)
+        if lanes.add_miv(emit, pair, context, bases, PlanAction.MIV):
+            cov["lane:miv"] += 1
+        else:
+            cov["fallback:miv"] += 1
         return PlanAction.MIV
+
+    def _route_siv(
+        self,
+        lanes: "_Lanes",
+        emit,
+        shape,
+        kind: SubscriptKind,
+        context: PairContext,
+    ) -> bool:
+        """Route one SIV shape to its lane, mirroring ``siv_test`` dispatch."""
+        if kind is SubscriptKind.SIV_STRONG:
+            return lanes.add_strong_siv(emit, shape, context)
+        if kind is SubscriptKind.SIV_WEAK_ZERO:
+            return lanes.add_weak_zero_siv(emit, shape, context)
+        if kind is SubscriptKind.SIV_WEAK_CROSSING:
+            if shape.src_name is not None and shape.sink_name is not None:
+                return lanes.add_weak_crossing_siv(emit, shape, context)
+            # One side's loop does not enclose the reference: the
+            # reference dispatch falls through to the exact test.
+            return lanes.add_exact_siv(emit, shape, context)
+        return lanes.add_exact_siv(emit, shape, context)
+
+    # -- coupled groups: lock-step Delta pre-runs --------------------------
+
+    def _run_groups(self, groups: List[_GroupTask]) -> None:
+        """Advance every coupled group's Delta reduction in lock step.
+
+        Each round gathers the ZIV/SIV requests of *all* still-running
+        groups and answers them with one vectorized lane evaluation
+        (per-request fallback to the identical single-test calls); the
+        sequential constraint walk runs inside each group's generator
+        between rounds.  A group failing in any way simply loses its
+        precomputation — the driver walk then runs the real
+        ``delta_test``.
+        """
+        cov = self._coverage
+        active: List[_GroupTask] = []
+        for task in groups:
+            try:
+                task.recorder = TestRecorder()
+                budget = None
+                if task.limit is not None:
+                    task.budget = _SpendLog(task.limit)
+                    budget = task.budget
+                task.state = delta_prepare(
+                    task.pairs, task.context, task.recorder,
+                    task.options, budget,
+                )
+                task.gen = task.state.rounds()
+                task.request = task.gen.send(None)
+                active.append(task)
+            except StopIteration as stop:
+                self._finish_group(task, bool(stop.value))
+            except Exception:
+                cov["delta:groups_fallback"] += 1
+        while active:
+            cov["delta:rounds"] += 1
+            evaluations = self._eval_round(active)
+            advancing: List[_GroupTask] = []
+            for task, outcomes in zip(active, evaluations):
+                try:
+                    task.request = task.gen.send(outcomes)
+                    advancing.append(task)
+                except StopIteration as stop:
+                    self._finish_group(task, bool(stop.value))
+                except Exception:
+                    cov["delta:groups_fallback"] += 1
+            active = advancing
+
+    def _eval_round(
+        self, active: List[_GroupTask]
+    ) -> List[List[Optional[TestOutcome]]]:
+        """Evaluate one lock-step round of ZIV/SIV requests across groups."""
+        cov = self._coverage
+        lanes = _Lanes(cov)
+        evaluations: List[List[Optional[TestOutcome]]] = []
+        direct: List[Tuple[List[Optional[TestOutcome]], int, SubscriptPair,
+                           SubscriptKind, PairContext]] = []
+        for task in active:
+            tests, ctx = task.request
+            outcomes: List[Optional[TestOutcome]] = [None] * len(tests)
+            evaluations.append(outcomes)
+            for index, (pair, kind) in enumerate(tests):
+                emit = _slot_emit(outcomes, index)
+                if self._route_round_test(lanes, emit, pair, kind, ctx):
+                    cov["delta:inner_lane"] += 1
+                else:
+                    cov["delta:inner_direct"] += 1
+                    direct.append((outcomes, index, pair, kind, ctx))
+        lanes.evaluate(self.np, None)
+        for outcomes, index, pair, kind, ctx in direct:
+            if kind is SubscriptKind.ZIV:
+                outcomes[index] = ziv_test(pair, ctx)
+            else:
+                outcomes[index] = siv_test(pair, ctx)
+        return evaluations
+
+    def _route_round_test(
+        self,
+        lanes: "_Lanes",
+        emit,
+        pair: SubscriptPair,
+        kind: SubscriptKind,
+        ctx: PairContext,
+    ) -> bool:
+        """Route one in-round request to a lane against the round context."""
+        if kind is SubscriptKind.ZIV:
+            return lanes.add_ziv(emit, pair)
+        bases = ctx.subscript_bases(pair)
+        if len(bases) != 1:
+            return False  # defensive: siv_test itself re-classifies
+        shape = siv_shape(pair, ctx, next(iter(bases)))
+        if _classify_siv(shape) is not kind:
+            return False
+        return self._route_siv(lanes, emit, shape, kind, ctx)
+
+    def _finish_group(self, task: _GroupTask, independent: bool) -> None:
+        """Store one finished group's outcome, recorder delta, and spends."""
+        try:
+            outcome = delta_finalize(task.state, task.recorder, independent)
+        except Exception:
+            self._coverage["delta:groups_fallback"] += 1
+            return
+        spends = tuple(task.budget.log) if task.budget is not None else ()
+        task.table.pre[task.positions] = _DeltaPre(
+            outcome, task.recorder, spends
+        )
+        self._coverage["delta:groups_batched"] += 1
+
+
+# ---------------------------------------------------------------------------
+# Vectorized two-variable Diophantine queries
+# ---------------------------------------------------------------------------
+
+
+def _vec_ext_gcd(np, a, b):
+    """Vectorized extended Euclid: ``(g, x, y)`` with ``a*x + b*y = g``.
+
+    Mirrors :func:`repro.symbolic.diophantine.ext_gcd` elementwise,
+    including the non-negative ``g`` normalization; rows converge in at
+    most O(log max|input|) masked iterations.
+    """
+    old_r = a.astype(np.int64).copy()
+    r = b.astype(np.int64).copy()
+    old_x = np.ones_like(old_r)
+    x = np.zeros_like(old_r)
+    old_y = np.zeros_like(old_r)
+    y = np.ones_like(old_r)
+    while True:
+        mask = r != 0
+        if not mask.any():
+            break
+        safe = np.where(mask, r, 1)
+        q = np.where(mask, old_r // safe, 0)
+        old_r, r = np.where(mask, r, old_r), np.where(mask, old_r - q * r, r)
+        old_x, x = np.where(mask, x, old_x), np.where(mask, old_x - q * x, x)
+        old_y, y = np.where(mask, y, old_y), np.where(mask, old_y - q * y, y)
+    neg = old_r < 0
+    return (
+        np.where(neg, -old_r, old_r),
+        np.where(neg, -old_x, old_x),
+        np.where(neg, -old_y, old_y),
+    )
+
+
+def _dio_solve(np, a, b, c):
+    """Vectorized ``solve_linear_2var``: rows must not have ``a == b == 0``.
+
+    Returns ``(solvable, x0, y0, dx, dy)`` arrays describing the solution
+    family ``(x0 + dx*t, y0 + dy*t)`` wherever ``solvable``.
+    """
+    g, px, py = _vec_ext_gcd(np, a, b)
+    solvable = (c % g) == 0
+    scale = np.where(solvable, c // g, 0)
+    return solvable, px * scale, py * scale, b // g, -(a // g)
+
+
+def _dio_constrain(np, family, condition, ok, tlo, thi):
+    """Fold one ``lo <= cx*x + cy*y <= hi`` condition into the t-interval.
+
+    ``condition`` is ``(cx, cy, lo, hi)`` with scalar integer ``cx``/``cy``
+    and float bound arrays (±inf allowed).  Returns updated
+    ``(ok, tlo, thi)``; all finite arithmetic runs in int64 (``ceil_div``
+    as ``-((-p) // q)``), so no float rounding can move a boundary.
+    """
+    _, x0, y0, dx, dy = family
+    cx, cy, lo, hi = condition
+    base = cx * x0 + cy * y0
+    step = cx * dx + cy * dy
+    lo_fin = np.isfinite(lo)
+    hi_fin = np.isfinite(hi)
+    lo_i = np.where(lo_fin, lo, 0).astype(np.int64)
+    hi_i = np.where(hi_fin, hi, 0).astype(np.int64)
+    zero = step == 0
+    ok = ok & ~(
+        zero & ((lo_fin & (base < lo_i)) | (hi_fin & (base > hi_i)))
+    )
+    positive = step > 0
+    astep = np.abs(np.where(zero, 1, step))
+    tlo_fin = np.where(positive, lo_fin, hi_fin)
+    thi_fin = np.where(positive, hi_fin, lo_fin)
+    tlo_num = np.where(positive, lo_i - base, base - hi_i)
+    thi_num = np.where(positive, hi_i - base, base - lo_i)
+    cand_tlo = -((-tlo_num) // astep)
+    cand_thi = thi_num // astep
+    update = ~zero & tlo_fin
+    tlo = np.where(
+        update, np.maximum(tlo, cand_tlo.astype(np.float64)), tlo
+    )
+    update = ~zero & thi_fin
+    thi = np.where(
+        update, np.minimum(thi, cand_thi.astype(np.float64)), thi
+    )
+    return ok, tlo, thi
+
+
+def _dio_open(np, family):
+    """A fresh (unconstrained) feasibility state for a solution family."""
+    solvable = family[0]
+    n = solvable.shape[0]
+    return (
+        solvable.copy(),
+        np.full(n, -np.inf),
+        np.full(n, np.inf),
+    )
+
+
+def _dio_feasible(ok, tlo, thi):
+    """Collapse a feasibility state to a boolean array."""
+    return ok & (tlo <= thi)
 
 
 class _Lanes:
     """Accumulated vectorizable work, grouped by test class."""
 
-    def __init__(self) -> None:
-        self.ziv: List[Tuple[_Table, Tuple[int, ...], int]] = []
+    def __init__(self, coverage: Optional[Counter] = None) -> None:
+        self.coverage = coverage if coverage is not None else Counter()
+        self.ziv: List[tuple] = []
         self.strong: List[tuple] = []
         self.weak_zero: List[tuple] = []
+        self.weak_crossing: List[tuple] = []
+        self.exact: List[tuple] = []
+        self.rdiv: List[tuple] = []
         #: depth -> list of extracted MIV hierarchy problems.
         self.miv: Dict[int, List[tuple]] = {}
+        #: Coupled groups registered for the lock-step Delta pre-run.
+        self.groups: List[_GroupTask] = []
 
     # -- extraction -------------------------------------------------------
 
-    def add_ziv(self, table, positions, pair, context) -> None:
+    def add_ziv(self, emit, pair) -> bool:
         if not pair.is_linear:
-            return
+            return False
         difference = pair.difference()
         if not difference.is_constant():
-            return  # symbolic ZIV: interval reasoning, per-pair fallback
+            return False  # symbolic ZIV: interval reasoning, per-pair fallback
         value = difference.constant_value()
         if not isinstance(value, int) or abs(value) > _SAFE_INT:
-            return
-        self.ziv.append((table, positions, value))
+            return False
+        self.ziv.append((emit, value))
+        return True
 
-    def add_strong_siv(self, table, positions, shape, context) -> None:
+    def add_strong_siv(self, emit, shape, context) -> bool:
         if shape.a1 != shape.a2 or shape.a1 == 0:
-            return
+            return False
         diff = shape.c1 - shape.c2
         if not diff.is_constant():
-            return  # symbolic difference: interval path, per-pair fallback
+            return False  # symbolic difference: interval path, per-pair fallback
         value = diff.constant_value()
         if not isinstance(value, int) or abs(value) > _SAFE_INT:
-            return
+            return False
         span = context.trip_span(shape.index)
         lo, hi = _endpoint(span.lo), _endpoint(span.hi)
         if lo is None or hi is None or abs(shape.a1) > _SAFE_INT:
-            return
-        self.strong.append((table, positions, shape, value, lo, hi))
+            return False
+        self.strong.append((emit, shape, value, lo, hi))
+        return True
 
-    def add_weak_zero_siv(self, table, positions, shape, context) -> None:
+    def add_weak_zero_siv(self, emit, shape, context) -> bool:
         if shape.a1 != 0 and shape.a2 == 0:
             a, target = shape.a1, shape.c2 - shape.c1
             solved_name, solving_src = shape.src_name, True
@@ -322,21 +772,112 @@ class _Lanes:
             a, target = shape.a2, shape.c1 - shape.c2
             solved_name, solving_src = shape.sink_name, False
         else:
-            return
+            return False
         if solved_name is None or not target.is_constant():
-            return
+            return False
         value = target.constant_value()
         if not isinstance(value, int) or abs(value) > _SAFE_INT:
-            return
+            return False
         index_range = context.range_of(solved_name)
         lo, hi = _endpoint(index_range.lo), _endpoint(index_range.hi)
         if lo is None or hi is None or abs(a) > _SAFE_INT:
-            return
+            return False
         self.weak_zero.append(
-            (table, positions, shape, solving_src, index_range, a, value, lo, hi)
+            (emit, shape, solving_src, index_range, a, value, lo, hi)
         )
+        return True
 
-    def add_miv(self, table, positions, pair, context, bases) -> None:
+    def add_weak_crossing_siv(self, emit, shape, context) -> bool:
+        """The weak-crossing lane: constant crossing target, exact floats."""
+        if shape.a1 == 0 or shape.a1 != -shape.a2:
+            return False
+        if shape.src_name is None or shape.sink_name is None:
+            return False
+        target = shape.c2 - shape.c1
+        if not target.is_constant():
+            return False  # symbolic target: interval path, per-pair fallback
+        value = target.constant_value()
+        if not isinstance(value, int) or abs(value) > _SAFE_INT:
+            return False
+        if abs(shape.a1) > _SAFE_INT:
+            return False
+        index_range = context.range_of(shape.src_name).hull(
+            context.range_of(shape.sink_name)
+        )
+        lo, hi = _endpoint(index_range.lo), _endpoint(index_range.hi)
+        if lo is None or hi is None:
+            return False
+        self.weak_crossing.append(
+            (emit, shape, index_range, shape.a1, value, lo, hi)
+        )
+        return True
+
+    def add_exact_siv(self, emit, shape, context) -> bool:
+        """The general SIV lane: vectorized exact Diophantine queries."""
+        if shape.a1 == shape.a2:
+            return False  # strong shape (or ZIV): never reaches the exact test
+        target = shape.c2 - shape.c1
+        if not target.is_constant():
+            return False
+        c = target.constant_value()
+        if not isinstance(c, int) or abs(c) > _DIO_CONST_MAX:
+            return False
+        if abs(shape.a1) > _DIO_COEF_MAX or abs(shape.a2) > _DIO_COEF_MAX:
+            return False
+        x_range = (
+            context.range_of(shape.src_name)
+            if shape.src_name
+            else Interval.unbounded()
+        )
+        y_range = (
+            context.range_of(shape.sink_name)
+            if shape.sink_name
+            else Interval.unbounded()
+        )
+        xlo, xhi = _endpoint(x_range.lo), _endpoint(x_range.hi)
+        ylo, yhi = _endpoint(y_range.lo), _endpoint(y_range.hi)
+        if xlo is None or xhi is None or ylo is None or yhi is None:
+            return False
+        witness_bounded = x_range.is_bounded() and y_range.is_bounded()
+        both_names = shape.src_name is not None and shape.sink_name is not None
+        self.exact.append(
+            (emit, shape, c, xlo, xhi, ylo, yhi, both_names, witness_bounded)
+        )
+        return True
+
+    def add_rdiv(self, emit, shape, context) -> bool:
+        """The RDIV lane: one vectorized box-feasibility query per pair."""
+        target = shape.c2 - shape.c1
+        if not target.is_constant():
+            return False
+        c = target.constant_value()
+        if not isinstance(c, int) or abs(c) > _DIO_CONST_MAX:
+            return False
+        if abs(shape.a1) > _DIO_COEF_MAX or abs(shape.a2) > _DIO_COEF_MAX:
+            return False
+        if shape.a1 == 0 and shape.a2 == 0:
+            return False  # degenerate: cannot arise from a real RDIV shape
+        x_range = (
+            context.range_of(shape.src_name)
+            if shape.src_name
+            else Interval.unbounded()
+        )
+        y_range = (
+            context.range_of(shape.sink_name)
+            if shape.sink_name
+            else Interval.unbounded()
+        )
+        xlo, xhi = _endpoint(x_range.lo), _endpoint(x_range.hi)
+        ylo, yhi = _endpoint(y_range.lo), _endpoint(y_range.hi)
+        if xlo is None or xhi is None or ylo is None or yhi is None:
+            return False
+        witness_bounded = x_range.is_bounded() and y_range.is_bounded()
+        self.rdiv.append(
+            (emit, shape.a1, shape.a2, c, xlo, xhi, ylo, yhi, witness_bounded)
+        )
+        return True
+
+    def add_miv(self, emit, pair, context, bases, action) -> bool:
         from math import gcd
 
         h = pair.difference()
@@ -353,15 +894,12 @@ class _Lanes:
             and h.const % g != 0
         ):
             # GCD refutes every unconstrained solution: done, no bounds.
-            table.pre[positions] = (
-                TestOutcome.proves_independence("banerjee-gcd"),
-                PlanAction.MIV,
-            )
-            return
+            emit(TestOutcome.proves_independence("banerjee-gcd"), action)
+            return True
         refine = [base for base in context.common_indices if base in bases]
         depth = len(refine)
         if depth == 0 or depth > _MAX_MIV_DEPTH:
-            return  # trivial or combinatorially deep: per-pair fallback
+            return False  # trivial or combinatorially deep: per-pair fallback
         refine_set = set(refine)
         env = context.variable_env()
         fixed = Interval.point(h.const)
@@ -396,7 +934,7 @@ class _Lanes:
                         continue
                     lo, hi = _endpoint(term.lo), _endpoint(term.hi)
                     if lo is None or hi is None:
-                        return
+                        return False
                     bounds.append((lo, hi))
                 terms[base] = bounds
             else:
@@ -411,25 +949,33 @@ class _Lanes:
                     continue
                 fixed = fixed + env.get(name, Interval.unbounded()).scale(coeff)
         if fixed.is_empty():
-            table.pre[positions] = (
+            emit(
                 TestOutcome.proves_independence("banerjee-gcd", exact=False),
-                PlanAction.MIV,
+                action,
             )
-            return
+            return True
         lo, hi = _endpoint(fixed.lo), _endpoint(fixed.hi)
         if lo is None or hi is None:
-            return
+            return False
         self.miv.setdefault(depth, []).append(
-            (table, positions, refine, [terms[base] for base in refine], lo, hi)
+            (emit, action, refine, [terms[base] for base in refine], lo, hi)
         )
+        return True
 
     # -- vectorized evaluation --------------------------------------------
 
     def evaluate(self, np, profile) -> None:
         if self.ziv:
             self._timed(profile, "ziv", self._eval_ziv, np)
-        if self.strong or self.weak_zero:
+        if (
+            self.strong
+            or self.weak_zero
+            or self.weak_crossing
+            or self.exact
+        ):
             self._timed(profile, "siv", self._eval_siv, np)
+        if self.rdiv:
+            self._timed(profile, "rdiv", self._eval_rdiv, np)
         if self.miv:
             self._timed(profile, "miv", self._eval_miv, np)
 
@@ -445,27 +991,31 @@ class _Lanes:
             profile.add_test(tier, perf_counter() - start)
 
     def _eval_ziv(self, np) -> None:
-        values = np.array([value for _, _, value in self.ziv], dtype=np.int64)
+        values = np.array([value for _, value in self.ziv], dtype=np.int64)
         nonzero = values != 0
-        for (table, positions, _), indep in zip(self.ziv, nonzero):
+        for (emit, _), indep in zip(self.ziv, nonzero):
             if indep:
                 outcome = TestOutcome.proves_independence("ziv")
             else:
                 outcome = TestOutcome("ziv", exact=True)
-            table.pre[positions] = (outcome, PlanAction.ZIV)
+            emit(outcome, PlanAction.ZIV)
 
     def _eval_siv(self, np) -> None:
         if self.strong:
             self._eval_strong(np)
         if self.weak_zero:
             self._eval_weak_zero(np)
+        if self.weak_crossing:
+            self._eval_weak_crossing(np)
+        if self.exact:
+            self._eval_exact(np)
 
     def _eval_strong(self, np) -> None:
         rows = self.strong
-        a = np.array([r[2].a1 for r in rows], dtype=np.int64)
-        value = np.array([r[3] for r in rows], dtype=np.int64)
-        lo = np.array([r[4] for r in rows])
-        hi = np.array([r[5] for r in rows])
+        a = np.array([r[1].a1 for r in rows], dtype=np.int64)
+        value = np.array([r[2] for r in rows], dtype=np.int64)
+        lo = np.array([r[3] for r in rows])
+        hi = np.array([r[4] for r in rows])
         finite_hi = np.isfinite(hi)
         zero_trip = (lo > hi) | (finite_hi & (hi < 0))
         not_divisible = (value % a) != 0
@@ -473,7 +1023,7 @@ class _Lanes:
         too_far = finite_hi & (np.abs(distance).astype(np.float64) > hi)
         independent = zero_trip | not_divisible | too_far
         verified = finite_hi | (distance == 0)
-        for k, (table, positions, shape, *_rest) in enumerate(rows):
+        for k, (emit, shape, *_rest) in enumerate(rows):
             if independent[k]:
                 outcome = TestOutcome.proves_independence("strong-siv")
             else:
@@ -484,22 +1034,20 @@ class _Lanes:
                     constraints={shape.index: constraint_from_distance(d)},
                     notes={"distance": d},
                 )
-            table.pre[positions] = (outcome, PlanAction.SIV)
+            emit(outcome, PlanAction.SIV)
 
     def _eval_weak_zero(self, np) -> None:
         rows = self.weak_zero
-        a = np.array([r[5] for r in rows], dtype=np.int64)
-        value = np.array([r[6] for r in rows], dtype=np.int64)
-        lo = np.array([r[7] for r in rows])
-        hi = np.array([r[8] for r in rows])
+        a = np.array([r[4] for r in rows], dtype=np.int64)
+        value = np.array([r[5] for r in rows], dtype=np.int64)
+        lo = np.array([r[6] for r in rows])
+        hi = np.array([r[7] for r in rows])
         not_divisible = (value % a) != 0
         iteration = value // a
         as_float = iteration.astype(np.float64)
         out_of_range = (as_float < lo) | (as_float > hi)
         independent = not_divisible | out_of_range
-        for k, (table, positions, shape, solving_src, index_range, *_r) in enumerate(
-            rows
-        ):
+        for k, (emit, shape, solving_src, index_range, *_r) in enumerate(rows):
             if independent[k]:
                 outcome = TestOutcome.proves_independence("weak-zero-siv")
             else:
@@ -522,7 +1070,128 @@ class _Lanes:
                     constraints={shape.index: IndexConstraint(directions)},
                     notes=notes,
                 )
-            table.pre[positions] = (outcome, PlanAction.SIV)
+            emit(outcome, PlanAction.SIV)
+
+    def _eval_weak_crossing(self, np) -> None:
+        rows = self.weak_crossing
+        a = np.array([r[3] for r in rows], dtype=np.int64)
+        value = np.array([r[4] for r in rows], dtype=np.int64)
+        lo = np.array([r[5] for r in rows])
+        hi = np.array([r[6] for r in rows])
+        lo2, hi2 = 2.0 * lo, 2.0 * hi
+        not_divisible = (value % a) != 0
+        crossing = value // a
+        as_float = crossing.astype(np.float64)
+        independent = not_divisible | (as_float < lo2) | (as_float > hi2)
+        even = (crossing % 2) == 0
+        half = (crossing // 2).astype(np.float64)
+        eq_ok = even & (half >= lo) & (half <= hi)
+        interior = (lo2 < as_float) & (as_float < hi2)
+        for k, (emit, shape, index_range, *_rest) in enumerate(rows):
+            if independent[k]:
+                outcome = TestOutcome.proves_independence("weak-crossing-siv")
+            else:
+                crossing_sum = int(crossing[k])
+                directions = set()
+                if eq_ok[k]:
+                    directions.add(Direction.EQ)
+                if interior[k]:
+                    directions.add(Direction.LT)
+                    directions.add(Direction.GT)
+                notes = {
+                    "crossing_sum": crossing_sum,
+                    "crossing_iteration": Fraction(crossing_sum, 2),
+                }
+                outcome = TestOutcome(
+                    "weak-crossing-siv",
+                    exact=index_range.is_bounded(),
+                    constraints={
+                        shape.index: IndexConstraint(frozenset(directions))
+                    },
+                    notes=notes,
+                )
+            emit(outcome, PlanAction.SIV)
+
+    def _eval_exact(self, np) -> None:
+        rows = self.exact
+        a = np.array([r[1].a1 for r in rows], dtype=np.int64)
+        b = np.array([-r[1].a2 for r in rows], dtype=np.int64)
+        c = np.array([r[2] for r in rows], dtype=np.int64)
+        xlo = np.array([r[3] for r in rows])
+        xhi = np.array([r[4] for r in rows])
+        ylo = np.array([r[5] for r in rows])
+        yhi = np.array([r[6] for r in rows])
+        family = _dio_solve(np, a, b, c)
+        ok, tlo, thi = _dio_open(np, family)
+        ok, tlo, thi = _dio_constrain(np, family, (1, 0, xlo, xhi), ok, tlo, thi)
+        ok, tlo, thi = _dio_constrain(np, family, (0, 1, ylo, yhi), ok, tlo, thi)
+        in_box = _dio_feasible(ok, tlo, thi)
+        neg_inf = np.full(c.shape, -np.inf)
+        pos_inf = np.full(c.shape, np.inf)
+        minus_one = np.full(c.shape, -1.0)
+        plus_one = np.full(c.shape, 1.0)
+        zero = np.zeros(c.shape)
+        lt = _dio_feasible(
+            *_dio_constrain(np, family, (1, -1, neg_inf, minus_one), ok, tlo, thi)
+        )
+        eq = _dio_feasible(
+            *_dio_constrain(np, family, (1, -1, zero, zero), ok, tlo, thi)
+        )
+        gt = _dio_feasible(
+            *_dio_constrain(np, family, (1, -1, plus_one, pos_inf), ok, tlo, thi)
+        )
+        for k, (emit, shape, *_mid, both_names, witness_bounded) in enumerate(
+            rows
+        ):
+            if not in_box[k]:
+                outcome = TestOutcome.proves_independence("exact-siv")
+            elif not both_names:
+                # Only one occurrence: no ordering information to compute.
+                outcome = TestOutcome("exact-siv", exact=witness_bounded)
+            else:
+                directions = set()
+                if lt[k]:
+                    directions.add(Direction.LT)
+                if eq[k]:
+                    directions.add(Direction.EQ)
+                if gt[k]:
+                    directions.add(Direction.GT)
+                # The lane excludes ``a1 == a2`` shapes, so the solution
+                # family never has ``dx == dy`` and the reference's
+                # fixed-distance branch cannot fire: notes stay empty.
+                outcome = TestOutcome(
+                    "exact-siv",
+                    exact=witness_bounded,
+                    constraints={
+                        shape.index: IndexConstraint(frozenset(directions))
+                    },
+                    notes={},
+                )
+            emit(outcome, PlanAction.SIV)
+
+    def _eval_rdiv(self, np) -> None:
+        rows = self.rdiv
+        a = np.array([r[1] for r in rows], dtype=np.int64)
+        b = np.array([-r[2] for r in rows], dtype=np.int64)
+        c = np.array([r[3] for r in rows], dtype=np.int64)
+        xlo = np.array([r[4] for r in rows])
+        xhi = np.array([r[5] for r in rows])
+        ylo = np.array([r[6] for r in rows])
+        yhi = np.array([r[7] for r in rows])
+        family = _dio_solve(np, a, b, c)
+        ok, tlo, thi = _dio_open(np, family)
+        ok, tlo, thi = _dio_constrain(np, family, (1, 0, xlo, xhi), ok, tlo, thi)
+        ok, tlo, thi = _dio_constrain(np, family, (0, 1, ylo, yhi), ok, tlo, thi)
+        feasible = _dio_feasible(ok, tlo, thi)
+        for k, row in enumerate(rows):
+            emit, witness_bounded = row[0], row[8]
+            if feasible[k]:
+                # The found witness lies inside *known* bounds only when
+                # both ranges are bounded (mirrors ``rdiv_test``).
+                outcome = TestOutcome("rdiv", exact=witness_bounded)
+            else:
+                outcome = TestOutcome.proves_independence("rdiv")
+            emit(outcome, PlanAction.RDIV)
 
     def _eval_miv(self, np) -> None:
         for depth, rows in self.miv.items():
@@ -546,7 +1215,7 @@ class _Lanes:
                     axis=2
                 )
                 legal = (lo_tot <= 0) & (hi_tot >= 0)  # NaN compares False
-            for k, (table, positions, refine, *_rest) in enumerate(rows):
+            for k, (emit, action, refine, *_rest) in enumerate(rows):
                 vectors = frozenset(
                     tuple(_DIRECTIONS[assign[j, pos]] for pos in range(depth))
                     for j in np.nonzero(legal[k])[0]
@@ -562,4 +1231,4 @@ class _Lanes:
                             vec[position] for vec in vectors
                         )
                         outcome.constraints[base] = IndexConstraint(directions)
-                table.pre[positions] = (outcome, PlanAction.MIV)
+                emit(outcome, action)

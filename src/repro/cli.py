@@ -404,6 +404,9 @@ def _analyze(args: argparse.Namespace) -> int:
             print(engine.stats)
     if args.profile and engine.profile is not None:
         print(engine.profile)
+        coverage = engine.stats.coverage_report()
+        if coverage:
+            print(coverage)
     if engine.stats.degraded:
         print(engine.stats.failure_report())
     return 0

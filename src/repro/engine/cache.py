@@ -462,6 +462,9 @@ class CachedDriver:
             pending.append((i, key, item, plan_recorder))
         if pending:
             self.backend.run_batch([item for _, _, item, _ in pending])
+            coverage = self.backend.take_coverage()
+            if coverage:
+                self.stats.add_coverage(coverage)
             if profile is not None:
                 profile.add_phase(
                     "test", perf_counter() - start, calls=len(pending)

@@ -381,9 +381,17 @@ def build_dependence_graph_parallel(
         own_pool = True
 
     def _serial_runner(task: ChunkTask) -> List[CacheEntry]:
-        return run_chunk(
+        entries = run_chunk(
             task, driver.delta_options, policy.pair_budget, driver.backend
         )
+        # The parent-side recovery path runs on the driver's own backend
+        # instance: harvest its batch-coverage counters like the cache's
+        # miss path does.  (Worker-process counters stay in the workers —
+        # chunk results carry only verdicts.)
+        coverage = driver.backend.take_coverage()
+        if coverage:
+            driver.stats.add_coverage(coverage)
+        return entries
 
     supervisor = PoolSupervisor(
         executor,

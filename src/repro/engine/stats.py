@@ -14,7 +14,7 @@ wall-clock timings.  The benchmark harness serializes all of it into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.engine.faults import FailureRecord
 from repro.engine.profile import PhaseProfile
@@ -46,6 +46,14 @@ class EngineStats:
     ``routines_skipped`` counts whole routines the study harness dropped.
     ``failures`` holds one structured :class:`FailureRecord` per absorbed
     failure event, in occurrence order.
+
+    ``backend_coverage`` holds the batching backend's self-reported
+    counters (harvested via ``TestBackend.take_coverage`` after each
+    batch): how many pairs ran fully vectorized vs partially vs fell
+    back to the per-pair walk, per-lane subscript counts, coupled-group
+    lock-step counts, and ``fallback:<reason>`` tallies.  Empty for
+    per-pair backends, and covers in-process batches only — worker
+    processes keep their own backend instances.
     """
 
     hits: int = 0
@@ -64,6 +72,7 @@ class EngineStats:
     pool_restarts: int = 0
     serial_recoveries: int = 0
     routines_skipped: int = 0
+    backend_coverage: Dict[str, int] = field(default_factory=dict)
     failures: List[FailureRecord] = field(default_factory=list)
     profile: Optional[PhaseProfile] = field(default=None, compare=False)
 
@@ -85,11 +94,74 @@ class EngineStats:
         count is never hidden inside a hit rate, and store-served
         verdicts are distinguished from this process's own work.
         """
-        return (
+        text = (
             f"verdict provenance: {self.hits} memory hit(s), "
             f"{self.store_hits} store hit(s), {self.misses} tested, "
             f"{self.assumed} assumed"
         )
+        coverage = self.coverage_summary()
+        if coverage:
+            text += f"; {coverage}"
+        return text
+
+    def add_coverage(self, counters: Dict[str, int]) -> None:
+        """Fold one harvested batch-coverage counter dict into the stats."""
+        coverage = self.backend_coverage
+        for key, count in counters.items():
+            coverage[key] = coverage.get(key, 0) + count
+
+    def coverage_summary(self) -> str:
+        """One-line batched/partial/fallback pair split (empty when unused)."""
+        coverage = self.backend_coverage
+        total = coverage.get("pairs", 0)
+        if not total:
+            return ""
+        batched = coverage.get("pairs_batched", 0)
+        partial = coverage.get("pairs_partial", 0)
+        fallback = coverage.get("pairs_fallback", 0)
+        return (
+            f"batched coverage: {batched}/{total} pair(s) fully batched "
+            f"({batched / total:.1%}), {partial} partial, {fallback} fallback"
+        )
+
+    def coverage_report(self) -> str:
+        """Multi-line lane/fallback breakdown (empty string when unused)."""
+        summary = self.coverage_summary()
+        if not summary:
+            return ""
+        coverage = self.backend_coverage
+        lines = [summary]
+        lanes = {
+            key[len("lane:"):]: count
+            for key, count in coverage.items()
+            if key.startswith("lane:")
+        }
+        if lanes:
+            lanes_text = ", ".join(
+                f"{name} {count}" for name, count in sorted(lanes.items())
+            )
+            lines.append(f"  lanes: {lanes_text}")
+        groups = coverage.get("delta:groups", 0)
+        if groups:
+            lines.append(
+                f"  coupled groups: {coverage.get('delta:groups_batched', 0)}"
+                f"/{groups} pre-run over {coverage.get('delta:rounds', 0)} "
+                f"lock-step round(s) "
+                f"({coverage.get('delta:inner_lane', 0)} lane / "
+                f"{coverage.get('delta:inner_direct', 0)} direct subscript"
+                f" test(s))"
+            )
+        fallbacks = {
+            key[len("fallback:"):]: count
+            for key, count in coverage.items()
+            if key.startswith("fallback:")
+        }
+        if fallbacks:
+            fallback_text = ", ".join(
+                f"{name} {count}" for name, count in sorted(fallbacks.items())
+            )
+            lines.append(f"  fallback reasons: {fallback_text}")
+        return "\n".join(lines)
 
     def record_failure(self, record: FailureRecord) -> None:
         """Append one absorbed-failure report (and bump its kind counter)."""
@@ -119,6 +191,8 @@ class EngineStats:
         self.pool_restarts += other.pool_restarts
         self.serial_recoveries += other.serial_recoveries
         self.routines_skipped += other.routines_skipped
+        if other.backend_coverage:
+            self.add_coverage(other.backend_coverage)
         self.failures.extend(other.failures)
         if other.profile is not None:
             if self.profile is None:
@@ -134,6 +208,7 @@ class EngineStats:
         self.assumed = self.worker_crashes = self.chunk_timeouts = 0
         self.pool_restarts = self.serial_recoveries = 0
         self.routines_skipped = 0
+        self.backend_coverage.clear()
         self.failures.clear()
         if self.profile is not None:
             self.profile.reset()
@@ -167,6 +242,8 @@ class EngineStats:
             out["serial_recoveries"] = self.serial_recoveries
             out["routines_skipped"] = self.routines_skipped
             out["failures"] = [record.as_dict() for record in self.failures]
+        if self.backend_coverage:
+            out["backend_coverage"] = dict(self.backend_coverage)
         if self.profile is not None:
             out["profile"] = self.profile.as_dict()
         return out

@@ -23,7 +23,12 @@ from typing import Iterator, Optional, Sequence, Tuple, Union
 
 from repro.symbolic.ranges import NEG_INF, POS_INF, Extent, ceil_div, floor_div
 
-BoundValue = Union[int, float]  # int, NEG_INF, or POS_INF
+#: int, or an infinite float.  Infinities are compared by *value* (any
+#: ``float("inf")`` object counts as unbounded), never by identity:
+#: interval endpoints produced by symbolic arithmetic carry fresh inf
+#: objects, and an identity test would leak them into ``ceil_div`` where
+#: ``inf // step`` yields nan and silently widens every direction set.
+BoundValue = Union[int, float]
 
 
 def ext_gcd(a: int, b: int) -> Tuple[int, int, int]:
@@ -89,16 +94,16 @@ def _param_interval_for(
     at ``base``; the constraint is then either vacuous or impossible.
     """
     if step == 0:
-        if (lo is not NEG_INF and base < lo) or (hi is not POS_INF and base > hi):
+        if (lo != NEG_INF and base < lo) or (hi != POS_INF and base > hi):
             return None
         return (NEG_INF, POS_INF)
     if step > 0:
-        tlo = NEG_INF if lo is NEG_INF else ceil_div(lo - base, step)
-        thi = POS_INF if hi is POS_INF else floor_div(hi - base, step)
+        tlo = NEG_INF if lo == NEG_INF else ceil_div(lo - base, step)
+        thi = POS_INF if hi == POS_INF else floor_div(hi - base, step)
     else:
-        tlo = NEG_INF if hi is POS_INF else ceil_div(hi - base, step)
-        thi = POS_INF if lo is NEG_INF else floor_div(lo - base, step)
-    if tlo is not NEG_INF and thi is not POS_INF and tlo > thi:
+        tlo = NEG_INF if hi == POS_INF else ceil_div(hi - base, step)
+        thi = POS_INF if lo == NEG_INF else floor_div(lo - base, step)
+    if tlo != NEG_INF and thi != POS_INF and tlo > thi:
         return None
     return (tlo, thi)
 
@@ -109,13 +114,13 @@ def _intersect_param(
 ) -> Optional[Tuple[BoundValue, BoundValue]]:
     if first is None or second is None:
         return None
-    lo = first[0] if second[0] is NEG_INF else (
-        second[0] if first[0] is NEG_INF else max(first[0], second[0])
+    lo = first[0] if second[0] == NEG_INF else (
+        second[0] if first[0] == NEG_INF else max(first[0], second[0])
     )
-    hi = first[1] if second[1] is POS_INF else (
-        second[1] if first[1] is POS_INF else min(first[1], second[1])
+    hi = first[1] if second[1] == POS_INF else (
+        second[1] if first[1] == POS_INF else min(first[1], second[1])
     )
-    if lo is not NEG_INF and hi is not POS_INF and lo > hi:
+    if lo != NEG_INF and hi != POS_INF and lo > hi:
         return None
     return (lo, hi)
 
@@ -135,8 +140,8 @@ def _param_range_in_box(
         return None
     if sol.unconstrained:
         # Every (x, y) works: nonempty iff both coordinate ranges are nonempty.
-        x_ok = xlo is NEG_INF or xhi is POS_INF or xlo <= xhi
-        y_ok = ylo is NEG_INF or yhi is POS_INF or ylo <= yhi
+        x_ok = xlo == NEG_INF or xhi == POS_INF or xlo <= xhi
+        y_ok = ylo == NEG_INF or yhi == POS_INF or ylo <= yhi
         if x_ok and y_ok:
             return (sol, (NEG_INF, POS_INF))
         return None
@@ -177,10 +182,10 @@ def count_solutions_in_box(
         return 0
     sol, (tlo, thi) = result
     if sol.unconstrained:
-        if xlo is NEG_INF or xhi is POS_INF or ylo is NEG_INF or yhi is POS_INF:
+        if xlo == NEG_INF or xhi == POS_INF or ylo == NEG_INF or yhi == POS_INF:
             return None
         return (xhi - xlo + 1) * (yhi - ylo + 1)
-    if tlo is NEG_INF or thi is POS_INF:
+    if tlo == NEG_INF or thi == POS_INF:
         return None
     return thi - tlo + 1
 
@@ -209,7 +214,7 @@ def has_solution_with_conditions(
     if sol.unconstrained:
         for cx, cy, lo, hi in conditions:
             if cx == 0 and cy == 0:
-                if (lo is not NEG_INF and lo > 0) or (hi is not POS_INF and hi < 0):
+                if (lo != NEG_INF and lo > 0) or (hi != POS_INF and hi < 0):
                     return False
         return True
     trange: Optional[Tuple[BoundValue, BoundValue]] = (NEG_INF, POS_INF)
@@ -242,7 +247,7 @@ def iter_solutions_in_box(
         return
     sol, (tlo, thi) = result
     if sol.unconstrained:
-        if xlo is NEG_INF or xhi is POS_INF or ylo is NEG_INF or yhi is POS_INF:
+        if xlo == NEG_INF or xhi == POS_INF or ylo == NEG_INF or yhi == POS_INF:
             raise ValueError("infinite solution set")
         produced = 0
         for x in range(xlo, xhi + 1):
@@ -252,7 +257,7 @@ def iter_solutions_in_box(
                 yield (x, y)
                 produced += 1
         return
-    if tlo is NEG_INF or thi is POS_INF:
+    if tlo == NEG_INF or thi == POS_INF:
         raise ValueError("infinite solution set")
     produced = 0
     for t in range(tlo, thi + 1):

@@ -1,0 +1,320 @@
+"""Lane-level parity of the batched backend's vector lanes.
+
+The weak-crossing SIV, general (exact) SIV, and RDIV lanes reimplement
+their scalar tests (``siv_test``/``rdiv_test``) as masked numpy array
+programs.  The scenario suites certify whole-driver parity; this module
+pins the *lane* layer directly: randomized subscripts are evaluated once
+through the scalar test and once through a single-row lane, and the two
+``TestOutcome`` dataclasses must compare equal — verdict, exactness,
+direction constraints, and notes alike.  It also covers the vectorized
+two-variable Diophantine solver against its scalar counterpart, the
+coupled-group lock-step pre-run's graph/recorder byte-parity, and the
+coverage counters the engine harvests from the backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.backends import BatchItem, available_backends, get_backend
+from repro.backends.batched import BatchedBackend, _dio_solve, _Lanes
+from repro.classify.pairs import PairContext
+from repro.classify.subscript import SubscriptKind, classify, rdiv_shape, siv_shape
+from repro.corpus.generator import coupled_group_nest
+from repro.engine import DependenceEngine
+from repro.instrument import TestRecorder
+from repro.single.rdiv import rdiv_test
+from repro.single.siv import siv_test
+from repro.symbolic.diophantine import ext_gcd
+
+from tests.helpers import sites_of
+
+pytestmark = pytest.mark.skipif(
+    "batched" not in available_backends(), reason="numpy not installed"
+)
+
+NONZERO = [-3, -2, -1, 1, 2, 3]
+
+
+def affine(a: int, c: int, index: str = "i") -> str:
+    """Fortran text for ``a*index + c``."""
+    if a == 0:
+        return str(c)
+    head = index if a == 1 else f"-{index}" if a == -1 else f"{a}*{index}"
+    return head if c == 0 else f"{head}{c:+d}"
+
+
+def siv_pair(a1, c1, a2, c2, lo, hi):
+    source = (
+        f"do i = {lo}, {hi}\n"
+        f" a({affine(a1, c1)}) = a({affine(a2, c2)})\n"
+        "enddo"
+    )
+    sites = [s for s in sites_of(source) if s.ref.array == "a"]
+    context = PairContext(sites[0], sites[1], None)
+    return context.subscripts[0], context
+
+
+def rdiv_pair(a1, c1, a2, c2, bounds):
+    (ilo, ihi), (jlo, jhi) = bounds
+    source = (
+        f"do i = {ilo}, {ihi}\n"
+        f" do j = {jlo}, {jhi}\n"
+        f"  a({affine(a1, c1, 'i')}) = a({affine(a2, c2, 'j')})\n"
+        " enddo\n"
+        "enddo"
+    )
+    sites = [s for s in sites_of(source) if s.ref.array == "a"]
+    context = PairContext(sites[0], sites[1], None)
+    return context.subscripts[0], context
+
+
+def lane_outcome(register):
+    """Run one lane row: ``register(lanes, emit) -> accepted``.
+
+    Returns ``(accepted, outcome)`` where outcome is what the lane
+    emitted after vector evaluation (None when nothing fired).
+    """
+    lanes = _Lanes()
+    emitted = []
+
+    def emit(outcome, action):
+        emitted.append(outcome)
+
+    accepted = register(lanes, emit)
+    lanes.evaluate(np, None)
+    return accepted, (emitted[0] if emitted else None)
+
+
+class TestWeakCrossingLane:
+    def test_matches_siv_test_on_random_subscripts(self):
+        rng = random.Random(1991)
+        checked = 0
+        for _ in range(300):
+            a1 = rng.choice(NONZERO)
+            c1, c2 = rng.randint(-12, 12), rng.randint(-12, 12)
+            lo = rng.randint(-4, 4)
+            hi = lo + rng.randint(0, 30)
+            pair, context = siv_pair(a1, c1, -a1, c2, lo, hi)
+            if classify(pair, context) is not SubscriptKind.SIV_WEAK_CROSSING:
+                continue
+            base = next(iter(context.subscript_bases(pair)))
+            shape = siv_shape(pair, context, base)
+            accepted, outcome = lane_outcome(
+                lambda lanes, emit: lanes.add_weak_crossing_siv(
+                    emit, shape, context
+                )
+            )
+            assert accepted, f"lane rejected {shape}"
+            assert outcome == siv_test(pair, context)
+            checked += 1
+        assert checked >= 200  # the generator must actually hit the lane
+
+    def test_crossing_notes_preserved(self):
+        """The splitting hints (crossing sum/iteration) survive batching."""
+        pair, context = siv_pair(1, 0, -1, 9, 1, 10)
+        base = next(iter(context.subscript_bases(pair)))
+        shape = siv_shape(pair, context, base)
+        accepted, outcome = lane_outcome(
+            lambda lanes, emit: lanes.add_weak_crossing_siv(
+                emit, shape, context
+            )
+        )
+        reference = siv_test(pair, context)
+        assert accepted and outcome == reference
+        assert "crossing_sum" in reference.notes
+
+
+class TestExactSIVLane:
+    def test_matches_siv_test_on_random_subscripts(self):
+        rng = random.Random(42)
+        checked = 0
+        for _ in range(300):
+            a1 = rng.choice(NONZERO)
+            a2 = rng.choice([a for a in NONZERO if a not in (a1, -a1)])
+            c1, c2 = rng.randint(-15, 15), rng.randint(-15, 15)
+            lo = rng.randint(-4, 4)
+            hi = lo + rng.randint(0, 30)
+            pair, context = siv_pair(a1, c1, a2, c2, lo, hi)
+            if classify(pair, context) is not SubscriptKind.SIV_WEAK:
+                continue
+            base = next(iter(context.subscript_bases(pair)))
+            shape = siv_shape(pair, context, base)
+            accepted, outcome = lane_outcome(
+                lambda lanes, emit: lanes.add_exact_siv(emit, shape, context)
+            )
+            assert accepted, f"lane rejected {shape}"
+            assert outcome == siv_test(pair, context)
+            checked += 1
+        assert checked >= 200
+
+    def test_rejects_strong_shape(self):
+        """a1 == a2 belongs to the strong lane, never the exact lane."""
+        pair, context = siv_pair(2, 0, 2, 4, 1, 10)
+        base = next(iter(context.subscript_bases(pair)))
+        shape = siv_shape(pair, context, base)
+        accepted, _ = lane_outcome(
+            lambda lanes, emit: lanes.add_exact_siv(emit, shape, context)
+        )
+        assert not accepted
+
+
+class TestRDIVLane:
+    def test_matches_rdiv_test_on_random_subscripts(self):
+        rng = random.Random(7)
+        checked = 0
+        for _ in range(300):
+            a1, a2 = rng.choice(NONZERO), rng.choice(NONZERO)
+            c1, c2 = rng.randint(-15, 15), rng.randint(-15, 15)
+            ilo = rng.randint(-4, 4)
+            jlo = rng.randint(-4, 4)
+            bounds = (
+                (ilo, ilo + rng.randint(0, 25)),
+                (jlo, jlo + rng.randint(0, 25)),
+            )
+            pair, context = rdiv_pair(a1, c1, a2, c2, bounds)
+            if classify(pair, context) is not SubscriptKind.RDIV:
+                continue
+            shape = rdiv_shape(pair, context)
+            accepted, outcome = lane_outcome(
+                lambda lanes, emit: lanes.add_rdiv(emit, shape, context)
+            )
+            assert accepted, f"lane rejected {shape}"
+            assert outcome == rdiv_test(pair, context)
+            checked += 1
+        assert checked >= 200
+
+
+class TestVectorDiophantine:
+    def test_matches_scalar_solver(self):
+        rng = random.Random(123)
+        rows = [
+            (rng.randint(-60, 60), rng.randint(-60, 60), rng.randint(-90, 90))
+            for _ in range(500)
+        ]
+        rows = [(a, b, c) for a, b, c in rows if a or b]
+        a = np.array([r[0] for r in rows], dtype=np.int64)
+        b = np.array([r[1] for r in rows], dtype=np.int64)
+        c = np.array([r[2] for r in rows], dtype=np.int64)
+        solvable, x0, y0, dx, dy = _dio_solve(np, a, b, c)
+        for k, (ak, bk, ck) in enumerate(rows):
+            g, _, _ = ext_gcd(ak, bk)
+            assert bool(solvable[k]) == (ck % g == 0)
+            if solvable[k]:
+                # The particular solution satisfies the equation and the
+                # step vector spans its homogeneous solutions.
+                assert ak * int(x0[k]) + bk * int(y0[k]) == ck
+                assert ak * int(dx[k]) + bk * int(dy[k]) == 0
+                assert (int(dx[k]), int(dy[k])) != (0, 0)
+
+
+class TestCoupledGroupParity:
+    def graph_signature(self, nodes, backend):
+        recorder = TestRecorder()
+        with DependenceEngine(backend=backend) as engine:
+            graph = engine.build_graph(nodes, recorder=recorder)
+        coverage = dict(engine.stats.backend_coverage)
+        return (
+            graph.tested_pairs,
+            graph.independent_pairs,
+            sorted(str(e) for e in graph.edges),
+            recorder.rows(),
+        ), coverage
+
+    @pytest.mark.parametrize("subscripts", [2, 3, 4])
+    @pytest.mark.parametrize("offset", [1, 2])
+    def test_graph_and_recorder_byte_parity(self, subscripts, offset):
+        nodes = coupled_group_nest(subscripts, extent=50, offset=offset)
+        ref_sig, ref_cov = self.graph_signature(nodes, "reference")
+        bat_sig, bat_cov = self.graph_signature(nodes, "batched")
+        assert ref_sig == bat_sig
+        assert not ref_cov  # per-pair backend reports no counters
+        # The group must have completed the lock-step pre-run, not fallen
+        # back to the per-pair Delta walk.
+        assert bat_cov.get("delta:groups", 0) >= 1
+        assert bat_cov["delta:groups_batched"] == bat_cov["delta:groups"]
+        assert bat_cov.get("pairs_batched", 0) == bat_cov.get("pairs")
+
+    def test_env_selected_backend_parity(self, monkeypatch):
+        import repro.backends as backends
+
+        nodes = coupled_group_nest(3, extent=40)
+        ref_sig, _ = self.graph_signature(nodes, "reference")
+        monkeypatch.setenv(backends.ENV_VAR, "batched")
+        env_sig, env_cov = self.graph_signature(nodes, None)
+        assert ref_sig == env_sig
+        assert env_cov.get("delta:groups_batched", 0) >= 1
+
+
+class TestCoverageCounters:
+    def run_pairs(self, backend, source):
+        sites = [s for s in sites_of(source) if s.ref.array == "a"]
+        items = [BatchItem(context=PairContext(sites[0], sites[1], None))]
+        backend.run_batch(items)
+        return items
+
+    def test_take_coverage_drains(self):
+        backend = BatchedBackend()
+        self.run_pairs(backend, "do i = 1, 10\n a(i+1) = a(i)\nenddo")
+        coverage = backend.take_coverage()
+        assert coverage is not None
+        assert coverage["pairs"] == 1
+        assert coverage["pairs_batched"] == 1
+        assert coverage.get("lane:strong-siv", 0) == 1
+        # A second harvest finds nothing: the counters were drained.
+        assert backend.take_coverage() is None
+
+    def test_base_backend_reports_none(self):
+        backend = get_backend("reference")
+        assert backend.take_coverage() is None
+
+    def test_fallback_counted(self):
+        backend = BatchedBackend()
+        # A nonlinear subscript cannot enter any lane.
+        self.run_pairs(backend, "do i = 1, 10\n a(i*i) = a(i)\nenddo")
+        coverage = backend.take_coverage()
+        assert coverage is not None
+        assert coverage["pairs_fallback"] == 1
+        assert any(key.startswith("fallback:") for key in coverage)
+
+    def test_engine_stats_fold_and_report(self):
+        from repro.fortran.parser import parse_fragment
+
+        # A coupled nest (group counters) plus a separable strong-SIV
+        # loop (top-level lane counters) exercises every report section.
+        with DependenceEngine(backend="batched") as engine:
+            engine.build_graph(
+                coupled_group_nest(3, extent=30), recorder=TestRecorder()
+            )
+            engine.build_graph(
+                parse_fragment("do i = 1, 10\n a(i+1) = a(i)\nenddo"),
+                recorder=TestRecorder(),
+            )
+        stats = engine.stats
+        assert stats.backend_coverage.get("pairs", 0) >= 1
+        assert "batched coverage:" in stats.provenance_report()
+        report = stats.coverage_report()
+        assert "lanes:" in report
+        assert "coupled groups:" in report
+        assert "backend_coverage" in stats.as_dict()
+
+    def test_stats_merge_and_reset_cover_coverage(self):
+        from repro.engine.stats import EngineStats
+
+        first = EngineStats()
+        first.add_coverage({"pairs": 2, "pairs_batched": 1})
+        second = EngineStats()
+        second.add_coverage({"pairs": 3, "pairs_batched": 3, "lane:ziv": 4})
+        first.merge(second)
+        assert first.backend_coverage == {
+            "pairs": 5,
+            "pairs_batched": 4,
+            "lane:ziv": 4,
+        }
+        first.reset()
+        assert first.backend_coverage == {}
+        assert first.coverage_summary() == ""
