@@ -12,6 +12,13 @@ Three measurements over the bundled kernel corpus (every routine):
   populated store: every verdict served from disk, no test runs — the
   resumed-run fast path.
 
+A fourth, **contention**, section runs the store-cold workload in two
+concurrent writer processes sharing one v2 store directory: the
+per-batch shard locks mean neither process excludes the other, so the
+interesting numbers are the wall-clock cost of sharing and how many
+verdicts each writer served from the other's freshly flushed shard
+tails (cross-process hits).
+
 The store is **not** part of the gated engine benchmark
 (``bench_engine.py`` / ``check_bench_regression.py``): persistence is
 opt-in (``--store``), so its cost must be visible here but must not
@@ -27,7 +34,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import shutil
+import subprocess
 import sys
 import tempfile
 import time
@@ -39,6 +49,31 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.corpus.loader import default_symbols, load_corpus  # noqa: E402
 from repro.engine import DependenceEngine, VerdictStore  # noqa: E402
 from repro.instrument import TestRecorder  # noqa: E402
+
+#: One store-cold pass in a child process, printing its stats as JSON —
+#: the contention section runs two of these against one shared store.
+CHILD_PASS = """
+import json, sys, time
+sys.path.insert(0, sys.argv[2])
+from repro.corpus.loader import default_symbols, load_corpus
+from repro.engine import DependenceEngine, VerdictStore
+from repro.instrument import TestRecorder
+work = [
+    routine.body
+    for programs in load_corpus().values()
+    for program in programs
+    for routine in program.routines
+]
+start = time.perf_counter()
+with VerdictStore(sys.argv[1]) as store:
+    engine = DependenceEngine(symbols=default_symbols(), store=store)
+    for nodes in work:
+        engine.build_graph(nodes, recorder=TestRecorder())
+    stats = engine.stats.as_dict()
+    engine.close()
+stats["elapsed_s"] = time.perf_counter() - start
+print(json.dumps(stats))
+"""
 
 
 def kernel_workload():
@@ -64,6 +99,35 @@ def timed(fn, repeats):
     return best
 
 
+def contention_pass(db, writers):
+    """Run ``writers`` concurrent store-cold passes; returns per-writer
+    stats dicts (the wall clock covers all of them together)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    start = time.perf_counter()
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", CHILD_PASS, str(db), str(ROOT / "src")],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        for _ in range(writers)
+    ]
+    outs = [proc.communicate(timeout=600) for proc in procs]
+    wall = time.perf_counter() - start
+    stats = []
+    for proc, (out, err) in zip(procs, outs):
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"contention writer exited {proc.returncode}:\n{err[-2000:]}"
+            )
+        stats.append(json.loads(out.splitlines()[-1]))
+    return wall, stats
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
@@ -87,14 +151,15 @@ def main(argv=None):
 
         def store_cold():
             if db.exists():
-                db.unlink()  # each repeat pays the full write-through cost
+                shutil.rmtree(db)  # each repeat pays the full write-through cost
             with VerdictStore(db) as store:
                 engine = DependenceEngine(symbols=symbols, store=store)
                 build_all(work, engine)
                 engine.close()
 
         store_cold_s = timed(store_cold, args.repeats)
-        size = db.stat().st_size
+        scan = VerdictStore.scan(db)
+        size = scan.size
         with VerdictStore(db) as store:
             verdicts, plans = len(store), store.plan_count
 
@@ -109,6 +174,11 @@ def main(argv=None):
 
         replay_s = timed(store_replay, args.repeats)
 
+        # Contention: two concurrent writers, fresh shared store.
+        contended_db = Path(tmp) / "contended.db"
+        contention_wall, writer_stats = contention_pass(contended_db, 2)
+        contention_clean = VerdictStore.scan(contended_db).clean
+
     if replay_stats.get("misses"):
         raise SystemExit(
             f"replay pass tested {replay_stats['misses']} pair(s); "
@@ -116,6 +186,10 @@ def main(argv=None):
         )
 
     overhead = (store_cold_s - memory_s) / memory_s if memory_s else 0.0
+    shared_overhead = (
+        (contention_wall - store_cold_s) / store_cold_s if store_cold_s else 0.0
+    )
+    cross_process = sum(s.get("store_foreign_hits", 0) for s in writer_stats)
     report = {
         "benchmark": "store",
         "python": platform.python_version(),
@@ -131,6 +205,11 @@ def main(argv=None):
         "plans": plans,
         "bytes_per_verdict": round(size / verdicts, 1) if verdicts else None,
         "replay_store_hits": replay_stats.get("store_hits", 0),
+        "contention_writers": len(writer_stats),
+        "contention_wall_s": round(contention_wall, 4),
+        "contention_overhead": round(shared_overhead, 4),
+        "contention_cross_process_hits": cross_process,
+        "contention_store_clean": contention_clean,
     }
     print(
         f"memory cold {report['memory_cold_s']}s  "
@@ -139,6 +218,14 @@ def main(argv=None):
         f"replay {report['store_replay_s']}s "
         f"({report['replay_speedup']}x)  "
         f"{size} bytes for {verdicts} verdicts + {plans} plans",
+        flush=True,
+    )
+    print(
+        f"contention: 2 writers sharing one store took "
+        f"{report['contention_wall_s']}s wall "
+        f"({shared_overhead:+.1%} vs one exclusive writer), "
+        f"{cross_process} cross-process hit(s), "
+        f"store clean: {contention_clean}",
         flush=True,
     )
     args.out.write_text(json.dumps(report, indent=2) + "\n")

@@ -13,13 +13,22 @@ end-to-end against a real corpus kernel:
    masking the global statement-label counter) to the reference;
 4. ``repro-deps store verify`` on the recovered store must report clean.
 
-Exits non-zero on any divergence.  ``--seed`` pins the kill point for
+With ``--writers 2`` the gate becomes the concurrency stress variant:
+*two* simultaneous writer processes share the store, each is killed at
+its own random append, and the resume phase runs two overlapping
+``--resume`` processes — both must print the reference graph, and at
+least one must report nonzero *cross-process* store hits (verdicts
+folded from the other writer's freshly appended shard tail, not from
+the store it opened with).
+
+Exits non-zero on any divergence.  ``--seed`` pins the kill point(s) for
 reproduction; by default it is drawn fresh so CI walks the whole space
 over time.
 
 Usage::
 
     python benchmarks/check_kill_resume.py [--seed N] [--kernel PATH]
+        [--store-shards N] [--writers {1,2}]
 """
 
 from __future__ import annotations
@@ -41,19 +50,33 @@ from repro.engine import VerdictStore  # noqa: E402
 DEFAULT_KERNEL = ROOT / "src" / "repro" / "corpus" / "kernels" / "cdl" / "global.f"
 
 
-def run_cli(args, faults=None, timeout=600):
+def cli_env(faults=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     if faults:
         env["REPRO_FAULTS"] = faults
     else:
         env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def run_cli(args, faults=None, timeout=600):
     return subprocess.run(
         [sys.executable, "-m", "repro", *args],
         capture_output=True,
         text=True,
-        env=env,
+        env=cli_env(faults),
         timeout=timeout,
+    )
+
+
+def spawn_cli(args, faults=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=cli_env(faults),
     )
 
 
@@ -67,6 +90,32 @@ def graph_body(stdout):
     return stdout.split("test applications:")[0]
 
 
+def foreign_hits(stdout):
+    """Cross-process store hits reported by ``--counts`` (0 if absent)."""
+    match = re.search(r"\((\d+) cross-process\)", stdout)
+    return int(match.group(1)) if match else 0
+
+
+def check_graph(stdout, reference, who):
+    banner, _, rest = stdout.partition("\n")
+    if "resuming" not in banner and "no checkpoint" not in banner:
+        print(f"FAIL: {who}: missing resume banner, got: {banner}",
+              file=sys.stderr)
+        return False
+    print(f"{who} banner: {banner}")
+    if normalize(graph_body(rest.lstrip("\n"))) != normalize(
+        graph_body(reference.stdout)
+    ):
+        print(f"FAIL: {who}: resumed dependence graph diverges from "
+              "reference:", file=sys.stderr)
+        print("--- reference ---", file=sys.stderr)
+        print(normalize(graph_body(reference.stdout)), file=sys.stderr)
+        print(f"--- {who} ---", file=sys.stderr)
+        print(normalize(graph_body(rest)), file=sys.stderr)
+        return False
+    return True
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernel", type=Path, default=DEFAULT_KERNEL)
@@ -74,11 +123,25 @@ def main(argv=None):
         "--seed", type=int, default=None,
         help="kill-point RNG seed (default: fresh entropy, printed)",
     )
+    parser.add_argument(
+        "--store-shards", type=int, default=None,
+        help="shard count for the store directory (default: store default)",
+    )
+    parser.add_argument(
+        "--writers", type=int, choices=(1, 2), default=1,
+        help="concurrent writer processes in the kill and resume phases",
+    )
     args = parser.parse_args(argv)
     seed = args.seed if args.seed is not None else random.SystemRandom().randint(0, 10**6)
     rng = random.Random(seed)
+    shard_args = (
+        ["--store-shards", str(args.store_shards)]
+        if args.store_shards is not None
+        else []
+    )
     print(f"kernel: {args.kernel}")
-    print(f"seed: {seed}")
+    print(f"seed: {seed}  writers: {args.writers}  "
+          f"shards: {args.store_shards or 'default'}")
 
     reference = run_cli(["analyze", str(args.kernel), "--counts"])
     if reference.returncode != 0:
@@ -90,7 +153,9 @@ def main(argv=None):
         probe_db = Path(tmp) / "probe.db"
 
         # Size the record stream so the kill point always lands inside it.
-        probe = run_cli(["analyze", str(args.kernel), "--store", str(probe_db)])
+        probe = run_cli(
+            ["analyze", str(args.kernel), "--store", str(probe_db), *shard_args]
+        )
         if probe.returncode != 0:
             print(probe.stderr, file=sys.stderr)
             return 1
@@ -98,18 +163,33 @@ def main(argv=None):
         if total < 4:
             print(f"kernel too small to checkpoint ({total} records)", file=sys.stderr)
             return 1
-        kill_at = rng.randint(3, total - 1)
-        print(f"record stream: {total} records; killing at append {kill_at}")
 
-        killed = run_cli(
-            ["analyze", str(args.kernel), "--store", str(db)],
-            faults=f"store-die:{kill_at}",
-        )
-        if killed.returncode != 9:
-            print(
-                f"FAIL: injected kill did not fire (exit {killed.returncode})",
-                file=sys.stderr,
-            )
+        # -- kill phase ------------------------------------------------
+        # With two writers the kill points stay in the first half of the
+        # stream so the resume phase has real work left: the overlap (and
+        # the cross-process-hit assertion below) needs verdicts that are
+        # still untested when the resumers start.
+        kill_hi = total - 1 if args.writers == 1 else max(4, total // 2)
+        writers = []
+        for i in range(args.writers):
+            kill_at = rng.randint(3, kill_hi)
+            print(f"writer {i}: record stream {total} records; "
+                  f"killing at append {kill_at}")
+            writers.append(spawn_cli(
+                ["analyze", str(args.kernel), "--store", str(db), *shard_args],
+                faults=f"store-die:{kill_at}",
+            ))
+        codes = []
+        for proc in writers:
+            proc.communicate(timeout=600)
+            codes.append(proc.returncode)
+        # Concurrent writers dedup each other's records on flush, so a
+        # late kill point may never fire for the writer that lost the
+        # race — exit 0 is acceptable then, but someone must have died.
+        allowed = {9} if args.writers == 1 else {0, 9}
+        if not set(codes) <= allowed or 9 not in codes:
+            print(f"FAIL: injected kills did not fire as expected "
+                  f"(exits {codes})", file=sys.stderr)
             return 1
         survivors = VerdictStore.scan(db)
         print(
@@ -117,38 +197,64 @@ def main(argv=None):
             f"verdict(s), {survivors.plans} plan(s) durable"
         )
 
-        resumed = run_cli(
-            ["analyze", str(args.kernel), "--store", str(db), "--resume", "--counts"]
-        )
-        if resumed.returncode != 0:
-            print(f"FAIL: resume exited {resumed.returncode}", file=sys.stderr)
-            print(resumed.stderr, file=sys.stderr)
-            return 1
+        # -- resume phase ----------------------------------------------
+        resume_args = [
+            "analyze", str(args.kernel),
+            "--store", str(db), "--resume", "--counts", *shard_args,
+        ]
+        outputs = []
+        if args.writers == 1:
+            resumed = run_cli(resume_args)
+            if resumed.returncode != 0:
+                print(f"FAIL: resume exited {resumed.returncode}", file=sys.stderr)
+                print(resumed.stderr, file=sys.stderr)
+                return 1
+            outputs.append(resumed.stdout)
+        else:
+            # Overlapping resumers, throttled via the pair-delay fault so
+            # the interleaving is reproducible on any machine.  The slow
+            # one is spawned first, so it is already open (its open-time
+            # fold done) before the fast one starts flushing; every
+            # verdict the fast one then checkpoints ahead of the slow
+            # one's crawl reaches the slow one as a shard-tail fold — a
+            # cross-process store hit.
+            second = spawn_cli(resume_args, faults="pair-delay:0.6")
+            first = spawn_cli(resume_args, faults="pair-delay:0.2")
+            for i, proc in enumerate((first, second)):
+                out, err = proc.communicate(timeout=600)
+                if proc.returncode != 0:
+                    print(f"FAIL: resumer {i} exited {proc.returncode}",
+                          file=sys.stderr)
+                    print(err, file=sys.stderr)
+                    return 1
+                if "Traceback" in err:
+                    print(f"FAIL: resumer {i} printed a traceback:",
+                          file=sys.stderr)
+                    print(err, file=sys.stderr)
+                    return 1
+                outputs.append(out)
 
-        banner, _, rest = resumed.stdout.partition("\n")
-        if "resuming" not in banner and "no checkpoint" not in banner:
-            print(f"FAIL: missing resume banner, got: {banner}", file=sys.stderr)
-            return 1
-        print(f"resume banner: {banner}")
-        if normalize(graph_body(rest.lstrip("\n"))) != normalize(
-            graph_body(reference.stdout)
-        ):
-            print("FAIL: resumed dependence graph diverges from reference:",
-                  file=sys.stderr)
-            print("--- reference ---", file=sys.stderr)
-            print(normalize(graph_body(reference.stdout)), file=sys.stderr)
-            print("--- resumed ---", file=sys.stderr)
-            print(normalize(graph_body(rest)), file=sys.stderr)
-            return 1
+        for i, out in enumerate(outputs):
+            if not check_graph(out, reference, f"resumer {i}"):
+                return 1
         print("resumed graph is byte-identical to the reference")
 
-        hits = re.search(r"store: (\d+) hits", resumed.stdout)
-        served = int(hits.group(1)) if hits else 0
-        print(f"verdicts served from the killed run's store: {served}")
+        served = 0
+        for out in outputs:
+            hits = re.search(r"store: (\d+) hits", out)
+            served += int(hits.group(1)) if hits else 0
+        print(f"verdicts served from the store: {served}")
         if survivors.verdicts > 0 and served == 0:
             print("FAIL: durable verdicts existed but none were served",
                   file=sys.stderr)
             return 1
+        if args.writers > 1:
+            foreign = sum(foreign_hits(out) for out in outputs)
+            print(f"cross-process store hits: {foreign}")
+            if foreign == 0:
+                print("FAIL: overlapping resumers shared no verdicts "
+                      "(expected nonzero cross-process hits)", file=sys.stderr)
+                return 1
 
         verify = run_cli(["store", "verify", str(db)])
         if verify.returncode != 0:

@@ -7,22 +7,28 @@ Subcommands:
 * ``study`` — regenerate the paper's tables over the corpus
   (``--table 1|2|3`` for a single table, default all).
 * ``corpus`` — list the corpus suites and programs.
-* ``store {info,verify,compact}`` — inspect, check, or compact a
-  persistent verdict store created with ``--store``.
+* ``store {info,verify,compact,migrate}`` — inspect, check, compact, or
+  upgrade a persistent verdict store created with ``--store``.
 
 ``analyze`` and ``study`` accept ``--store PATH`` (write-through
-crash-safe verdict persistence) and ``--resume`` (continue a killed
+crash-safe verdict persistence; format v2 stores are shard directories
+that any number of concurrent processes may share — ``--store-shards``
+sets the shard count at creation) and ``--resume`` (continue a killed
 ``--store`` run from its last checkpoint; previously tested pairs are
 served from the store and the output is byte-identical to an
-uninterrupted run).
+uninterrupted run).  A legacy v1 single-file store opens read-only;
+``store migrate`` upgrades it in place.
 
 Exit codes: 0 — success (including degraded runs that assumed some
 verdicts after absorbed faults; a fault report is printed); 1 — input
 file unreadable; 2 — Fortran syntax error (a diagnostic with line,
 column, and caret is printed, never a traceback) or bad command line;
 3 — ``--strict`` run aborted on the first engine fault; 4 — verdict
-store unusable (locked by a live process, unreadable) or
-``store verify`` found unrecoverable corruption.
+store unusable (unreadable path, failed migrate) or ``store verify``
+found unrecoverable corruption.  Shard-scoped store failures (lock
+starvation, one corrupt segment) do *not* change the exit code: the
+affected shard is quarantined, the run continues memory-only for those
+keys, and the fault report says so.
 """
 
 from __future__ import annotations
@@ -39,12 +45,14 @@ from repro.corpus.loader import (
     default_symbols,
 )
 from repro.engine import (
+    DEFAULT_SHARDS,
     CheckpointLog,
     DependenceEngine,
     EngineFaultError,
     FaultPolicy,
     StoreError,
     VerdictStore,
+    migrate_store,
     run_token,
 )
 from repro.engine.faults import FailureRecord
@@ -117,6 +125,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="resume a killed --store run from its last checkpoint "
         "(requires --store)",
     )
+    analyze.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help=f"shard count when creating a new store (default "
+        f"{DEFAULT_SHARDS}; an existing store keeps its manifest count)",
+    )
 
     study = sub.add_parser("study", help="regenerate the paper's tables")
     study.add_argument("--table", type=int, choices=(1, 2, 3), default=None)
@@ -146,6 +159,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="resume a killed --store run from its last checkpoint "
         "(requires --store)",
     )
+    study.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help=f"shard count when creating a new store (default "
+        f"{DEFAULT_SHARDS}; an existing store keeps its manifest count)",
+    )
 
     vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
     vector.add_argument("file", type=Path)
@@ -157,11 +175,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
     for name, text in (
-        ("info", "print store contents and checkpoint summary"),
-        ("verify", "check every record; exit 4 on unrecoverable corruption"),
-        ("compact", "rewrite the store, dropping superseded records"),
+        ("info", "print store contents, per-shard breakdown, and "
+         "checkpoint summary"),
+        ("verify", "check every record, report per-recovery-rule drops; "
+         "exit 4 on unrecoverable corruption"),
+        ("compact", "rewrite every shard, dropping superseded records"),
     ):
         store_sub.add_parser(name, help=text).add_argument("path", type=Path)
+    migrate = store_sub.add_parser(
+        "migrate", help="upgrade a legacy v1 store file to a v2 shard "
+        "directory in place"
+    )
+    migrate.add_argument("path", type=Path)
+    migrate.add_argument(
+        "--shards", type=int, default=DEFAULT_SHARDS, metavar="N",
+        help=f"shard count for the upgraded store (default {DEFAULT_SHARDS})",
+    )
 
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and getattr(args, "store", None) is None:
@@ -212,19 +241,31 @@ def _strict_abort(exc: EngineFaultError) -> int:
     return EXIT_STRICT_FAULT
 
 
-def _open_store(path: Path) -> Optional[VerdictStore]:
+def _open_store(
+    path: Path, shards: Optional[int] = None
+) -> Optional[VerdictStore]:
     """Open (or create) a verdict store; on failure print and return None.
 
-    Lock contention, unreadable paths, and I/O errors all surface as one
-    clean diagnostic — the caller maps None to :data:`EXIT_STORE_ERROR`.
-    Corrupt tails and schema mismatches do *not* fail: the store recovers
-    them on open (printing what it dropped) by design.
+    Unreadable paths and I/O errors surface as one clean diagnostic —
+    the caller maps None to :data:`EXIT_STORE_ERROR`.  Corrupt tails and
+    schema mismatches do *not* fail: the store recovers them per shard
+    on open (printing what it dropped) by design, and lock contention
+    quarantines the contended shard rather than failing the run.  A
+    legacy v1 file opens read-only with a migration hint.
     """
     try:
-        return VerdictStore(path)
-    except (StoreError, OSError) as exc:
+        store = VerdictStore(path, shards=shards)
+    except (StoreError, OSError, ValueError) as exc:
         print(f"repro-deps: cannot open store '{path}': {exc}", file=sys.stderr)
         return None
+    if store.read_only:
+        print(
+            f"repro-deps: store '{path}' is a legacy v1 file; serving "
+            "reads only (no new verdicts persisted). Run "
+            f"`repro-deps store migrate {path}` to upgrade it.",
+            file=sys.stderr,
+        )
+    return store
 
 
 def _attach_checkpoint(
@@ -239,12 +280,24 @@ def _attach_checkpoint(
 
 
 def _store(args: argparse.Namespace) -> int:
-    """``repro-deps store {info,verify,compact}`` dispatcher."""
+    """``repro-deps store {info,verify,compact,migrate}`` dispatcher."""
     path: Path = args.path
+    if args.store_command == "migrate":
+        try:
+            verdicts, plans = migrate_store(path, shards=args.shards)
+        except (StoreError, OSError) as exc:
+            print(f"repro-deps: cannot migrate '{path}': {exc}", file=sys.stderr)
+            return EXIT_STORE_ERROR
+        print(
+            f"migrated {path} to v2 ({args.shards} shard(s), "
+            f"{verdicts} verdict(s), {plans} plan(s))"
+        )
+        return 0
     if args.store_command == "verify":
         report = VerdictStore.scan(path)
         for line in report.lines():
             print(line)
+        print(report.rule_report())
         return 0 if report.clean else EXIT_STORE_ERROR
     if args.store_command == "info":
         report = VerdictStore.scan(path)
@@ -334,7 +387,7 @@ def _analyze(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return EXIT_STORE_ERROR
-        store = _open_store(args.store)
+        store = _open_store(args.store, args.store_shards)
         if store is None:
             return EXIT_STORE_ERROR
         checkpoint = _attach_checkpoint(
@@ -394,9 +447,13 @@ def _analyze(args: argparse.Namespace) -> int:
                         checkpoint.mark_routine(routine.name)
                     except Exception as exc:
                         engine.driver._degrade_store(exc)
+                    else:
+                        engine.driver.drain_store_events()
     finally:
         if store is not None:
             store.close()
+            if engine.driver is not None:
+                engine.driver.drain_store_events()
     if args.counts:
         print("test applications:")
         print(recorder)
@@ -425,7 +482,7 @@ def _study(args: argparse.Namespace) -> int:
         return 0
     store = checkpoint = None
     if args.store is not None:
-        store = _open_store(args.store)
+        store = _open_store(args.store, args.store_shards)
         if store is None:
             return EXIT_STORE_ERROR
         suites = sorted(args.suite) if args.suite else ["<all>"]
@@ -459,6 +516,8 @@ def _study(args: argparse.Namespace) -> int:
     finally:
         if store is not None:
             store.close()
+            if engine.driver is not None:
+                engine.driver.drain_store_events()
     return 0
 
 

@@ -34,9 +34,12 @@ embarrassingly parallel.  This package exploits both:
 * :mod:`repro.engine.faultinject` — the deterministic fault-injection
   harness behind the ``REPRO_FAULTS`` environment hook (test-only);
 * :mod:`repro.engine.store` — :class:`VerdictStore`, a crash-safe
-  append-only on-disk verdict/plan store (CRC-checked length-prefixed
-  records, schema-versioned, advisory-locked, corrupt tails truncated on
-  open) serving as a persistent third cache tier;
+  sharded on-disk verdict/plan store (a manifest plus key-prefix shard
+  segments of CRC-checked length-prefixed records; per-batch shard
+  locks, so any number of concurrent processes share one store; corrupt
+  tails truncated on open, failing shards quarantined) serving as a
+  persistent third cache tier, with :func:`migrate_store` upgrading
+  legacy v1 single-file stores;
 * :mod:`repro.engine.checkpoint` — :class:`CheckpointLog` and
   :func:`run_token`: durable completed-chunk/routine markers over the
   store, so ``repro-deps ... --store s.db --resume`` continues a killed
@@ -77,7 +80,15 @@ from repro.engine.parallel import (
 )
 from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
-from repro.engine.store import StoreError, StoreLockError, StoreReport, VerdictStore
+from repro.engine.store import (
+    DEFAULT_SHARDS,
+    StoreError,
+    StoreLockError,
+    StoreReadOnlyError,
+    StoreReport,
+    VerdictStore,
+    migrate_store,
+)
 from repro.engine.supervisor import PoolSupervisor
 
 __all__ = [
@@ -95,10 +106,13 @@ __all__ = [
     "PhaseProfile",
     "PoolSupervisor",
     "StepBudget",
+    "DEFAULT_SHARDS",
     "StoreError",
     "StoreLockError",
+    "StoreReadOnlyError",
     "StoreReport",
     "VerdictStore",
+    "migrate_store",
     "WorkerCrashError",
     "build_dependence_graph_parallel",
     "canonical_pair_key",

@@ -161,8 +161,14 @@ class CachedDriver:
             return entry
         if self.persist is not None:
             entry = self.persist.get(key)
+            if self.persist.events:
+                self.drain_store_events()
             if entry is not None:
                 self.stats.store_hits += 1
+                if self.persist.foreign(key):
+                    # Folded from a shard tail after open: written by a
+                    # concurrently running process, not a prior run.
+                    self.stats.store_foreign_hits += 1
                 self.store(key, entry)
                 return entry
         self.stats.misses += 1
@@ -171,7 +177,13 @@ class CachedDriver:
     # -- the persistent tier ---------------------------------------------
 
     def _degrade_store(self, exc: Exception) -> None:
-        """Drop to memory-only operation after a store write failure."""
+        """Drop to memory-only operation after a whole-store failure.
+
+        Since the sharded store quarantines shard-scoped failures itself
+        (surfaced via :meth:`drain_store_events`), this path is reserved
+        for failures of the store as a whole — a closed handle, an
+        unwritable directory — where no tier remains to write to.
+        """
         store, self.persist = self.persist, None
         self.stats.record_failure(
             FailureRecord(
@@ -181,22 +193,46 @@ class CachedDriver:
             )
         )
 
+    def drain_store_events(self) -> None:
+        """Surface shard-quarantine events as ``"store"`` failure records.
+
+        The store absorbs shard-scoped failures (lock starvation, corrupt
+        segment, ENOSPC) by quarantining the shard and queuing an event;
+        the affected keys silently run memory-only.  Draining here turns
+        each event into exactly one failure record for the fault report
+        — never a traceback, never an assumed verdict.
+        """
+        if self.persist is None:
+            return
+        for where, message in self.persist.drain_events():
+            self.stats.record_failure(FailureRecord("store", where, message))
+
     def _persist_entry(self, key: CanonicalKey, entry: CacheEntry) -> None:
-        if self.persist is None or entry.assumed:
+        if (
+            self.persist is None
+            or entry.assumed
+            or self.persist.read_only
+        ):
             return
         try:
             self.persist.put(key, entry)
             self.stats.store_writes += 1
         except Exception as exc:
             self._degrade_store(exc)
+        else:
+            if self.persist.events:
+                self.drain_store_events()
 
     def _persist_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
-        if self.persist is None:
+        if self.persist is None or self.persist.read_only:
             return
         try:
             self.persist.put_plan(key, plan)
         except Exception as exc:
             self._degrade_store(exc)
+        else:
+            if self.persist.events:
+                self.drain_store_events()
 
     def store(self, key: CanonicalKey, entry: CacheEntry) -> None:
         """Insert an entry, evicting the least recently used past capacity."""

@@ -78,9 +78,17 @@ class CheckpointLog:
         }
 
     # -- markers ---------------------------------------------------------
+    #
+    # Markers land in the store's dedicated meta shard, which flushes
+    # strictly after the data shards (see VerdictStore.checkpoint), so a
+    # durable marker never claims verdicts a crash could have lost.  On
+    # a legacy v1 store opened read-only the markers are skipped: prior
+    # progress still reads, new progress simply isn't recorded.
 
     def begin_run(self, label: str) -> None:
         """Record that a run over this token started (durably)."""
+        if self.store.read_only:
+            return
         self.store.mark_run(self.token, label)
         self.store.checkpoint()
 
@@ -91,11 +99,15 @@ class CheckpointLog:
 
     def mark_chunk(self, seq: int) -> None:
         """Record one completed dispatch chunk of the current build."""
+        if self.store.read_only:
+            return
         self.store.mark_chunk(self.token, max(self._build, 0), seq)
         self.store.checkpoint()
 
     def mark_routine(self, name: str) -> None:
         """Record one fully analyzed routine (durably)."""
+        if self.store.read_only:
+            return
         self.store.mark_run(self.token, f"routine:{name}")
         self.store.checkpoint()
 

@@ -2,8 +2,8 @@
 
 Recovery code that only runs when something breaks is untestable unless
 something can be *made* to break on demand.  This module turns the
-``REPRO_FAULTS`` environment variable into deterministic faults at three
-seams of the engine:
+``REPRO_FAULTS`` environment variable into deterministic faults at the
+engine's seams:
 
 * ``crash-chunk:<seq>`` — the worker process handling dispatch chunk
   ``<seq>`` dies with ``os._exit`` before testing it (simulates an OOM
@@ -14,12 +14,23 @@ seams of the engine:
 * ``pair-error:<array>`` — every dependence test on a pair referencing
   array ``<array>`` raises :class:`InjectedFaultError` (simulates an
   in-test crash; fires in workers and in-process alike);
+* ``pair-delay:<seconds>`` — every dependence test (the cache-miss
+  path) sleeps first, throttling one process relative to another so
+  concurrent-writer interleavings become reproducible;
 * ``routine-error:<name>`` — analyzing routine ``<name>`` raises
   (simulates a routine the pipeline cannot digest);
-* ``store-die:<n>`` — the process dies with ``os._exit`` immediately
-  after the ``n``-th record appended to a persistent verdict store
-  (simulates a SIGKILL landing mid-write at a deterministic point; the
-  kill-and-resume tests and CI job are built on it).
+* ``store-die:<n>[:<shard>]`` — the process dies with ``os._exit``
+  immediately after the ``n``-th record appended to a persistent verdict
+  store (simulates a SIGKILL landing mid-write at a deterministic point;
+  the kill-and-resume tests and CI job are built on it).  With a shard
+  argument (a shard id or ``meta``) only appends landing in that shard
+  count, so a kill can be aimed at one segment of a sharded store;
+* ``lock-hold:<seconds>[:<shard>]`` — every shard-lock acquisition (or
+  only ``<shard>``'s) sleeps while *holding* the lock, forcing the
+  contention window open so backoff/starvation paths actually run;
+* ``corrupt-shard:<shard>`` — the first time this process opens that
+  shard's segment, garbage bytes are appended to it (a synthetic torn
+  tail), exercising per-shard recovery and quarantine in situ.
 
 Directives are comma-separated (``REPRO_FAULTS=crash-chunk:0,pair-error:a``).
 Chunk faults are *worker-scoped*: :data:`IN_WORKER` is set by the pool
@@ -34,7 +45,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
 
 ENV_VAR = "REPRO_FAULTS"
 
@@ -47,9 +58,17 @@ DEFAULT_HANG_SECONDS = 30.0
 #: chunk-scoped faults check it so parent-side serial recovery is clean.
 IN_WORKER = False
 
+#: A shard selector in a directive: a shard id, ``"meta"``, or None for
+#: "any shard".
+ShardSel = Optional[Union[int, str]]
+
 
 class InjectedFaultError(RuntimeError):
     """The deterministic failure raised by ``pair-error``/``routine-error``."""
+
+
+def _parse_shard(arg: str) -> ShardSel:
+    return int(arg) if arg.lstrip("-").isdigit() else arg.lower()
 
 
 @dataclass(frozen=True)
@@ -59,8 +78,13 @@ class FaultPlan:
     crash_chunks: FrozenSet[int] = frozenset()
     hang_chunks: Dict[int, float] = field(default_factory=dict)
     pair_arrays: FrozenSet[str] = frozenset()
+    pair_delay: Optional[float] = None
     routines: FrozenSet[str] = frozenset()
     store_die: Optional[int] = None
+    store_die_shard: ShardSel = None
+    lock_hold: Optional[float] = None
+    lock_hold_shard: ShardSel = None
+    corrupt_shards: FrozenSet[Union[int, str]] = frozenset()
 
     @property
     def empty(self) -> bool:
@@ -68,8 +92,11 @@ class FaultPlan:
             self.crash_chunks
             or self.hang_chunks
             or self.pair_arrays
+            or self.pair_delay is not None
             or self.routines
             or self.store_die is not None
+            or self.lock_hold is not None
+            or self.corrupt_shards
         )
 
 
@@ -78,8 +105,13 @@ def parse_spec(spec: str) -> FaultPlan:
     crash = set()
     hang: Dict[int, float] = {}
     arrays = set()
+    pair_delay: Optional[float] = None
     routines = set()
     store_die: Optional[int] = None
+    store_die_shard: ShardSel = None
+    lock_hold: Optional[float] = None
+    lock_hold_shard: ShardSel = None
+    corrupt: Set[Union[int, str]] = set()
     for raw in spec.split(","):
         directive = raw.strip()
         if not directive:
@@ -94,18 +126,33 @@ def parse_spec(spec: str) -> FaultPlan:
                 hang[int(args[0])] = seconds
             elif name == "pair-error" and args:
                 arrays.add(args[0].lower())
+            elif name == "pair-delay" and args:
+                pair_delay = float(args[0])
             elif name == "routine-error" and args:
                 routines.add(args[0].lower())
             elif name == "store-die" and args:
                 store_die = int(args[0])
+                if len(args) > 1:
+                    store_die_shard = _parse_shard(args[1])
+            elif name == "lock-hold" and args:
+                lock_hold = float(args[0])
+                if len(args) > 1:
+                    lock_hold_shard = _parse_shard(args[1])
+            elif name == "corrupt-shard" and args:
+                corrupt.add(_parse_shard(args[0]))
         except ValueError:
             continue
     return FaultPlan(
         crash_chunks=frozenset(crash),
         hang_chunks=hang,
         pair_arrays=frozenset(arrays),
+        pair_delay=pair_delay,
         routines=frozenset(routines),
         store_die=store_die,
+        store_die_shard=store_die_shard,
+        lock_hold=lock_hold,
+        lock_hold_shard=lock_hold_shard,
+        corrupt_shards=frozenset(corrupt),
     )
 
 
@@ -144,7 +191,11 @@ def on_chunk(seq: int) -> None:
 def on_pair(array: str) -> None:
     """Per-pair hook, called on the test (cache-miss) path everywhere."""
     plan = active_plan()
-    if plan is not None and array.lower() in plan.pair_arrays:
+    if plan is None:
+        return
+    if plan.pair_delay is not None:
+        time.sleep(plan.pair_delay)
+    if array.lower() in plan.pair_arrays:
         raise InjectedFaultError(f"injected fault testing array '{array}'")
 
 
@@ -155,22 +206,76 @@ def on_routine(name: str) -> None:
         raise InjectedFaultError(f"injected fault analyzing routine '{name}'")
 
 
+def _shard_matches(selector: ShardSel, shard: ShardSel) -> bool:
+    if selector is None:
+        return True
+    if isinstance(selector, str):
+        return isinstance(shard, str) and shard.lower() == selector
+    return shard == selector
+
+
 # Appends this process has made to any verdict store (store-die counter).
 _STORE_APPENDS = 0
 
 
-def on_store_append() -> None:
+def on_store_append(shard: ShardSel = None) -> None:
     """Per-record hook, called after each verdict-store append.
 
     ``store-die:<n>`` kills the process *uncleanly* (no flush, no atexit,
     no lock release beyond what the OS reclaims) right after the n-th
     append, leaving whatever the page cache happened to hold — the same
-    torn-tail state a SIGKILL or power loss produces.
+    torn-tail state a SIGKILL or power loss produces.  ``shard`` is the
+    segment the record landed in (an id or ``"meta"``); a shard-scoped
+    directive only counts matching appends.
     """
     global _STORE_APPENDS
     plan = active_plan()
     if plan is None or plan.store_die is None:
         return
+    if not _shard_matches(plan.store_die_shard, shard):
+        return
     _STORE_APPENDS += 1
     if _STORE_APPENDS >= plan.store_die:
         os._exit(9)
+
+
+def on_lock_held(shard: ShardSel = None) -> None:
+    """Called immediately after a shard lock is acquired (still held).
+
+    ``lock-hold:<seconds>[:<shard>]`` widens every critical section so
+    concurrent writers actually collide, making backoff and starvation
+    paths deterministic enough to test.
+    """
+    plan = active_plan()
+    if plan is None or plan.lock_hold is None:
+        return
+    if _shard_matches(plan.lock_hold_shard, shard):
+        time.sleep(plan.lock_hold)
+
+
+# Segment paths this process has already corrupted (corrupt once, so the
+# recovery that follows sees a stable, not perpetually rotting, file).
+_CORRUPTED: Set[str] = set()
+
+
+def on_segment_open(path: os.PathLike, shard: ShardSel = None) -> None:
+    """Called before a store opens/recovers a segment file.
+
+    ``corrupt-shard:<shard>`` appends garbage to the matching segment
+    the first time this process opens it — a synthetic torn tail that
+    must be repaired (under lock) or quarantined, never propagated.
+    """
+    plan = active_plan()
+    if plan is None or not plan.corrupt_shards:
+        return
+    if not any(_shard_matches(sel, shard) for sel in plan.corrupt_shards):
+        return
+    key = str(path)
+    if key in _CORRUPTED:
+        return
+    _CORRUPTED.add(key)
+    try:
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef torn")
+    except OSError:
+        pass

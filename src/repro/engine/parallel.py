@@ -424,6 +424,10 @@ def build_dependence_graph_parallel(
                     checkpoint.mark_chunk(seq)
                 except Exception as exc:
                     driver._degrade_store(exc)
+                else:
+                    # Shard-scoped failures during the flush quarantine
+                    # the shard instead of raising; surface them now.
+                    driver.drain_store_events()
 
     start = perf_counter() if profile is not None else 0.0
     try:

@@ -58,6 +58,7 @@ class EngineStats:
 
     hits: int = 0
     store_hits: int = 0
+    store_foreign_hits: int = 0
     store_writes: int = 0
     misses: int = 0
     evictions: int = 0
@@ -94,9 +95,15 @@ class EngineStats:
         count is never hidden inside a hit rate, and store-served
         verdicts are distinguished from this process's own work.
         """
+        store = f"{self.store_hits} store hit(s)"
+        if self.store_foreign_hits:
+            # Served from records a *concurrently running* process landed
+            # in a shard after this store opened (folded from the tail),
+            # as opposed to a prior run's resident records.
+            store += f" ({self.store_foreign_hits} cross-process)"
         text = (
             f"verdict provenance: {self.hits} memory hit(s), "
-            f"{self.store_hits} store hit(s), {self.misses} tested, "
+            f"{store}, {self.misses} tested, "
             f"{self.assumed} assumed"
         )
         coverage = self.coverage_summary()
@@ -177,6 +184,7 @@ class EngineStats:
         """Fold another stats object's counters into this one."""
         self.hits += other.hits
         self.store_hits += other.store_hits
+        self.store_foreign_hits += other.store_foreign_hits
         self.store_writes += other.store_writes
         self.misses += other.misses
         self.evictions += other.evictions
@@ -202,7 +210,7 @@ class EngineStats:
     def reset(self) -> None:
         """Zero every counter (keeps the profile object, zeroing its timers)."""
         self.hits = self.misses = self.evictions = 0
-        self.store_hits = self.store_writes = 0
+        self.store_hits = self.store_foreign_hits = self.store_writes = 0
         self.seeded = self.dispatched = 0
         self.plan_hits = self.plan_misses = self.auto_serial = 0
         self.assumed = self.worker_crashes = self.chunk_timeouts = 0
@@ -234,6 +242,8 @@ class EngineStats:
         if self.store_hits or self.store_writes:
             out["store_hits"] = self.store_hits
             out["store_writes"] = self.store_writes
+            if self.store_foreign_hits:
+                out["store_foreign_hits"] = self.store_foreign_hits
         if self.degraded:
             out["assumed"] = self.assumed
             out["worker_crashes"] = self.worker_crashes
@@ -276,6 +286,8 @@ class EngineStats:
                 f"; store: {self.store_hits} hits, "
                 f"{self.store_writes} writes"
             )
+            if self.store_foreign_hits:
+                text += f" ({self.store_foreign_hits} cross-process)"
         if self.plan_hits or self.plan_misses:
             text += f"; plans: {self.plan_hits} replayed, {self.plan_misses} compiled"
         if self.auto_serial:

@@ -70,8 +70,14 @@ def test_recovered_store_replays_soundly(tmp_path, sample):
         driver = CachedDriver(store=store)
         for src, sink, _ in sample:
             driver(src, sink)
-    with open(path, "ab") as handle:
-        handle.write(b"\x00" * 11)  # torn tail
+    # Tear the tail of every populated shard segment of the v2 directory.
+    torn = 0
+    for segment in sorted(path.glob("*.seg")):
+        if segment.stat().st_size > 8:
+            with open(segment, "ab") as handle:
+                handle.write(b"\xde\xad\xbe\xef torn")
+            torn += 1
+    assert torn > 0
     with VerdictStore(path) as store:
         assert not store.recovered_report.clean
         driver = CachedDriver(store=store)
