@@ -50,13 +50,16 @@ from repro.engine import VerdictStore  # noqa: E402
 DEFAULT_KERNEL = ROOT / "src" / "repro" / "corpus" / "kernels" / "cdl" / "global.f"
 
 
-def cli_env(faults=None):
+def cli_env(faults=None, extra_env=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     if faults:
         env["REPRO_FAULTS"] = faults
     else:
         env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULT_MARKER", None)
+    if extra_env:
+        env.update(extra_env)
     return env
 
 
@@ -70,13 +73,13 @@ def run_cli(args, faults=None, timeout=600):
     )
 
 
-def spawn_cli(args, faults=None):
+def spawn_cli(args, faults=None, extra_env=None):
     return subprocess.Popen(
         [sys.executable, "-m", "repro", *args],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
-        env=cli_env(faults),
+        env=cli_env(faults, extra_env),
     )
 
 
@@ -171,13 +174,22 @@ def main(argv=None):
         # still untested when the resumers start.
         kill_hi = total - 1 if args.writers == 1 else max(4, total // 2)
         writers = []
+        markers = []
         for i in range(args.writers):
             kill_at = rng.randint(3, kill_hi)
             print(f"writer {i}: record stream {total} records; "
                   f"killing at append {kill_at}")
+            # Each writer drops a marker file from the fault hook just
+            # before its os._exit, so exit codes can be cross-checked
+            # against whether the injected kill actually fired — exit 9
+            # for any other reason (a worker OOM-kill, say) must not be
+            # mistaken for a successful injection.
+            marker = Path(tmp) / f"kill-fired-{i}"
+            markers.append(marker)
             writers.append(spawn_cli(
                 ["analyze", str(args.kernel), "--store", str(db), *shard_args],
                 faults=f"store-die:{kill_at}",
+                extra_env={"REPRO_FAULT_MARKER": str(marker)},
             ))
         codes = []
         for proc in writers:
@@ -185,11 +197,26 @@ def main(argv=None):
             codes.append(proc.returncode)
         # Concurrent writers dedup each other's records on flush, so a
         # late kill point may never fire for the writer that lost the
-        # race — exit 0 is acceptable then, but someone must have died.
+        # race — exit 0 is acceptable then, but someone must have died,
+        # and every exit must agree with its writer's marker.
         allowed = {9} if args.writers == 1 else {0, 9}
-        if not set(codes) <= allowed or 9 not in codes:
-            print(f"FAIL: injected kills did not fire as expected "
-                  f"(exits {codes})", file=sys.stderr)
+        if not set(codes) <= allowed:
+            print(f"FAIL: unexpected writer exits {codes}", file=sys.stderr)
+            return 1
+        fired = [marker.exists() for marker in markers]
+        for i, (code, hit) in enumerate(zip(codes, fired)):
+            if code == 9 and not hit:
+                print(f"FAIL: writer {i} exited 9 but its kill point never "
+                      f"fired (no marker) — death was not the injected one",
+                      file=sys.stderr)
+                return 1
+            if code != 9 and hit:
+                print(f"FAIL: writer {i}'s kill point fired but it exited "
+                      f"{code}", file=sys.stderr)
+                return 1
+        if not any(fired):
+            print(f"FAIL: no injected kill fired (exits {codes})",
+                  file=sys.stderr)
             return 1
         survivors = VerdictStore.scan(db)
         print(

@@ -168,6 +168,81 @@ def main(argv: Optional[List[str]] = None) -> int:
     vector = sub.add_parser("vectorize", help="Allen-Kennedy vectorization")
     vector.add_argument("file", type=Path)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived dependence-analysis service"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="bind port; 0 picks an ephemeral one and prints it (default 0)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for large builds (default 1)",
+    )
+    serve.add_argument(
+        "--backend", choices=backend_names(), default=None, metavar="NAME",
+        help="test backend (default: $REPRO_BACKEND or 'reference')",
+    )
+    serve.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help="share a persistent verdict store across requests and restarts",
+    )
+    serve.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help=f"shard count when creating a new store (default "
+        f"{DEFAULT_SHARDS})",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4, metavar="N",
+        help="concurrent analyses before requests queue (default 4)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=8, metavar="N",
+        help="queued requests before new arrivals are shed with 503 "
+        "(default 8)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests that carry none (default: "
+        "unbounded)",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=2.0, metavar="SECONDS",
+        help="seconds an open circuit breaker waits before probing "
+        "recovery (default 2)",
+    )
+
+    client = sub.add_parser(
+        "client", help="send a Fortran file to a running analysis service"
+    )
+    client.add_argument("file", type=Path)
+    client.add_argument(
+        "--url", default="http://127.0.0.1:8077", metavar="URL",
+        help="service endpoint (default http://127.0.0.1:8077)",
+    )
+    client.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request analysis deadline; expiry returns conservative "
+        "assumed-dependence results flagged degraded",
+    )
+    client.add_argument(
+        "--transforms", action="store_true",
+        help="also report peeling/splitting suggestions",
+    )
+    client.add_argument(
+        "--retries", type=int, default=3, metavar="N",
+        help="retry attempts for shed (503) or unreachable service "
+        "(default 3)",
+    )
+    client.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON response instead of the analyze-style text",
+    )
+
     sub.add_parser("corpus", help="list corpus suites and programs")
 
     store = sub.add_parser(
@@ -201,6 +276,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _study(args)
     if args.command == "vectorize":
         return _vectorize(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "client":
+        return _client(args)
     if args.command == "corpus":
         return _corpus()
     if args.command == "store":
@@ -518,6 +597,86 @@ def _study(args: argparse.Namespace) -> int:
             store.close()
             if engine.driver is not None:
                 engine.driver.drain_store_events()
+    return 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the analysis service until SIGTERM/SIGINT drains it."""
+    from repro.service.server import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=max(args.jobs, 1),
+        backend=args.backend,
+        store_path=args.store,
+        store_shards=args.store_shards,
+        max_in_flight=args.max_in_flight,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        breaker_reset_timeout=args.breaker_reset,
+        policy=FaultPolicy.from_env(),
+    )
+
+    def banner(service) -> None:
+        print(
+            f"repro-deps: serving on http://{config.host}:{service.port} "
+            f"(jobs={config.jobs}, "
+            f"store={config.store_path or 'none'})",
+            flush=True,
+        )
+
+    try:
+        return run_service(config, banner=banner)
+    except (StoreError, OSError, ValueError) as exc:
+        print(f"repro-deps: cannot start service: {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
+
+
+def _client(args: argparse.Namespace) -> int:
+    """Send one file to a running service; mirrors ``analyze`` output.
+
+    Exit codes follow ``analyze``: 0 for ok *and* degraded answers (the
+    degradation report is printed), 1 for an unreadable input file, 2
+    for a syntax error (the server's diagnostic is printed), 4 when the
+    service is unreachable or still shedding after every retry.
+    """
+    import json as _json
+
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        ServiceUnavailable,
+    )
+    from repro.service.protocol import render_analysis
+
+    source = _read_source(args.file)
+    if source is None:
+        return 1
+    client = ServiceClient(args.url, retries=max(args.retries, 0))
+    try:
+        payload = client.analyze(
+            source,
+            name=args.file.stem,
+            deadline_ms=args.deadline_ms,
+            transforms=args.transforms,
+        )
+    except ServiceUnavailable as exc:
+        print(f"repro-deps: {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
+    except ServiceError as exc:
+        if exc.status == 422:
+            print(f"repro-deps: {args.file}:", file=sys.stderr)
+            print(
+                exc.payload.get("detail", str(exc)), file=sys.stderr
+            )
+            return EXIT_SYNTAX_ERROR
+        print(f"repro-deps: service error: {exc}", file=sys.stderr)
+        return EXIT_STORE_ERROR
+    if args.as_json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_analysis(payload))
     return 0
 
 

@@ -67,6 +67,8 @@ from repro.engine.engine import DependenceEngine
 from repro.engine.faults import (
     BudgetExceededError,
     ChunkTimeoutError,
+    Deadline,
+    DeadlineExceededError,
     EngineFaultError,
     FailureRecord,
     FaultPolicy,
@@ -97,6 +99,8 @@ __all__ = [
     "CachedDriver",
     "CheckpointLog",
     "ChunkTimeoutError",
+    "Deadline",
+    "DeadlineExceededError",
     "DependenceEngine",
     "EngineFaultError",
     "EngineStats",

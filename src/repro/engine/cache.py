@@ -48,7 +48,9 @@ from repro.core.plan import PlanRecorder, TestPlan
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine import faultinject
 from repro.engine.faults import (
+    DEFAULT_PAIR_BUDGET,
     DEFAULT_POLICY,
+    Deadline,
     FailureRecord,
     FaultPolicy,
     PairTestError,
@@ -130,6 +132,12 @@ class CachedDriver:
         #: The test evaluator serving every miss; see ``repro.backends``.
         self.backend = backend
         self.stats = stats if stats is not None else EngineStats()
+        #: Request-scoped wall-clock expiry (installed by the analysis
+        #: service around each request's builds, under the engine's serve
+        #: lock); every budget minted while set checks it per spend, so
+        #: an expired request degrades each remaining pair to an assumed
+        #: verdict in O(1) instead of testing it.  None = no deadline.
+        self.deadline: Optional[Deadline] = None
         #: Persistent write-through tier (``store.py``); None = memory-only.
         #: Named ``persist`` because :meth:`store` is the LRU insert.
         self.persist = store
@@ -259,6 +267,36 @@ class CachedDriver:
         self._entries.clear()
         self._plans.clear()
 
+    def close(self) -> None:
+        """Flush the persistent tier and surface every remaining event.
+
+        The final checkpoint can itself quarantine a shard (lock
+        starvation, ENOSPC on the last flush); those events are appended
+        *after* any earlier drain, so without this last drain they would
+        vanish from the fault report.  Safe to call repeatedly; the store
+        object itself stays open (its owner closes it).
+        """
+        if self.persist is not None and not self.persist.read_only:
+            try:
+                self.persist.checkpoint()
+            except Exception as exc:
+                self._degrade_store(exc)
+        self.drain_store_events()
+
+    def _make_budget(self) -> Optional[StepBudget]:
+        """A fresh per-pair budget carrying the current request deadline.
+
+        Without a deadline this is the policy budget (or None when
+        budgeting is disabled).  With one, a budget is always minted —
+        the deadline is checked on its spend hook — using the default
+        step limit when the policy has none, so the batched backend's
+        shadow-budget pre-run stays bounded too.
+        """
+        limit = self.policy.pair_budget
+        if self.deadline is None:
+            return StepBudget(limit) if limit else None
+        return StepBudget(limit or DEFAULT_PAIR_BUDGET, deadline=self.deadline)
+
     # -- the plan tier ---------------------------------------------------
 
     def plan_count(self) -> int:
@@ -369,12 +407,13 @@ class CachedDriver:
             return result
         local = TestRecorder()
         start = perf_counter() if profile is not None else 0.0
-        budget = (
-            StepBudget(self.policy.pair_budget)
-            if self.policy.pair_budget
-            else None
-        )
+        budget = self._make_budget()
         try:
+            # A pair starting after the request deadline has already
+            # expired degrades in O(1): no fault hooks, no backend
+            # dispatch, just the conservative assumed verdict below.
+            if self.deadline is not None:
+                self.deadline.check()
             faultinject.on_pair(context.src_site.ref.array)
             plan = self.plan_for(key)
             if plan is not None:
@@ -489,11 +528,7 @@ class CachedDriver:
                 plan=plan,
                 plan_recorder=plan_recorder,
                 profile=profile,
-                budget=(
-                    StepBudget(self.policy.pair_budget)
-                    if self.policy.pair_budget
-                    else None
-                ),
+                budget=self._make_budget(),
             )
             pending.append((i, key, item, plan_recorder))
         if pending:

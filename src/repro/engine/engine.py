@@ -20,12 +20,13 @@ accumulate across kernels and the corpus-wide hit rate climbs.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 from repro.delta.delta import DEFAULT_OPTIONS, DeltaOptions
 from repro.engine.cache import DEFAULT_CAPACITY, CachedDriver
 from repro.engine.checkpoint import CheckpointLog
-from repro.engine.faults import DEFAULT_POLICY, FaultPolicy
+from repro.engine.faults import DEFAULT_POLICY, Deadline, FaultPolicy
 from repro.engine.store import VerdictStore
 from repro.engine.parallel import build_dependence_graph_parallel, make_pool
 from repro.engine.profile import PhaseProfile
@@ -76,6 +77,10 @@ class DependenceEngine:
             backend=backend,
         )
         self._pool = None
+        #: Serializes multi-threaded access to the driver (see
+        #: :meth:`serve_build`).  Re-entrant so a locked caller may call
+        #: :meth:`build_graph` directly.
+        self.serve_lock = threading.RLock()
 
     @property
     def stats(self) -> EngineStats:
@@ -98,15 +103,16 @@ class DependenceEngine:
         return self.driver.persist
 
     def close(self) -> None:
-        """Shut down the worker pool and flush the store (not closing it)."""
+        """Shut down the worker pool and flush the store (not closing it).
+
+        The final flush can itself fail or quarantine shards; the driver
+        surfaces those as ``"store"`` failure records (see
+        :meth:`CachedDriver.close`) instead of silently dropping them.
+        """
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
-        if self.driver.persist is not None:
-            try:
-                self.driver.persist.checkpoint()
-            except Exception:
-                pass  # flushing is best-effort; close() must not raise
+        self.driver.close()
 
     def __enter__(self) -> "DependenceEngine":
         return self
@@ -176,3 +182,54 @@ class DependenceEngine:
             tester=self.driver,
             profile=self.profile,
         )
+
+    def serve_build(
+        self,
+        nodes: Sequence[Node],
+        recorder: Optional[TestRecorder] = None,
+        include_input: bool = False,
+        symbols: Optional[SymbolEnv] = None,
+        deadline: Optional[Deadline] = None,
+        stats: Optional[EngineStats] = None,
+    ) -> DependenceGraph:
+        """Thread-safe :meth:`build_graph` — the service's resolve seam.
+
+        Concurrent callers (the analysis service runs one request per
+        executor thread against a single warm engine) serialize on
+        :attr:`serve_lock` at build granularity, so a tight-deadline
+        request interleaves with a long one between routines rather than
+        queueing behind the whole request.  Because the second caller for
+        a canonical key runs strictly after the first, a key raced by two
+        requests is tested exactly once — one miss, one hit — which is
+        what makes request-level coalescing an optimization rather than a
+        correctness requirement.
+
+        ``deadline`` is installed on the driver for the duration of this
+        build: every per-pair budget minted inside checks it, and each
+        pair starting after expiry degrades immediately to an assumed-
+        dependence verdict (kind ``"deadline"``).  Deadlines bound the
+        in-process resolve paths; they do not cross into pool workers.
+
+        ``stats`` (when given) receives this build's counter deltas —
+        failures, assumed counts, hit/miss provenance — attributed to
+        just this call; the engine's own cumulative stats absorb them on
+        the way out, so global accounting is unchanged.
+        """
+        with self.serve_lock:
+            driver = self.driver
+            saved_stats = driver.stats
+            if stats is not None:
+                driver.stats = stats
+            driver.deadline = deadline
+            try:
+                return self.build_graph(
+                    nodes,
+                    recorder=recorder,
+                    include_input=include_input,
+                    symbols=symbols,
+                )
+            finally:
+                driver.deadline = None
+                if stats is not None:
+                    driver.stats = saved_stats
+                    saved_stats.merge(stats)

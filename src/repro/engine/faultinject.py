@@ -30,7 +30,23 @@ engine's seams:
   contention window open so backoff/starvation paths actually run;
 * ``corrupt-shard:<shard>`` — the first time this process opens that
   shard's segment, garbage bytes are appended to it (a synthetic torn
-  tail), exercising per-shard recovery and quarantine in situ.
+  tail), exercising per-shard recovery and quarantine in situ;
+* ``slow-handler:<seconds>[:<n>]`` — the analysis service's request
+  handler sleeps before analyzing (all requests, or only the first
+  ``<n>``), holding its in-flight slot so deadline, backpressure, and
+  load-shedding paths become deterministic;
+* ``reject-store:<n>`` — the first ``<n>`` verdict/plan writes to a
+  persistent store raise :class:`InjectedFaultError` (simulates a store
+  gone bad mid-run: the driver degrades to memory-only and the service's
+  store breaker trips, then recovers once the fault budget is spent);
+* ``kill-mid-request:<n>`` — the service process dies with ``os._exit``
+  while handling its ``<n>``-th analysis request (a crash with requests
+  in flight: clients see a dropped connection, the store must recover).
+
+Terminal directives (``store-die``, ``kill-mid-request``) honor the
+``REPRO_FAULT_MARKER`` environment variable: the file it names is
+created immediately before the process dies, so harnesses can assert
+the kill actually fired rather than inferring it from an exit code.
 
 Directives are comma-separated (``REPRO_FAULTS=crash-chunk:0,pair-error:a``).
 Chunk faults are *worker-scoped*: :data:`IN_WORKER` is set by the pool
@@ -48,6 +64,12 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple, Union
 
 ENV_VAR = "REPRO_FAULTS"
+
+#: Path of a file to create right before a terminal fault directive
+#: (``store-die``, ``kill-mid-request``) kills the process.  Harnesses
+#: set it per subprocess and assert the marker exists, proving the kill
+#: fired rather than the run merely finishing with a suggestive code.
+MARKER_ENV_VAR = "REPRO_FAULT_MARKER"
 
 #: Default sleep for ``hang-chunk`` directives without an explicit
 #: duration — long enough to trip any sane chunk timeout, short enough
@@ -85,6 +107,10 @@ class FaultPlan:
     lock_hold: Optional[float] = None
     lock_hold_shard: ShardSel = None
     corrupt_shards: FrozenSet[Union[int, str]] = frozenset()
+    slow_handler: Optional[float] = None
+    slow_handler_count: Optional[int] = None
+    reject_store: Optional[int] = None
+    kill_request: Optional[int] = None
 
     @property
     def empty(self) -> bool:
@@ -97,6 +123,9 @@ class FaultPlan:
             or self.store_die is not None
             or self.lock_hold is not None
             or self.corrupt_shards
+            or self.slow_handler is not None
+            or self.reject_store is not None
+            or self.kill_request is not None
         )
 
 
@@ -112,6 +141,10 @@ def parse_spec(spec: str) -> FaultPlan:
     lock_hold: Optional[float] = None
     lock_hold_shard: ShardSel = None
     corrupt: Set[Union[int, str]] = set()
+    slow_handler: Optional[float] = None
+    slow_handler_count: Optional[int] = None
+    reject_store: Optional[int] = None
+    kill_request: Optional[int] = None
     for raw in spec.split(","):
         directive = raw.strip()
         if not directive:
@@ -140,6 +173,14 @@ def parse_spec(spec: str) -> FaultPlan:
                     lock_hold_shard = _parse_shard(args[1])
             elif name == "corrupt-shard" and args:
                 corrupt.add(_parse_shard(args[0]))
+            elif name == "slow-handler" and args:
+                slow_handler = float(args[0])
+                if len(args) > 1:
+                    slow_handler_count = int(args[1])
+            elif name == "reject-store" and args:
+                reject_store = int(args[0])
+            elif name == "kill-mid-request" and args:
+                kill_request = int(args[0])
         except ValueError:
             continue
     return FaultPlan(
@@ -153,6 +194,10 @@ def parse_spec(spec: str) -> FaultPlan:
         lock_hold=lock_hold,
         lock_hold_shard=lock_hold_shard,
         corrupt_shards=frozenset(corrupt),
+        slow_handler=slow_handler,
+        slow_handler_count=slow_handler_count,
+        reject_store=reject_store,
+        kill_request=kill_request,
     )
 
 
@@ -214,6 +259,25 @@ def _shard_matches(selector: ShardSel, shard: ShardSel) -> bool:
     return shard == selector
 
 
+def _drop_marker() -> None:
+    """Create the :data:`MARKER_ENV_VAR` file, if one is configured.
+
+    Called on the way into an ``os._exit`` so the harness that armed the
+    fault can verify it actually fired; the write is best-effort (the
+    process is about to die regardless).
+    """
+    path = os.environ.get(MARKER_ENV_VAR)
+    if not path:
+        return
+    try:
+        with open(path, "a") as handle:
+            handle.write(f"{os.getpid()}\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        pass
+
+
 # Appends this process has made to any verdict store (store-die counter).
 _STORE_APPENDS = 0
 
@@ -236,7 +300,60 @@ def on_store_append(shard: ShardSel = None) -> None:
         return
     _STORE_APPENDS += 1
     if _STORE_APPENDS >= plan.store_die:
+        _drop_marker()
         os._exit(9)
+
+
+# Store put attempts this process has made (reject-store counter).
+_STORE_PUTS = 0
+
+
+def on_store_put() -> None:
+    """Per-write hook, called as a verdict/plan write enters the store.
+
+    ``reject-store:<n>`` fails the first ``n`` writes with
+    :class:`InjectedFaultError` — before anything is buffered — so the
+    engine's memory-only degradation and the service's store circuit
+    breaker can be driven deterministically, and recovery can be
+    observed once the fault budget is spent.
+    """
+    global _STORE_PUTS
+    plan = active_plan()
+    if plan is None or plan.reject_store is None:
+        return
+    if _STORE_PUTS < plan.reject_store:
+        _STORE_PUTS += 1
+        raise InjectedFaultError(
+            f"injected store rejection ({_STORE_PUTS}/{plan.reject_store})"
+        )
+
+
+# Service requests this process has started handling (slow-handler /
+# kill-mid-request counters).
+_REQUESTS = 0
+
+
+def on_request() -> None:
+    """Per-request hook, called as the analysis service starts a request.
+
+    ``slow-handler:<seconds>[:<n>]`` sleeps while the request holds its
+    in-flight slot (every request, or only the first ``n``), making
+    queue-full load shedding and deadline expiry reproducible.
+    ``kill-mid-request:<n>`` kills the whole service process (uncleanly,
+    marker dropped first) at the start of the ``n``-th request.
+    """
+    global _REQUESTS
+    plan = active_plan()
+    if plan is None:
+        return
+    _REQUESTS += 1
+    if plan.kill_request is not None and _REQUESTS >= plan.kill_request:
+        _drop_marker()
+        os._exit(11)
+    if plan.slow_handler is not None:
+        count = plan.slow_handler_count
+        if count is None or _REQUESTS <= count:
+            time.sleep(plan.slow_handler)
 
 
 def on_lock_held(shard: ShardSel = None) -> None:

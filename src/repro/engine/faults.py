@@ -27,8 +27,9 @@ types without import cycles.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 #: Default per-pair step budget.  One "step" is a partition dispatch or
 #: one Delta reduction-pass unit; a typical pair spends fewer than ten,
@@ -79,6 +80,58 @@ class BudgetExceededError(EngineFaultError):
         self.limit = limit
 
 
+class DeadlineExceededError(EngineFaultError):
+    """A request-scoped deadline expired mid-test.
+
+    Raised by a :class:`StepBudget` carrying a :class:`Deadline`: each
+    pair that spends a step after expiry degrades immediately to a
+    conservative assumed-dependence verdict, so a timed-out request
+    finishes fast with partial (assumed) results instead of hanging —
+    and never with a spurious independence.
+    """
+
+    def __init__(self, seconds: float):
+        super().__init__(f"deadline of {seconds:.3f}s exceeded")
+        self.seconds = seconds
+
+
+class Deadline:
+    """A wall-clock expiry shared by every pair of one request.
+
+    Unlike :class:`StepBudget` (per pair, work-based, deterministic),
+    a deadline is request-scoped and time-based: the analysis service
+    attaches one to the driver for the duration of a request, and every
+    budget minted while it is installed checks it on each spend.  The
+    clock is injectable for tests.
+    """
+
+    __slots__ = ("seconds", "expires_at", "_clock")
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ):
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds}")
+        self.seconds = seconds
+        self._clock = clock
+        self.expires_at = clock() + seconds
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(self.expires_at - self._clock(), 0.0)
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceededError` when expired."""
+        if self.expired():
+            raise DeadlineExceededError(self.seconds)
+
+    def __repr__(self) -> str:
+        return f"Deadline({self.seconds}s, {self.remaining():.3f}s left)"
+
+
 class StepBudget:
     """A per-pair step counter that trips :class:`BudgetExceededError`.
 
@@ -88,21 +141,28 @@ class StepBudget:
     *work done*, not wall-clock — deterministic across machines.  The
     object is duck-typed on purpose: the core driver never imports this
     module, it just calls ``budget.spend(n)`` when handed one.
+
+    An optional :class:`Deadline` piggybacks on the same spend hook: a
+    request-scoped expiry is checked at every charge, so one slow pair
+    cannot carry a request past its deadline by more than a step.
     """
 
-    __slots__ = ("limit", "used")
+    __slots__ = ("limit", "used", "deadline")
 
-    def __init__(self, limit: int):
+    def __init__(self, limit: int, deadline: Optional[Deadline] = None):
         if limit < 1:
             raise ValueError(f"budget limit must be positive, got {limit}")
         self.limit = limit
         self.used = 0
+        self.deadline = deadline
 
     def spend(self, steps: int = 1) -> None:
         """Charge ``steps`` units; raises when the budget is exhausted."""
         self.used += steps
         if self.used > self.limit:
             raise BudgetExceededError(self.limit)
+        if self.deadline is not None:
+            self.deadline.check()
 
     @property
     def remaining(self) -> int:
@@ -117,7 +177,8 @@ class FailureRecord:
     """One absorbed failure, in report-ready form.
 
     ``kind`` is the failure class — ``"pair"`` (an in-test exception),
-    ``"budget"`` (step budget exhausted), ``"worker-crash"``,
+    ``"budget"`` (step budget exhausted), ``"deadline"`` (a request's
+    wall-clock deadline expired mid-test), ``"worker-crash"``,
     ``"chunk-timeout"``, ``"routine"`` (a whole routine skipped), or
     ``"store"`` (a persistent-store write failed and the run degraded
     to memory-only caching).
@@ -147,6 +208,8 @@ class FailureRecord:
 
 def failure_kind(exc: BaseException) -> str:
     """The :class:`FailureRecord` kind for an exception instance."""
+    if isinstance(exc, DeadlineExceededError):
+        return "deadline"
     if isinstance(exc, BudgetExceededError):
         return "budget"
     if isinstance(exc, ChunkTimeoutError):

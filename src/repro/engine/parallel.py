@@ -38,6 +38,7 @@ once per routine.  Passing ``pool_factory`` instead defers even pool
 
 from __future__ import annotations
 
+import signal
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
@@ -115,6 +116,22 @@ def _init_worker(
     # Chunk-scoped fault injection (crash/hang) only fires in workers, so
     # the supervisor's parent-side serial recovery computes real results.
     faultinject.IN_WORKER = True
+    # Fork-spawned workers inherit the parent's signal machinery.  When
+    # the parent is the analysis service, that machinery is asyncio's
+    # add_signal_handler: a Python-level handler writing into a wakeup
+    # pipe *shared across the fork*.  A worker terminated by the pool
+    # supervisor would then relay its own SIGTERM into the parent's
+    # event loop — and gracefully shut the whole service down.  Workers
+    # must die plainly: default disposition, no wakeup fd.
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
 
 
 def make_pool(

@@ -47,6 +47,15 @@ class EngineStats:
     ``failures`` holds one structured :class:`FailureRecord` per absorbed
     failure event, in occurrence order.
 
+    The long-running analysis service (``repro.service``) accounts its
+    request-level outcomes here as well: ``shed_requests`` counts
+    admissions refused under overload (503 + ``Retry-After``),
+    ``coalesced_requests`` counts requests served by awaiting another
+    in-flight computation of the same canonical request key, and
+    ``degraded_requests`` counts requests answered with conservative
+    partial results (deadline expiry, absorbed faults).  They are zero
+    outside service runs.
+
     ``backend_coverage`` holds the batching backend's self-reported
     counters (harvested via ``TestBackend.take_coverage`` after each
     batch): how many pairs ran fully vectorized vs partially vs fell
@@ -73,6 +82,9 @@ class EngineStats:
     pool_restarts: int = 0
     serial_recoveries: int = 0
     routines_skipped: int = 0
+    shed_requests: int = 0
+    coalesced_requests: int = 0
+    degraded_requests: int = 0
     backend_coverage: Dict[str, int] = field(default_factory=dict)
     failures: List[FailureRecord] = field(default_factory=list)
     profile: Optional[PhaseProfile] = field(default=None, compare=False)
@@ -199,6 +211,9 @@ class EngineStats:
         self.pool_restarts += other.pool_restarts
         self.serial_recoveries += other.serial_recoveries
         self.routines_skipped += other.routines_skipped
+        self.shed_requests += other.shed_requests
+        self.coalesced_requests += other.coalesced_requests
+        self.degraded_requests += other.degraded_requests
         if other.backend_coverage:
             self.add_coverage(other.backend_coverage)
         self.failures.extend(other.failures)
@@ -216,6 +231,8 @@ class EngineStats:
         self.assumed = self.worker_crashes = self.chunk_timeouts = 0
         self.pool_restarts = self.serial_recoveries = 0
         self.routines_skipped = 0
+        self.shed_requests = self.coalesced_requests = 0
+        self.degraded_requests = 0
         self.backend_coverage.clear()
         self.failures.clear()
         if self.profile is not None:
@@ -252,6 +269,10 @@ class EngineStats:
             out["serial_recoveries"] = self.serial_recoveries
             out["routines_skipped"] = self.routines_skipped
             out["failures"] = [record.as_dict() for record in self.failures]
+        if self.shed_requests or self.coalesced_requests or self.degraded_requests:
+            out["shed_requests"] = self.shed_requests
+            out["coalesced_requests"] = self.coalesced_requests
+            out["degraded_requests"] = self.degraded_requests
         if self.backend_coverage:
             out["backend_coverage"] = dict(self.backend_coverage)
         if self.profile is not None:

@@ -1118,6 +1118,7 @@ class VerdictStore:
     def put(self, key: CanonicalKey, entry: CacheEntry) -> None:
         """Persist one verdict.  Assumed (degraded) verdicts are refused."""
         self._check_writable()
+        faultinject.on_store_put()
         if entry.assumed:
             raise StoreError(
                 "assumed verdicts are never persisted "
@@ -1130,6 +1131,7 @@ class VerdictStore:
 
     def put_plan(self, key: CanonicalKey, plan: TestPlan) -> None:
         self._check_writable()
+        faultinject.on_store_put()
         if self._plans.get(key) is not None:
             return
         self._plans[key] = plan

@@ -143,10 +143,38 @@ class PoolSupervisor:
                 on_result(i, value)
         while pending and self.executor is not None:
             executor = self.executor
-            futures = [(i, executor.submit(worker_fn, tasks[i])) for i in pending]
-            pending = []
+            # Submit is itself a crash surface: a worker dying on an
+            # early chunk can flag the executor broken while later
+            # chunks of the same build are still being handed over, at
+            # which point submit raises instead of queueing.  Chunks
+            # that never made it in (including the one that raised) are
+            # simply carried to the next round's respawned pool.
+            submitting, pending = pending, []
+            futures = []
+            for pos, i in enumerate(submitting):
+                try:
+                    futures.append((i, executor.submit(worker_fn, tasks[i])))
+                except BrokenExecutor as exc:
+                    self._kill_pool()
+                    if self.policy.strict:
+                        raise WorkerCrashError(
+                            f"pool broke while submitting chunk {i}: "
+                            f"{describe_error(exc)}"
+                        ) from exc
+                    self.stats.record_failure(
+                        FailureRecord(
+                            "worker-crash",
+                            f"submit chunk {i}",
+                            describe_error(exc),
+                            attempts=self._restarts + 1,
+                        )
+                    )
+                    pending.extend(submitting[pos:])
+                    break
             suspects: List[int] = []
-            broken = False
+            # A submit-time break puts the harvest loop straight into
+            # salvage mode: collect whatever finished, requeue the rest.
+            broken = self.executor is None
             for i, future in futures:
                 if broken:
                     # The pool just died; harvest chunks that finished

@@ -1,0 +1,182 @@
+"""A blocking client for the analysis service.
+
+``repro-deps client FILE --url ...`` is the CLI face; the
+:class:`ServiceClient` underneath is deliberately boring — stdlib
+``http.client``, JSON in, JSON out — because its interesting part is the
+retry discipline, which is the client half of the server's backpressure
+contract:
+
+* a ``503`` (shed or draining) is *not* an error on the first attempts:
+  the client honors the server's ``Retry-After`` hint (bounded by its
+  own backoff cap) and tries again;
+* connection failures retry with exponential backoff, covering the
+  window where a restarting server has not yet bound its socket;
+* anything else — 4xx, a degraded-but-200 analysis, a real 5xx after
+  retries are exhausted — is returned or raised immediately, because
+  retrying cannot change it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+
+class ServiceError(Exception):
+    """A request that failed for good (no retry can help)."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceUnavailable(ServiceError):
+    """Shed or unreachable after every retry."""
+
+
+class ServiceClient:
+    """Thin retrying JSON client for one service endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.25,
+        max_backoff: float = 5.0,
+        sleep=time.sleep,
+    ):
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported scheme in service url: {url}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._sleep = sleep
+
+    # -- transport --------------------------------------------------------
+
+    def _request_once(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = {"status": "error", "error": "unparseable response"}
+            return (
+                response.status,
+                payload,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+        finally:
+            conn.close()
+
+    def request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One logical request, with the retry discipline applied."""
+        body = (
+            json.dumps(payload).encode("utf-8") if payload is not None else None
+        )
+        delay = self.backoff
+        last_error: Optional[str] = None
+        last_status: Optional[int] = None
+        last_payload: Dict[str, Any] = {}
+        for attempt in range(self.retries + 1):
+            try:
+                status, decoded, headers = self._request_once(
+                    method, path, body
+                )
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = str(exc) or type(exc).__name__
+                if attempt < self.retries:
+                    self._sleep(delay)
+                    delay = min(delay * 2, self.max_backoff)
+                continue
+            if status == 503 and attempt < self.retries:
+                hinted = headers.get("retry-after")
+                try:
+                    wait = min(float(hinted), self.max_backoff) if hinted else delay
+                except ValueError:
+                    wait = delay
+                self._sleep(wait)
+                delay = min(delay * 2, self.max_backoff)
+                last_status, last_payload = status, decoded
+                last_error = decoded.get("error", "service unavailable")
+                continue
+            return status, decoded
+        if last_status == 503:
+            raise ServiceUnavailable(
+                f"service at {self.host}:{self.port} still shedding after "
+                f"{self.retries + 1} attempts",
+                status=503,
+                payload=last_payload,
+            )
+        raise ServiceUnavailable(
+            f"cannot reach service at {self.host}:{self.port}: "
+            f"{last_error or 'unknown error'}"
+        )
+
+    # -- endpoints --------------------------------------------------------
+
+    def analyze(
+        self,
+        source: str,
+        name: str = "request",
+        deadline_ms: Optional[float] = None,
+        include_input: bool = False,
+        transforms: bool = False,
+    ) -> Dict[str, Any]:
+        """Analyze one kernel; returns the decoded response payload.
+
+        Raises :class:`ServiceError` for 4xx/5xx answers (the payload is
+        attached) and :class:`ServiceUnavailable` when every retry shed
+        or failed to connect.  A ``degraded`` 200 is returned normally —
+        degradation is an answer, not an error.
+        """
+        payload: Dict[str, Any] = {"source": source, "name": name}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        if include_input:
+            payload["include_input"] = True
+        if transforms:
+            payload["transforms"] = True
+        status, decoded = self.request("POST", "/analyze", payload)
+        if status != 200:
+            raise ServiceError(
+                decoded.get("detail") or decoded.get("error")
+                or f"HTTP {status}",
+                status=status,
+                payload=decoded,
+            )
+        return decoded
+
+    def healthz(self) -> Dict[str, Any]:
+        """The server's health report."""
+        status, decoded = self.request("GET", "/healthz")
+        if status != 200:
+            raise ServiceError(f"HTTP {status}", status=status, payload=decoded)
+        return decoded
+
+    def stats(self) -> Dict[str, Any]:
+        """Service- and engine-level counters."""
+        status, decoded = self.request("GET", "/stats")
+        if status != 200:
+            raise ServiceError(f"HTTP {status}", status=status, payload=decoded)
+        return decoded

@@ -1,0 +1,122 @@
+"""Admission control: bounded concurrency with load shedding.
+
+A long-running service that accepts every connection eventually serves
+none of them well.  The :class:`AdmissionLimiter` bounds the work the
+service holds at once in two layers:
+
+* at most ``max_in_flight`` requests analyze concurrently (each one owns
+  an executor thread and takes turns on the engine lock);
+* at most ``max_queue`` further requests wait for a slot.
+
+A request arriving beyond both bounds is *shed* immediately — the server
+answers ``503`` with a ``Retry-After`` hint instead of letting the queue
+(and every queued client's latency) grow without bound.  Shedding is the
+backpressure half of the service's degradation story: under overload the
+answers that are given stay fast and correct, and the overflow is told
+honestly to come back later.
+
+Coalesced requests bypass admission entirely — a duplicate of an
+in-flight analysis consumes no slot, so deduplication happens *before*
+backpressure and a thundering herd of identical kernels costs one slot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict
+
+
+class AdmissionLimiter:
+    """Semaphore with a bounded wait queue and shed accounting.
+
+    Event-loop only (no internal locking): every method must run on the
+    loop thread.
+    """
+
+    def __init__(self, max_in_flight: int, max_queue: int):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.in_flight = 0
+        self.admitted = 0
+        self.shed = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return sum(1 for f in self._waiters if not f.done())
+
+    @property
+    def saturated(self) -> bool:
+        """True when a new arrival would be shed."""
+        return (
+            self.in_flight >= self.max_in_flight
+            and self.queued >= self.max_queue
+        )
+
+    async def acquire(self) -> bool:
+        """Take a slot; False means the request was shed.
+
+        Sheds synchronously when both layers are full, otherwise waits
+        (FIFO) until :meth:`release` hands this waiter a slot.
+        """
+        if self.in_flight < self.max_in_flight:
+            self.in_flight += 1
+            self.admitted += 1
+            return True
+        if self.queued >= self.max_queue:
+            self.shed += 1
+            return False
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # The slot was granted concurrently with cancellation;
+                # pass it to the next waiter so it isn't leaked.
+                self._grant_or_free()
+            raise
+        self.admitted += 1
+        return True
+
+    def _grant_or_free(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                # Transfer the slot: in_flight stays constant.
+                future.set_result(True)
+                return
+        self.in_flight -= 1
+
+    def release(self) -> None:
+        """Return a slot, waking the oldest live waiter if any."""
+        if self.in_flight <= 0:
+            raise RuntimeError("release without matching acquire")
+        self._grant_or_free()
+
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait before retrying.
+
+        Scales with the depth of the backlog: an almost-empty queue says
+        "right away", a full one says "give it a few seconds".
+        """
+        backlog = self.in_flight + self.queued
+        capacity = self.max_in_flight + self.max_queue
+        return round(1.0 + 4.0 * (backlog / max(capacity, 1)), 1)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Health-endpoint form."""
+        return {
+            "in_flight": self.in_flight,
+            "queued": self.queued,
+            "max_in_flight": self.max_in_flight,
+            "max_queue": self.max_queue,
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }

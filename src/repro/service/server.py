@@ -1,0 +1,790 @@
+"""The long-running dependence-analysis service.
+
+``repro-deps serve`` turns the engine into a resident process: one warm
+:class:`~repro.engine.engine.DependenceEngine` — interning pools, LRU
+verdict and plan tiers, a shared persistent store, a persistent worker
+pool — serves every request, so the corpus-wide hit rate the paper's
+empirical argument rests on accumulates across *clients*, not just
+within one CLI invocation.
+
+The server is a small hand-rolled HTTP/1.1 front end over ``asyncio``
+(stdlib only, one reason this module exists at all), with the robustness
+machinery layered around the engine seam:
+
+* **Deadlines** — each request's ``deadline_ms`` becomes a
+  :class:`~repro.engine.faults.Deadline` installed on the driver for the
+  request's builds; pairs starting after expiry degrade O(1) to assumed
+  dependence, so a timed-out request returns a *complete, conservative*
+  graph flagged ``degraded`` — never a spurious independence, and (via a
+  second, asyncio-side watchdog) never a hung connection.
+* **Admission control** — an :class:`~repro.service.limiter.AdmissionLimiter`
+  bounds in-flight work and queue depth; overflow is shed with ``503``
+  and ``Retry-After``.
+* **Coalescing** — concurrent requests for the same canonical body share
+  one analysis; duplicates cost no admission slot.
+* **Circuit breakers** — repeated store failures trip to memory-only
+  mode, repeated pool failures trip to all-serial builds; both surface
+  in ``/healthz`` and recover through half-open probes.
+* **Graceful shutdown** — SIGTERM/SIGINT stop accepting work (new
+  requests get ``503``), drain in-flight requests, checkpoint the store,
+  and exit cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import signal
+import socket
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from repro.corpus.loader import default_symbols
+from repro.engine import faultinject
+from repro.engine.engine import DependenceEngine
+from repro.engine.faults import Deadline, FaultPolicy, DEFAULT_POLICY
+from repro.engine.stats import EngineStats
+from repro.engine.store import StoreError, VerdictStore
+from repro.fortran.errors import FortranSyntaxError
+from repro.fortran.parser import parse_program
+from repro.instrument import TestRecorder
+from repro.ir.normalize import normalize_program
+from repro.service.breaker import CircuitBreaker
+from repro.service.limiter import AdmissionLimiter
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    AnalyzeRequest,
+    ProtocolError,
+    analysis_payload,
+    error_payload,
+    graph_payload,
+    parallelism_payload,
+)
+from repro.transform.parallel import find_parallel_loops
+from repro.transform.peel import find_peeling_opportunities
+from repro.transform.split import find_splitting_opportunities
+
+#: Reasons phrase for the HTTP status line.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro-deps serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    jobs: int = 1
+    backend: Optional[str] = None
+    store_path: Optional[Path] = None
+    store_shards: Optional[int] = None
+    max_in_flight: int = 4
+    queue_depth: int = 8
+    #: Applied when a request carries no ``deadline_ms``; None = unbounded.
+    default_deadline_ms: Optional[float] = None
+    #: Extra wall time the asyncio watchdog grants past the engine
+    #: deadline before answering for a stuck handler thread.
+    watchdog_grace: float = 2.0
+    #: Watchdog bound for requests with no deadline at all.
+    max_request_seconds: float = 300.0
+    #: How long shutdown waits for in-flight requests to drain.
+    drain_timeout: float = 30.0
+    #: Store breaker: this many ``store`` failures within ``window`` trip.
+    store_failure_threshold: int = 3
+    #: Pool breaker: this many crash/timeout failures within ``window`` trip.
+    pool_failure_threshold: int = 3
+    breaker_window: float = 30.0
+    breaker_reset_timeout: float = 2.0
+    policy: FaultPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    cache_size: Optional[int] = None
+
+
+@dataclass
+class ServiceStats:
+    """Service-level counters (the engine keeps the analysis ones)."""
+
+    requests: int = 0
+    ok: int = 0
+    degraded: int = 0
+    shed: int = 0
+    coalesced: int = 0
+    watchdog_timeouts: int = 0
+    bad_requests: int = 0
+    syntax_errors: int = 0
+    internal_errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "degraded": self.degraded,
+            "shed": self.shed,
+            "coalesced": self.coalesced,
+            "watchdog_timeouts": self.watchdog_timeouts,
+            "bad_requests": self.bad_requests,
+            "syntax_errors": self.syntax_errors,
+            "internal_errors": self.internal_errors,
+        }
+
+
+@dataclass
+class _Coalesced:
+    """One in-flight analysis shared by every duplicate request."""
+
+    task: "asyncio.Task"
+    waiters: int = 1
+    started: float = field(default_factory=time.monotonic)
+
+
+class DependenceService:
+    """One warm engine behind an asyncio HTTP front end."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.engine: Optional[DependenceEngine] = None
+        self.symbols = default_symbols()
+        self.stats = ServiceStats()
+        self.limiter = AdmissionLimiter(
+            config.max_in_flight, config.queue_depth
+        )
+        self.store_breaker = CircuitBreaker(
+            "store",
+            failure_threshold=config.store_failure_threshold,
+            window=config.breaker_window,
+            reset_timeout=config.breaker_reset_timeout,
+        )
+        self.pool_breaker = CircuitBreaker(
+            "pool",
+            failure_threshold=config.pool_failure_threshold,
+            window=config.breaker_window,
+            reset_timeout=config.breaker_reset_timeout,
+        )
+        self._inflight: Dict[str, _Coalesced] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[concurrent.futures.ThreadPoolExecutor] = None
+        self._draining = False
+        self._stopped: Optional[asyncio.Event] = None
+        self._tasks: set = set()
+        self.port: Optional[int] = None
+        self._detached_store_path: Optional[Path] = None
+        #: Whether the service believes a store is currently attached;
+        #: ``persist is None`` while this is True means the driver
+        #: detached it unilaterally (whole-store failure) — the breaker
+        #: must register that as a trip.
+        self._store_attached = config.store_path is not None
+        self._probing_store = False
+        self._probing_pool = False
+        self._started_at = time.monotonic()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _open_engine(self) -> None:
+        config = self.config
+        store = None
+        if config.store_path is not None:
+            store = VerdictStore(config.store_path, shards=config.store_shards)
+        kwargs: Dict[str, Any] = {}
+        if config.cache_size is not None:
+            kwargs["cache_size"] = config.cache_size
+        self.engine = DependenceEngine(
+            symbols=self.symbols,
+            jobs=config.jobs,
+            backend=config.backend,
+            store=store,
+            policy=config.policy,
+            **kwargs,
+        )
+
+    async def start(self) -> None:
+        """Open the engine and start listening; sets :attr:`port`."""
+        self._stopped = asyncio.Event()
+        self._open_engine()
+        # One analysis per thread; sized to the admission bound so a slot
+        # always has a thread (never queue inside the executor — admission
+        # control is the only queue).
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.max_in_flight,
+            thread_name_prefix="repro-analyze",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            family=socket.AF_INET,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (idempotent; loop required)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.stop())
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def stop(self) -> None:
+        """Drain in-flight work, checkpoint the store, release everything."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [t for t in self._tasks if not t.done()]
+        if pending:
+            await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+        engine, self.engine = self.engine, None
+        if engine is not None:
+            store = engine.store
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._close_engine, engine, store
+            )
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    @staticmethod
+    def _close_engine(engine: DependenceEngine, store: Optional[VerdictStore]) -> None:
+        try:
+            engine.close()
+        finally:
+            if store is not None and not store.closed:
+                store.close()
+
+    async def run(self) -> None:
+        """Start, then block until a signal (or :meth:`stop`) finishes."""
+        await self.start()
+        self.install_signal_handlers()
+        assert self._stopped is not None
+        await self._stopped.wait()
+
+    # -- HTTP plumbing ----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        try:
+            request = await asyncio.wait_for(
+                self._read_request(reader), timeout=15.0
+            )
+            if request is None:
+                return
+            method, path, body = request
+            status, payload, headers = await self._route(method, path, body)
+            await self._respond(writer, status, payload, headers)
+        except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            self.stats.internal_errors += 1
+            try:
+                await self._respond(
+                    writer, 500, error_payload("internal", str(exc)), {}
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES + 1024:
+            # Read nothing further; the route layer answers 413.
+            return method, target, b"\x00" * (MAX_BODY_BYTES + 1)
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        headers: Dict[str, str],
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if path == "/analyze":
+            if method != "POST":
+                return 405, error_payload("method not allowed"), {}
+            return await self._analyze_route(body)
+        if path == "/healthz":
+            if method != "GET":
+                return 405, error_payload("method not allowed"), {}
+            return 200, self.health_payload(), {}
+        if path == "/stats":
+            if method != "GET":
+                return 405, error_payload("method not allowed"), {}
+            return 200, self.stats_payload(), {}
+        return 404, error_payload("not found", path), {}
+
+    # -- the analyze pipeline ---------------------------------------------
+
+    async def _analyze_route(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        self.stats.requests += 1
+        if self._draining or self.engine is None:
+            return (
+                503,
+                error_payload("draining", "server is shutting down"),
+                {"Retry-After": "5"},
+            )
+        if len(body) > MAX_BODY_BYTES:
+            self.stats.bad_requests += 1
+            return 413, error_payload("payload too large"), {}
+        try:
+            request = AnalyzeRequest.from_body(body)
+        except ProtocolError as exc:
+            self.stats.bad_requests += 1
+            return 400, error_payload("bad request", str(exc)), {}
+
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        wait_budget = (
+            deadline_ms / 1000.0 + self.config.watchdog_grace
+            if deadline_ms is not None
+            else self.config.max_request_seconds
+        )
+
+        key = request.coalesce_key()
+        entry = self._inflight.get(key)
+        if entry is not None and not entry.task.done():
+            # Coalesce: ride the in-flight analysis, consuming no slot.
+            entry.waiters += 1
+            self.stats.coalesced += 1
+            self._bump_engine_counter("coalesced_requests")
+            return await self._await_analysis(entry.task, request, wait_budget)
+
+        # Shed before queueing when saturated beyond both bounds.
+        admitted = await self.limiter.acquire()
+        if not admitted:
+            self.stats.shed += 1
+            self._bump_engine_counter("shed_requests")
+            return (
+                503,
+                error_payload("overloaded", "try again later"),
+                {"Retry-After": f"{self.limiter.retry_after():g}"},
+            )
+        if self._draining or self.engine is None:
+            self.limiter.release()
+            return (
+                503,
+                error_payload("draining", "server is shutting down"),
+                {"Retry-After": "5"},
+            )
+
+        task = asyncio.ensure_future(self._run_analysis(request, deadline_ms))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        self._inflight[key] = _Coalesced(task=task)
+
+        def _cleanup(done: "asyncio.Task", key=key) -> None:
+            if self._inflight.get(key) is not None and self._inflight[key].task is done:
+                del self._inflight[key]
+            self.limiter.release()
+
+        task.add_done_callback(_cleanup)
+        return await self._await_analysis(task, request, wait_budget)
+
+    async def _await_analysis(
+        self,
+        task: "asyncio.Task",
+        request: AnalyzeRequest,
+        wait_budget: float,
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Wait for a (possibly shared) analysis, bounded by the watchdog.
+
+        The task is shielded: a watchdog timeout answers *this* client
+        conservatively without cancelling the shared computation, which
+        keeps filling the cache for coalesced waiters and future requests.
+        """
+        try:
+            status, payload = await asyncio.wait_for(
+                asyncio.shield(task), timeout=wait_budget
+            )
+        except asyncio.TimeoutError:
+            self.stats.watchdog_timeouts += 1
+            self.stats.degraded += 1
+            self._bump_engine_counter("degraded_requests")
+            return (
+                200,
+                {
+                    "status": "degraded",
+                    "name": request.name,
+                    "degraded": True,
+                    "watchdog_timeout": True,
+                    "routines": [],
+                    "failures": [
+                        {
+                            "kind": "deadline",
+                            "where": request.name,
+                            "error": "request exceeded its deadline before "
+                            "analysis completed; no partial graph available",
+                            "attempts": 1,
+                        }
+                    ],
+                },
+                {},
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self.stats.internal_errors += 1
+            return 500, error_payload("internal", str(exc)), {}
+        if status == 200:
+            if payload.get("degraded"):
+                self.stats.degraded += 1
+                self._bump_engine_counter("degraded_requests")
+            else:
+                self.stats.ok += 1
+        elif status == 422:
+            self.stats.syntax_errors += 1
+        return status, dict(payload), {}
+
+    async def _run_analysis(
+        self, request: AnalyzeRequest, deadline_ms: Optional[float]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Run one analysis in the executor; owns breaker bookkeeping."""
+        engine = self.engine
+        assert engine is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        await self._maybe_probe(loop)
+        probe_store = self._probing_store
+        probe_pool = self._probing_pool
+        try:
+            status, payload, outcome = await loop.run_in_executor(
+                self._executor,
+                self._analyze_sync,
+                engine,
+                request,
+                deadline_ms,
+            )
+        except Exception as exc:
+            if probe_store:
+                self._probing_store = False
+            if probe_pool:
+                self._probing_pool = False
+            self.stats.internal_errors += 1
+            return 500, error_payload("internal", str(exc))
+        self._settle_breakers(outcome, probe_store, probe_pool)
+        return status, payload
+
+    def _analyze_sync(
+        self,
+        engine: DependenceEngine,
+        request: AnalyzeRequest,
+        deadline_ms: Optional[float],
+    ) -> Tuple[int, Dict[str, Any], Dict[str, int]]:
+        """The blocking analysis body (runs on an executor thread).
+
+        Returns ``(http_status, payload, outcome)`` where ``outcome``
+        counts this request's store and pool failures for the breakers.
+        """
+        started = time.perf_counter()
+        faultinject.on_request()
+        deadline = (
+            Deadline(deadline_ms / 1000.0) if deadline_ms is not None else None
+        )
+        try:
+            program = normalize_program(
+                parse_program(request.source, name=request.name)
+            )
+        except FortranSyntaxError as exc:
+            return (
+                422,
+                error_payload("syntax error", exc.diagnostic()),
+                {"store": 0, "pool": 0, "syntax": 1},
+            )
+        stats = EngineStats()
+        recorder = TestRecorder()
+        routines = []
+        for routine in program.routines:
+            graph = engine.serve_build(
+                routine.body,
+                recorder=recorder,
+                include_input=request.include_input,
+                deadline=deadline,
+                stats=stats,
+            )
+            verdicts = find_parallel_loops(
+                routine.body, self.symbols, graph=graph
+            )
+            entry: Dict[str, Any] = {
+                "name": routine.name,
+                "graph": graph_payload(graph),
+                "parallel_loops": parallelism_payload(verdicts),
+            }
+            if request.transforms:
+                suggestions = [
+                    str(s)
+                    for s in find_peeling_opportunities(
+                        routine.body, self.symbols, graph
+                    )
+                ]
+                suggestions.extend(
+                    str(s)
+                    for s in find_splitting_opportunities(
+                        routine.body, self.symbols, graph
+                    )
+                )
+                entry["transforms"] = suggestions
+            routines.append(entry)
+        payload = analysis_payload(
+            request, routines, stats, recorder, time.perf_counter() - started
+        )
+        outcome = {
+            "store": sum(1 for f in stats.failures if f.kind == "store"),
+            "pool": sum(
+                1
+                for f in stats.failures
+                if f.kind in ("worker-crash", "chunk-timeout")
+            ),
+            "syntax": 0,
+        }
+        return 200, payload, outcome
+
+    # -- breakers ---------------------------------------------------------
+
+    def _bump_engine_counter(self, name: str) -> None:
+        """Increment a service counter on the engine's cumulative stats.
+
+        Taken under the serve lock so it cannot interleave with the
+        read-modify-write of a concurrent ``serve_build`` merge.
+        """
+        engine = self.engine
+        if engine is None:
+            return
+        with engine.serve_lock:
+            setattr(engine.stats, name, getattr(engine.stats, name) + 1)
+
+    def _settle_breakers(
+        self, outcome: Dict[str, int], probe_store: bool, probe_pool: bool
+    ) -> None:
+        """Feed one request's failure counts into both breakers.
+
+        The store needs one extra wrinkle: the driver detaches a failing
+        store *itself* (first whole-store failure → memory-only, PR 3
+        semantics), so by the time this runs the store may already be
+        gone.  That self-detach is the trip — the breaker's window never
+        sees a second failure because there is no store left to fail.
+        Shard quarantines, by contrast, leave the store attached; those
+        accumulate in the window and trip on repetition.
+        """
+        if outcome.get("syntax"):
+            # Parse never touched store or pool; probes stay outstanding.
+            return
+        engine = self.engine
+        if engine is None:
+            return
+        store_failures = outcome.get("store", 0)
+        driver_detached = (
+            engine.driver.persist is None and self._store_attached
+        )
+        if driver_detached:
+            self._store_attached = False
+            self._detached_store_path = self.config.store_path
+            self.store_breaker.record_failure(store_failures or 1)
+            self.store_breaker.trip()
+        elif store_failures:
+            if self.store_breaker.record_failure(store_failures):
+                self._trip_store(engine)
+        elif self.store_breaker.state != "open":
+            self.store_breaker.record_success()
+        if probe_store:
+            self._probing_store = False
+
+        pool_failures = outcome.get("pool", 0)
+        if pool_failures:
+            if self.pool_breaker.record_failure(pool_failures):
+                self._trip_pool(engine)
+        elif self.pool_breaker.state != "open":
+            if self.pool_breaker.record_success() and probe_pool:
+                # Probe passed: keep the restored worker count.
+                pass
+        if probe_pool:
+            self._probing_pool = False
+            if pool_failures:
+                self._trip_pool(engine)
+
+    def _trip_store(self, engine: DependenceEngine) -> None:
+        """Detach the persistent tier: memory-only until a probe succeeds."""
+        with engine.serve_lock:
+            store = engine.driver.persist
+            engine.driver.persist = None
+        self._store_attached = False
+        if store is not None:
+            self._detached_store_path = Path(store.path)
+            try:
+                if not store.closed:
+                    store.close()
+            except Exception:
+                pass
+        elif self.config.store_path is not None:
+            self._detached_store_path = self.config.store_path
+
+    def _trip_pool(self, engine: DependenceEngine) -> None:
+        """Degrade to all-serial builds until a probe succeeds."""
+        with engine.serve_lock:
+            pool, engine._pool = engine._pool, None
+            engine.jobs = 1
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False)
+            except Exception:
+                pass
+
+    async def _maybe_probe(self, loop) -> None:
+        """Half-open recovery: reattach store / restore pool for one probe."""
+        if (
+            not self._probing_store
+            and self._detached_store_path is not None
+            and self.store_breaker.should_probe()
+        ):
+            self._probing_store = True
+            reattached = await loop.run_in_executor(
+                None, self._reattach_store
+            )
+            if not reattached:
+                # Couldn't even open: the probe fails without a request.
+                self._probing_store = False
+                self.store_breaker.record_failure()
+        if (
+            self.config.jobs > 1
+            and self.pool_breaker.should_probe()
+            and not self._probing_pool
+        ):
+            self._probing_pool = True
+            engine = self.engine
+            if engine is not None:
+                with engine.serve_lock:
+                    engine.jobs = self.config.jobs
+
+    def _reattach_store(self) -> bool:
+        engine = self.engine
+        path = self._detached_store_path
+        if engine is None or path is None:
+            return False
+        try:
+            store = VerdictStore(path, shards=self.config.store_shards)
+        except (StoreError, OSError, ValueError):
+            return False
+        with engine.serve_lock:
+            engine.driver.persist = store
+        self._store_attached = True
+        return True
+
+    # -- introspection ----------------------------------------------------
+
+    def health_payload(self) -> Dict[str, Any]:
+        engine = self.engine
+        store_mode = "none"
+        if engine is not None and engine.store is not None:
+            store_mode = "attached"
+        elif self._detached_store_path is not None:
+            store_mode = "memory-only"
+        elif self.config.store_path is not None:
+            store_mode = "detached"
+        healthy = (
+            not self._draining
+            and engine is not None
+            and self.store_breaker.state == "closed"
+            and self.pool_breaker.state == "closed"
+        )
+        return {
+            "status": "ok" if healthy else ("draining" if self._draining else "degraded"),
+            "draining": self._draining,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "store": {
+                "mode": store_mode,
+                "breaker": self.store_breaker.as_dict(),
+            },
+            "pool": {
+                "jobs": engine.jobs if engine is not None else 0,
+                "configured_jobs": self.config.jobs,
+                "breaker": self.pool_breaker.as_dict(),
+            },
+            "admission": self.limiter.as_dict(),
+        }
+
+    def stats_payload(self) -> Dict[str, Any]:
+        engine = self.engine
+        payload: Dict[str, Any] = {"service": self.stats.as_dict()}
+        if engine is not None:
+            with engine.serve_lock:
+                payload["engine"] = engine.stats.as_dict()
+        return payload
+
+
+def run_service(config: ServiceConfig, banner=None) -> int:
+    """Blocking entry point for ``repro-deps serve``."""
+
+    async def _main() -> None:
+        service = DependenceService(config)
+        await service.start()
+        service.install_signal_handlers()
+        if banner is not None:
+            banner(service)
+        assert service._stopped is not None
+        await service._stopped.wait()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    return 0

@@ -285,6 +285,94 @@ class TestWorkerSupervision:
         assert graph_signature(graph) == self._clean_signature(POOL_KERNEL)
 
 
+class _FakeFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def done(self):
+        return True
+
+    def result(self, timeout=None):
+        return self._value
+
+
+class _FakeExecutor:
+    """Executor stub whose ``submit`` starts raising after N calls."""
+
+    def __init__(self, break_after):
+        self.break_after = break_after
+        self.submitted = 0
+
+    def submit(self, fn, task):
+        from concurrent.futures.process import BrokenProcessPool
+
+        if self.submitted >= self.break_after:
+            raise BrokenProcessPool(
+                "A child process terminated abruptly, "
+                "the process pool is not usable anymore"
+            )
+        self.submitted += 1
+        return _FakeFuture(fn(task))
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+class TestSubmitTimeBreak:
+    """A worker dying on an early chunk can flag the pool broken while
+    the supervisor is *still submitting* later chunks of the same build
+    — then ``submit`` itself raises.  That surface must recover exactly
+    like a result-time crash, never escape to the caller."""
+
+    def _run(self, policy):
+        from repro.engine.supervisor import PoolSupervisor
+
+        stats = EngineStats()
+        supervisor = PoolSupervisor(
+            _FakeExecutor(break_after=2),
+            spawn=lambda: _FakeExecutor(break_after=10**9),
+            policy=policy,
+            stats=stats,
+        )
+        results = supervisor.run(
+            tasks=list(range(5)),
+            worker_fn=lambda t: t * 10,
+            serial_runner=lambda t: t * 10,
+        )
+        return results, stats
+
+    def test_pool_breaking_mid_submit_recovers(self):
+        results, stats = self._run(FaultPolicy(restart_backoff=0.0))
+        assert results == [0, 10, 20, 30, 40]  # every chunk delivered
+        assert stats.worker_crashes == 1
+        assert any(
+            record.kind == "worker-crash" and "submit" in record.where
+            for record in stats.failures
+        )
+
+    def test_pool_breaking_mid_submit_strict_raises(self):
+        with pytest.raises(WorkerCrashError, match="submitting"):
+            self._run(FaultPolicy(strict=True, restart_backoff=0.0))
+
+    def test_retries_exhausted_finishes_serially(self):
+        from repro.engine.supervisor import PoolSupervisor
+
+        stats = EngineStats()
+        supervisor = PoolSupervisor(
+            _FakeExecutor(break_after=0),
+            spawn=lambda: _FakeExecutor(break_after=0),
+            policy=FaultPolicy(restart_backoff=0.0, max_pool_restarts=2),
+            stats=stats,
+        )
+        results = supervisor.run(
+            tasks=list(range(4)),
+            worker_fn=lambda t: t,
+            serial_runner=lambda t: t,
+        )
+        assert results == [0, 1, 2, 3]
+        assert stats.serial_recoveries >= 4
+
+
 class TestRoutineIsolation:
     PROGRAM = """
       subroutine good(a, n)

@@ -620,6 +620,73 @@ class TestLocking:
             store.close()
 
 
+class TestCloseDrainsFinalEvents:
+    """Events raised *during* the final checkpoint must not vanish.
+
+    ``drain_store_events`` only surfaces events queued so far; a shard
+    quarantined by the close-time flush queues its event after the last
+    mid-run drain.  ``CachedDriver.close`` (and ``DependenceEngine.close``
+    above it) runs the final checkpoint itself and drains once more, so
+    the fault report covers the whole run including its last write.
+    """
+
+    def test_quarantine_during_final_checkpoint_is_reported(self, tmp_path):
+        path = tmp_path / "s.db"
+        nodes = random_nest(5, depth=2, statements=3, arrays=2, ndim=2, extent=8)
+        # A huge interval keeps every put buffered until the close-time
+        # flush — the only checkpoint is the one close() itself runs.
+        store = VerdictStore(path, shards=1, checkpoint_interval=10**6)
+        try:
+            driver = CachedDriver(store=store)
+            build_dependence_graph(nodes, tester=driver)
+            driver.drain_store_events()
+            assert not driver.stats.failures  # clean so far
+            # Starve the close-time flush: the quarantine event is
+            # queued during close(), after the drain above.
+            blocker = _SidecarLock(store._segments[0].lock.path)
+            blocker.acquire()
+            try:
+                driver.close()
+            finally:
+                blocker.release(unlink=True)
+            kinds = {record.kind for record in driver.stats.failures}
+            assert kinds == {"store"}
+            assert driver.stats.assumed == 0
+            assert driver.persist is store  # shard-scoped, not wholesale
+        finally:
+            store.close()
+
+    def test_failed_final_checkpoint_degrades_with_record(self, tmp_path, monkeypatch):
+        store = VerdictStore(tmp_path / "s.db", shards=1)
+        driver = CachedDriver(store=store)
+
+        def boom():
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(store, "checkpoint", boom)
+        driver.close()
+        assert driver.persist is None  # whole-store failure: detached
+        kinds = {record.kind for record in driver.stats.failures}
+        assert kinds == {"store"}
+        assert "disk gone" in driver.stats.failures[0].error
+        monkeypatch.undo()
+        store.close()
+
+    def test_engine_close_surfaces_final_events(self, tmp_path, monkeypatch):
+        from repro.engine import DependenceEngine
+
+        store = VerdictStore(tmp_path / "s.db", shards=1)
+        engine = DependenceEngine(store=store)
+        monkeypatch.setattr(
+            store, "checkpoint",
+            lambda: (_ for _ in ()).throw(OSError("flush failed")),
+        )
+        engine.close()
+        assert {r.kind for r in engine.stats.failures} == {"store"}
+        monkeypatch.undo()
+        store.close()
+
+
 class TestReadOnlyFallbackAndMigration:
     def test_v1_opens_read_only(self, v1_store):
         path, nodes, keys = v1_store
