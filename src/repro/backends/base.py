@@ -122,6 +122,14 @@ class TestBackend:
         from repro.engine import faultinject
 
         try:
+            # A pair starting after the request deadline has already
+            # expired degrades in O(1) — checked before the fault hook,
+            # mirroring the per-pair resolve path, so an injected delay
+            # (or any per-pair setup cost) can't stretch an expired
+            # request across the whole batch.
+            deadline = getattr(item.budget, "deadline", None)
+            if deadline is not None:
+                deadline.check()
             faultinject.on_pair(item.context.src_site.ref.array)
             item.result = test_dependence(
                 item.context.src_site,

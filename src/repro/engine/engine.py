@@ -212,14 +212,25 @@ class DependenceEngine:
 
         ``stats`` (when given) receives this build's counter deltas —
         failures, assumed counts, hit/miss provenance — attributed to
-        just this call; the engine's own cumulative stats absorb them on
-        the way out, so global accounting is unchanged.
+        just this call; the engine's own cumulative stats absorb the
+        same delta on the way out, so global accounting is unchanged.
+        The driver records into a private per-build object that is
+        merged into *both* targets afterwards, so a caller may pass one
+        request-level ``stats`` across many builds without earlier
+        builds' counters (or their ``FailureRecord``\\s) being folded
+        into the cumulative stats more than once.
         """
         with self.serve_lock:
             driver = self.driver
             saved_stats = driver.stats
+            delta: Optional[EngineStats] = None
             if stats is not None:
-                driver.stats = stats
+                delta = EngineStats(
+                    profile=PhaseProfile()
+                    if saved_stats.profile is not None
+                    else None
+                )
+                driver.stats = delta
             driver.deadline = deadline
             try:
                 return self.build_graph(
@@ -230,6 +241,7 @@ class DependenceEngine:
                 )
             finally:
                 driver.deadline = None
-                if stats is not None:
+                if delta is not None:
                     driver.stats = saved_stats
-                    saved_stats.merge(stats)
+                    saved_stats.merge(delta)
+                    stats.merge(delta)

@@ -47,14 +47,18 @@ class EngineStats:
     ``failures`` holds one structured :class:`FailureRecord` per absorbed
     failure event, in occurrence order.
 
-    The long-running analysis service (``repro.service``) accounts its
-    request-level outcomes here as well: ``shed_requests`` counts
+    The long-running analysis service (``repro.service``) reports its
+    request-level outcomes under the same keys: ``shed_requests`` counts
     admissions refused under overload (503 + ``Retry-After``),
     ``coalesced_requests`` counts requests served by awaiting another
     in-flight computation of the same canonical request key, and
     ``degraded_requests`` counts requests answered with conservative
-    partial results (deadline expiry, absorbed faults).  They are zero
-    outside service runs.
+    partial results (deadline expiry, absorbed faults).  The live
+    counters are owned by the service's event loop (which never takes
+    the engine lock) and overlaid onto the engine snapshot when
+    ``/stats`` renders; the fields here exist so merged or deserialized
+    service stats keep their meaning.  They are zero outside service
+    runs.
 
     ``backend_coverage`` holds the batching backend's self-reported
     counters (harvested via ``TestBackend.take_coverage`` after each

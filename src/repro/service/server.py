@@ -28,6 +28,14 @@ machinery layered around the engine seam:
 * **Graceful shutdown** — SIGTERM/SIGINT stop accepting work (new
   requests get ``503``), drain in-flight requests, checkpoint the store,
   and exit cleanly.
+
+One invariant ties the layers together: the event loop thread never
+acquires ``engine.serve_lock``.  A handler thread holds that lock for a
+whole build, so a loop-side acquire would let one stuck build stall
+every response — including the watchdog answer for the very request
+that is stuck.  Engine mutations decided on the loop (breaker trips,
+probe restores) are recorded as pending flags and applied by the next
+analysis thread; ``/stats`` serves a snapshot the last analysis took.
 """
 
 from __future__ import annotations
@@ -66,6 +74,10 @@ from repro.service.protocol import (
 from repro.transform.parallel import find_parallel_loops
 from repro.transform.peel import find_peeling_opportunities
 from repro.transform.split import find_splitting_opportunities
+
+class _BadRequest(Exception):
+    """A request malformed below the JSON layer (e.g. bad Content-Length)."""
+
 
 #: Reasons phrase for the HTTP status line.
 _REASONS = {
@@ -186,6 +198,18 @@ class DependenceService:
         self._store_attached = config.store_path is not None
         self._probing_store = False
         self._probing_pool = False
+        #: Loop-decided engine transitions, applied by the next analysis
+        #: thread: the event loop never takes ``engine.serve_lock`` (a
+        #: build stuck while holding it would stall every response, the
+        #: watchdog path included), so trips and probe-restores are
+        #: recorded here and consumed executor-side before building.
+        self._pending_store_trip = False
+        self._pending_pool_trip = False
+        self._pending_pool_restore = False
+        #: ``engine.stats.as_dict()`` captured under the serve lock by
+        #: the most recently completed analysis; ``/stats`` serves this
+        #: snapshot so the loop never blocks on an in-progress build.
+        self._engine_snapshot: Optional[Dict[str, Any]] = None
         self._started_at = time.monotonic()
 
     # -- lifecycle --------------------------------------------------------
@@ -206,6 +230,8 @@ class DependenceService:
             policy=config.policy,
             **kwargs,
         )
+        # Single-threaded at startup: safe to read without the lock.
+        self._engine_snapshot = self.engine.stats.as_dict()
 
     async def start(self) -> None:
         """Open the engine and start listening; sets :attr:`port`."""
@@ -296,6 +322,14 @@ class DependenceService:
             await self._respond(writer, status, payload, headers)
         except (asyncio.TimeoutError, ConnectionError, asyncio.IncompleteReadError):
             pass
+        except _BadRequest as exc:
+            self.stats.bad_requests += 1
+            try:
+                await self._respond(
+                    writer, 400, error_payload("bad request", str(exc)), {}
+                )
+            except Exception:
+                pass
         except Exception as exc:  # pragma: no cover - last-resort guard
             self.stats.internal_errors += 1
             try:
@@ -330,7 +364,12 @@ class DependenceService:
                 break
             name, _, value = line.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequest("malformed Content-Length header")
+        if length < 0:
+            raise _BadRequest("negative Content-Length header")
         if length > MAX_BODY_BYTES + 1024:
             # Read nothing further; the route layer answers 413.
             return method, target, b"\x00" * (MAX_BODY_BYTES + 1)
@@ -408,14 +447,12 @@ class DependenceService:
             # Coalesce: ride the in-flight analysis, consuming no slot.
             entry.waiters += 1
             self.stats.coalesced += 1
-            self._bump_engine_counter("coalesced_requests")
             return await self._await_analysis(entry.task, request, wait_budget)
 
         # Shed before queueing when saturated beyond both bounds.
         admitted = await self.limiter.acquire()
         if not admitted:
             self.stats.shed += 1
-            self._bump_engine_counter("shed_requests")
             return (
                 503,
                 error_payload("overloaded", "try again later"),
@@ -461,7 +498,6 @@ class DependenceService:
         except asyncio.TimeoutError:
             self.stats.watchdog_timeouts += 1
             self.stats.degraded += 1
-            self._bump_engine_counter("degraded_requests")
             return (
                 200,
                 {
@@ -490,7 +526,6 @@ class DependenceService:
         if status == 200:
             if payload.get("degraded"):
                 self.stats.degraded += 1
-                self._bump_engine_counter("degraded_requests")
             else:
                 self.stats.ok += 1
         elif status == 422:
@@ -500,13 +535,18 @@ class DependenceService:
     async def _run_analysis(
         self, request: AnalyzeRequest, deadline_ms: Optional[float]
     ) -> Tuple[int, Dict[str, Any]]:
-        """Run one analysis in the executor; owns breaker bookkeeping."""
+        """Run one analysis in the executor; owns breaker bookkeeping.
+
+        ``probe_store``/``probe_pool`` mark this request as the *owner*
+        of a half-open probe — only the owner's outcome settles the
+        breaker, so a concurrent request that happened to run while the
+        probe was outstanding (and may never have touched the
+        collaborator at all) cannot close it.
+        """
         engine = self.engine
         assert engine is not None and self._executor is not None
         loop = asyncio.get_running_loop()
-        await self._maybe_probe(loop)
-        probe_store = self._probing_store
-        probe_pool = self._probing_pool
+        probe_store, probe_pool = await self._maybe_probe(loop)
         try:
             status, payload, outcome = await loop.run_in_executor(
                 self._executor,
@@ -516,10 +556,7 @@ class DependenceService:
                 deadline_ms,
             )
         except Exception as exc:
-            if probe_store:
-                self._probing_store = False
-            if probe_pool:
-                self._probing_pool = False
+            self._settle_probe_failure(probe_store, probe_pool)
             self.stats.internal_errors += 1
             return 500, error_payload("internal", str(exc))
         self._settle_breakers(outcome, probe_store, probe_pool)
@@ -536,6 +573,7 @@ class DependenceService:
         Returns ``(http_status, payload, outcome)`` where ``outcome``
         counts this request's store and pool failures for the breakers.
         """
+        self._apply_pending_transitions(engine)
         started = time.perf_counter()
         faultinject.on_request()
         deadline = (
@@ -597,26 +635,23 @@ class DependenceService:
             ),
             "syntax": 0,
         }
+        with engine.serve_lock:
+            self._engine_snapshot = engine.stats.as_dict()
         return 200, payload, outcome
 
     # -- breakers ---------------------------------------------------------
-
-    def _bump_engine_counter(self, name: str) -> None:
-        """Increment a service counter on the engine's cumulative stats.
-
-        Taken under the serve lock so it cannot interleave with the
-        read-modify-write of a concurrent ``serve_build`` merge.
-        """
-        engine = self.engine
-        if engine is None:
-            return
-        with engine.serve_lock:
-            setattr(engine.stats, name, getattr(engine.stats, name) + 1)
 
     def _settle_breakers(
         self, outcome: Dict[str, int], probe_store: bool, probe_pool: bool
     ) -> None:
         """Feed one request's failure counts into both breakers.
+
+        Runs on the event loop (the breakers are loop-owned), but never
+        touches the engine under ``serve_lock`` — a trip decision is
+        recorded as a pending flag and applied by the next analysis
+        thread in :meth:`_apply_pending_transitions`.  Only the probe
+        owner settles a half-open breaker; other requests feed the
+        failure window only while the breaker is closed.
 
         The store needs one extra wrinkle: the driver detaches a failing
         store *itself* (first whole-store failure → memory-only, PR 3
@@ -626,11 +661,15 @@ class DependenceService:
         Shard quarantines, by contrast, leave the store attached; those
         accumulate in the window and trip on repetition.
         """
-        if outcome.get("syntax"):
-            # Parse never touched store or pool; probes stay outstanding.
-            return
         engine = self.engine
         if engine is None:
+            return
+        if outcome.get("syntax"):
+            # Parse never touched store or pool, so an owned probe
+            # proved nothing: settle it as a failure (re-open, retry
+            # after the reset timeout) rather than leaving the breaker
+            # half-open with no owner left to ever settle it.
+            self._settle_probe_failure(probe_store, probe_pool)
             return
         store_failures = outcome.get("store", 0)
         driver_detached = (
@@ -641,28 +680,68 @@ class DependenceService:
             self._detached_store_path = self.config.store_path
             self.store_breaker.record_failure(store_failures or 1)
             self.store_breaker.trip()
-        elif store_failures:
-            if self.store_breaker.record_failure(store_failures):
-                self._trip_store(engine)
-        elif self.store_breaker.state != "open":
-            self.store_breaker.record_success()
-        if probe_store:
+            if probe_store:
+                self._probing_store = False
+        elif probe_store:
             self._probing_store = False
+            if store_failures:
+                self.store_breaker.record_failure(store_failures)
+                self._pending_store_trip = True
+            else:
+                self.store_breaker.record_success()
+        elif self.store_breaker.state == "closed":
+            if store_failures:
+                if self.store_breaker.record_failure(store_failures):
+                    self._pending_store_trip = True
+            else:
+                self.store_breaker.record_success()
 
         pool_failures = outcome.get("pool", 0)
-        if pool_failures:
-            if self.pool_breaker.record_failure(pool_failures):
-                self._trip_pool(engine)
-        elif self.pool_breaker.state != "open":
-            if self.pool_breaker.record_success() and probe_pool:
-                # Probe passed: keep the restored worker count.
-                pass
         if probe_pool:
             self._probing_pool = False
             if pool_failures:
-                self._trip_pool(engine)
+                self.pool_breaker.record_failure(pool_failures)
+                self._pending_pool_trip = True
+            else:
+                # Probe passed: keep the restored worker count.
+                self.pool_breaker.record_success()
+        elif self.pool_breaker.state == "closed":
+            if pool_failures:
+                if self.pool_breaker.record_failure(pool_failures):
+                    self._pending_pool_trip = True
+            else:
+                self.pool_breaker.record_success()
 
-    def _trip_store(self, engine: DependenceEngine) -> None:
+    def _settle_probe_failure(self, probe_store: bool, probe_pool: bool) -> None:
+        """Settle owned probes as failed (re-open + re-degrade pending)."""
+        if probe_store:
+            self._probing_store = False
+            self.store_breaker.record_failure()
+            self._pending_store_trip = True
+        if probe_pool:
+            self._probing_pool = False
+            self.pool_breaker.record_failure()
+            self._pending_pool_trip = True
+
+    def _apply_pending_transitions(self, engine: DependenceEngine) -> None:
+        """Consume loop-decided trips/restores (analysis threads only).
+
+        Order matters: a trip pending alongside a restore means a probe
+        was granted after the trip decision, so the restore — the newer
+        intent — must win.
+        """
+        if self._pending_store_trip:
+            self._pending_store_trip = False
+            self._trip_store_now(engine)
+        if self._pending_pool_trip:
+            self._pending_pool_trip = False
+            self._trip_pool_now(engine)
+        if self._pending_pool_restore:
+            self._pending_pool_restore = False
+            with engine.serve_lock:
+                engine.jobs = self.config.jobs
+
+    def _trip_store_now(self, engine: DependenceEngine) -> None:
         """Detach the persistent tier: memory-only until a probe succeeds."""
         with engine.serve_lock:
             store = engine.driver.persist
@@ -678,7 +757,7 @@ class DependenceService:
         elif self.config.store_path is not None:
             self._detached_store_path = self.config.store_path
 
-    def _trip_pool(self, engine: DependenceEngine) -> None:
+    def _trip_pool_now(self, engine: DependenceEngine) -> None:
         """Degrade to all-serial builds until a probe succeeds."""
         with engine.serve_lock:
             pool, engine._pool = engine._pool, None
@@ -689,8 +768,19 @@ class DependenceService:
             except Exception:
                 pass
 
-    async def _maybe_probe(self, loop) -> None:
-        """Half-open recovery: reattach store / restore pool for one probe."""
+    async def _maybe_probe(self, loop) -> Tuple[bool, bool]:
+        """Half-open recovery: reattach store / restore pool for one probe.
+
+        Returns ``(store_owner, pool_owner)``: True marks the calling
+        request as the probe's owner — the one request whose outcome is
+        allowed to settle the half-open breaker.  The store reattach
+        runs on the default executor (it takes ``serve_lock``); the pool
+        restore is a pending flag the owner's own analysis thread
+        applies before building, so the probe request itself exercises
+        the restored pool.
+        """
+        own_store = False
+        own_pool = False
         if (
             not self._probing_store
             and self._detached_store_path is not None
@@ -700,20 +790,21 @@ class DependenceService:
             reattached = await loop.run_in_executor(
                 None, self._reattach_store
             )
-            if not reattached:
+            if reattached:
+                own_store = True
+            else:
                 # Couldn't even open: the probe fails without a request.
                 self._probing_store = False
                 self.store_breaker.record_failure()
         if (
             self.config.jobs > 1
-            and self.pool_breaker.should_probe()
             and not self._probing_pool
+            and self.pool_breaker.should_probe()
         ):
             self._probing_pool = True
-            engine = self.engine
-            if engine is not None:
-                with engine.serve_lock:
-                    engine.jobs = self.config.jobs
+            self._pending_pool_restore = True
+            own_pool = True
+        return own_store, own_pool
 
     def _reattach_store(self) -> bool:
         engine = self.engine
@@ -763,11 +854,23 @@ class DependenceService:
         }
 
     def stats_payload(self) -> Dict[str, Any]:
-        engine = self.engine
+        """Service and engine counters; never blocks on a build.
+
+        The engine half is the snapshot the most recently completed
+        analysis captured under ``serve_lock``; the request-level
+        counters (shed/coalesced/degraded live on the loop, not on the
+        engine) are overlaid here, mirroring ``EngineStats.as_dict``'s
+        only-when-nonzero convention.
+        """
         payload: Dict[str, Any] = {"service": self.stats.as_dict()}
-        if engine is not None:
-            with engine.serve_lock:
-                payload["engine"] = engine.stats.as_dict()
+        snapshot = self._engine_snapshot
+        if self.engine is not None and snapshot is not None:
+            engine_dict = dict(snapshot)
+            if self.stats.shed or self.stats.coalesced or self.stats.degraded:
+                engine_dict["shed_requests"] = self.stats.shed
+                engine_dict["coalesced_requests"] = self.stats.coalesced
+                engine_dict["degraded_requests"] = self.stats.degraded
+            payload["engine"] = engine_dict
         return payload
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import threading
 import time
 
@@ -223,6 +224,45 @@ class TestDeadline:
         assert engine.driver.deadline is None
         assert engine.driver.stats is engine.stats
         assert engine.stats.misses == stats.misses
+
+    def test_request_stats_reused_across_builds_merge_once(self):
+        # The service passes ONE request-level stats object to every
+        # routine's build; the engine's cumulative stats must absorb
+        # each build's delta exactly once — not re-merge everything the
+        # request accumulated so far on every subsequent build.
+        engine = DependenceEngine()
+        nodes = normalize_steps(parse_fragment(
+            "      do i = 1, 10\n        A(i) = A(i-1)\n      end do\n"
+        ))
+        other = normalize_steps(parse_fragment(
+            "      do i = 1, 10\n        B(2*i) = B(2*i+5)\n      end do\n"
+        ))
+        stats = EngineStats()
+        engine.serve_build(nodes, stats=stats)
+        engine.serve_build(other, stats=stats)
+        engine.serve_build(nodes, stats=stats)  # warm: pure hits
+        assert engine.stats.misses == stats.misses
+        assert engine.stats.hits == stats.hits
+
+        # FailureRecords must not duplicate either: two degraded builds
+        # sharing one stats object yield the same failure list in both
+        # the request-level and the cumulative view.
+        expired = Deadline(
+            0.001, clock=iter([0.0] + [99.0] * 100000).__next__
+        )
+        # Fresh shapes: cache hits would satisfy pairs without testing,
+        # so only untested pairs degrade to deadline failures.
+        cold_a = normalize_steps(parse_fragment(
+            "      do i = 1, 10\n        C(3*i) = C(3*i+2)\n      end do\n"
+        ))
+        cold_b = normalize_steps(parse_fragment(
+            "      do i = 1, 10\n        D(i+4) = D(2*i)\n      end do\n"
+        ))
+        failing = EngineStats()
+        engine.serve_build(cold_a, deadline=expired, stats=failing)
+        engine.serve_build(cold_b, deadline=expired, stats=failing)
+        assert failing.failures
+        assert len(engine.stats.failures) == len(failing.failures)
 
 
 class TestConcurrentSameKey:
@@ -687,3 +727,89 @@ class TestServiceHTTP:
         # Fully stopped: the listener is gone.
         with pytest.raises(ServiceUnavailable):
             harness.client(retries=0).analyze(KERNEL, name="saxpy")
+
+    def test_malformed_content_length_is_bad_request(self):
+        with ServiceHarness(ServiceConfig()) as harness:
+            with socket.create_connection(
+                ("127.0.0.1", harness.service.port), timeout=10
+            ) as conn:
+                conn.sendall(
+                    b"POST /analyze HTTP/1.1\r\n"
+                    b"Content-Length: banana\r\n\r\n"
+                )
+                response = conn.recv(65536)
+            assert response.startswith(b"HTTP/1.1 400 ")
+            stats = harness.client().stats()
+            assert stats["service"]["bad_requests"] == 1
+            assert stats["service"]["internal_errors"] == 0
+
+    def test_introspection_never_waits_on_engine_lock(
+        self, fresh_request_counters
+    ):
+        monkeypatch = fresh_request_counters
+        # Every pair costs 300ms, so the handler thread holds the
+        # engine's serve_lock for ~2.7s (KERNEL tests 9 pairs).  The
+        # loop must keep answering /stats and /healthz from its own
+        # state instead of queueing behind that lock.
+        monkeypatch.setenv(faultinject.ENV_VAR, "pair-delay:0.3")
+        with ServiceHarness(ServiceConfig()) as harness:
+            worker = threading.Thread(
+                target=lambda: harness.client().analyze(KERNEL, name="saxpy")
+            )
+            worker.start()
+            time.sleep(0.5)  # the build is under way, lock held
+            started = time.monotonic()
+            stats = harness.client().stats()
+            health = harness.client().healthz()
+            elapsed = time.monotonic() - started
+            assert worker.is_alive()  # answered while the build still ran
+            assert elapsed < 1.5
+            assert stats["service"]["requests"] >= 1
+            assert health["draining"] is False
+            worker.join(30)
+
+
+class TestProbeOwnership:
+    """Only the request that owns a half-open probe settles the breaker."""
+
+    def test_non_owner_cannot_settle_half_open(self, tmp_path):
+        config = ServiceConfig(
+            store_path=tmp_path / "probe-store", breaker_reset_timeout=0.0
+        )
+        service = DependenceService(config)
+        service._open_engine()
+        try:
+            clean = {"store": 0, "pool": 0, "syntax": 0}
+
+            service.store_breaker.trip()
+            assert service.store_breaker.should_probe()  # half-open
+            # A concurrent success that never owned the probe (it may
+            # not even have touched the store) must not close it...
+            service._settle_breakers(
+                clean, probe_store=False, probe_pool=False
+            )
+            assert service.store_breaker.state == "half-open"
+            # ...while the owner's clean outcome does.
+            service._probing_store = True
+            service._settle_breakers(
+                clean, probe_store=True, probe_pool=False
+            )
+            assert service.store_breaker.state == "closed"
+            assert service._probing_store is False
+
+            service.pool_breaker.trip()
+            assert service.pool_breaker.should_probe()
+            service._settle_breakers(
+                clean, probe_store=False, probe_pool=False
+            )
+            assert service.pool_breaker.state == "half-open"
+            service._probing_pool = True
+            service._settle_breakers(
+                clean, probe_store=False, probe_pool=True
+            )
+            assert service.pool_breaker.state == "closed"
+            assert service._probing_pool is False
+        finally:
+            engine = service.engine
+            assert engine is not None
+            DependenceService._close_engine(engine, engine.store)
