@@ -19,11 +19,13 @@ interesting numbers are the wall-clock cost of sharing and how many
 verdicts each writer served from the other's freshly flushed shard
 tails (cross-process hits).
 
-The store is **not** part of the gated engine benchmark
-(``bench_engine.py`` / ``check_bench_regression.py``): persistence is
-opt-in (``--store``), so its cost must be visible here but must not
-move the warm-path numbers the regression gate watches.  Results land
-in ``BENCH_store.json`` (informational, no committed baseline).
+Results land in ``BENCH_store.json`` and are **gated**: CI feeds a
+fresh run to ``check_bench_regression.py --store`` which fails on a
+write-through overhead rise beyond tolerance or a replay hit-rate drop
+below the committed baseline (both are same-process ratios, so machine
+speed cancels out).  The store still stays out of the engine gate
+(``BENCH_engine.json``): persistence is opt-in (``--store``) and must
+not move the warm-path numbers that gate watches.
 
 Usage::
 
@@ -185,6 +187,16 @@ def main(argv=None):
             "the store should have served everything"
         )
 
+    replay_lookups = (
+        replay_stats.get("store_hits", 0)
+        + replay_stats.get("store_foreign_hits", 0)
+        + replay_stats.get("misses", 0)
+    )
+    replay_hit_rate = (
+        round(1.0 - replay_stats.get("misses", 0) / replay_lookups, 4)
+        if replay_lookups
+        else None
+    )
     overhead = (store_cold_s - memory_s) / memory_s if memory_s else 0.0
     shared_overhead = (
         (contention_wall - store_cold_s) / store_cold_s if store_cold_s else 0.0
@@ -205,6 +217,7 @@ def main(argv=None):
         "plans": plans,
         "bytes_per_verdict": round(size / verdicts, 1) if verdicts else None,
         "replay_store_hits": replay_stats.get("store_hits", 0),
+        "replay_hit_rate": replay_hit_rate,
         "contention_writers": len(writer_stats),
         "contention_wall_s": round(contention_wall, 4),
         "contention_overhead": round(shared_overhead, 4),

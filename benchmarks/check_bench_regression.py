@@ -26,6 +26,17 @@ the committed ``BENCH_engine.json``.  The check fails when
   walk would otherwise let the timing gates pass while the lock-step
   pre-run is effectively disabled.
 
+With ``--store FRESH_STORE_JSON`` the check also gates the store
+benchmark (``bench_store.py`` vs the committed ``BENCH_store.json``):
+
+* write-through overhead (store-cold vs memory-cold, a same-process
+  ratio) must not rise beyond ``--store-tolerance`` over baseline,
+* the replay pass's store hit rate must not fall below the baseline
+  rate (scaled by the same tolerance) and must have served at least
+  one verdict — a silent fall-through to re-testing would otherwise
+  keep the timing gates green while replay is effectively disabled,
+* the two-writer contention store must still scan clean.
+
 Warm speedup is the sturdiest number in the report for a noisy CI box: it
 is a ratio of two measurements from the same run (machine speed cancels
 out), and it is the figure the caching engine exists to deliver.  Other
@@ -153,14 +164,59 @@ def check_coverage(name: str, batched: dict, failures) -> None:
         )
 
 
+def check_store(
+    fresh: dict, baseline: dict, store_tolerance: float, failures
+) -> None:
+    """Gate the store benchmark: overhead ceiling and replay floor."""
+    base_overhead = baseline.get("write_through_overhead")
+    overhead = fresh.get("write_through_overhead")
+    if base_overhead and overhead is not None:
+        ceiling = base_overhead * (1.0 + store_tolerance)
+        status = "OK" if overhead <= ceiling else "REGRESSION"
+        print(
+            f"store: write-through overhead {overhead:.2f}x vs baseline "
+            f"{base_overhead:.2f}x (ceiling {ceiling:.2f}x) ... {status}"
+        )
+        if overhead > ceiling:
+            failures.append(
+                f"store: write-through overhead {overhead:.2f}x exceeded "
+                f"{ceiling:.2f}x ({store_tolerance:.0%} over baseline "
+                f"{base_overhead:.2f}x)"
+            )
+    rate = fresh.get("replay_hit_rate")
+    base_rate = baseline.get("replay_hit_rate") or 1.0
+    if rate is None:
+        failures.append("store: fresh results carry no replay_hit_rate")
+    else:
+        floor = base_rate * (1.0 - store_tolerance / 10.0)
+        status = "OK" if rate >= floor else "REGRESSION"
+        print(
+            f"store: replay hit rate {rate:.4f} vs baseline {base_rate:.4f} "
+            f"(floor {floor:.4f}) ... {status}"
+        )
+        if rate < floor:
+            failures.append(
+                f"store: replay hit rate {rate:.4f} fell below {floor:.4f}"
+            )
+    if not fresh.get("replay_store_hits"):
+        failures.append("store: replay pass served no verdicts from the store")
+    if fresh.get("contention_store_clean") is False:
+        failures.append("store: contention store no longer scans clean")
+
+
 def check(
     fresh: dict,
     baseline: dict,
     tolerance: float,
     latency_tolerance: float = 1.0,
     backend_slack: float = 0.10,
+    store_fresh: dict = None,
+    store_baseline: dict = None,
+    store_tolerance: float = 0.5,
 ) -> int:
     failures = []
+    if store_fresh is not None:
+        check_store(store_fresh, store_baseline or {}, store_tolerance, failures)
     for name, base in baseline.get("workloads", {}).items():
         current = fresh.get("workloads", {}).get(name)
         if current is None:
@@ -200,7 +256,10 @@ def check(
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", type=Path, help="freshly generated bench JSON")
+    parser.add_argument(
+        "fresh", type=Path, nargs="?", default=None,
+        help="freshly generated engine bench JSON (omit for store-only runs)",
+    )
     parser.add_argument(
         "--baseline",
         type=Path,
@@ -221,13 +280,33 @@ def main(argv=None) -> int:
         help="how far the batched backend may trail the reference backend "
              "on the generated workload (default 0.10)",
     )
+    parser.add_argument(
+        "--store", type=Path, default=None, metavar="JSON",
+        help="freshly generated store bench JSON; enables the store gate",
+    )
+    parser.add_argument(
+        "--store-baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_store.json",
+        help="committed store baseline JSON (default: repo BENCH_store.json)",
+    )
+    parser.add_argument(
+        "--store-tolerance", type=float, default=0.5,
+        help="allowed fractional write-through overhead rise (default 0.5); "
+             "a tenth of it bounds the replay hit-rate drop",
+    )
     args = parser.parse_args(argv)
+    if args.fresh is None and args.store is None:
+        parser.error("need an engine bench JSON, --store JSON, or both")
     return check(
-        load(args.fresh),
-        load(args.baseline),
+        load(args.fresh) if args.fresh else {},
+        load(args.baseline) if args.fresh else {},
         args.tolerance,
         args.latency_tolerance,
         args.backend_slack,
+        store_fresh=load(args.store) if args.store else None,
+        store_baseline=load(args.store_baseline) if args.store else None,
+        store_tolerance=args.store_tolerance,
     )
 
 

@@ -6,7 +6,11 @@ Subcommands:
   parallel-loop verdicts, and transformation suggestions.
 * ``study`` — regenerate the paper's tables over the corpus
   (``--table 1|2|3`` for a single table, default all).
-* ``corpus`` — list the corpus suites and programs.
+* ``corpus [list]`` — list the corpus suites and programs.
+* ``corpus run TREE`` — stream-analyze every Fortran source under a
+  directory tree: per-routine content tokens skip unchanged work, a
+  killed run resumes where it left off, and malformed files or crashed
+  routines quarantine without stopping the walk.
 * ``store {info,verify,compact,migrate}`` — inspect, check, compact, or
   upgrade a persistent verdict store created with ``--store``.
 
@@ -243,7 +247,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print the raw JSON response instead of the analyze-style text",
     )
 
-    sub.add_parser("corpus", help="list corpus suites and programs")
+    corpus = sub.add_parser(
+        "corpus", help="list corpus suites or stream-analyze a source tree"
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command")
+    corpus_sub.add_parser("list", help="list corpus suites and programs")
+    corpus_run = corpus_sub.add_parser(
+        "run", help="walk a directory tree of Fortran sources, analyzing "
+        "each routine once per content version (incremental, resumable)"
+    )
+    corpus_run.add_argument("tree", type=Path)
+    corpus_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="test reference pairs over N worker processes (default 1)",
+    )
+    corpus_run.add_argument(
+        "--backend", choices=backend_names(), default=None, metavar="NAME",
+        help="test backend: 'reference' (per-pair) or 'batched' "
+        "(numpy-vectorized; falls back to reference without numpy). "
+        "Default: $REPRO_BACKEND or 'reference'",
+    )
+    corpus_run.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first engine fault instead of quarantining the "
+        "affected routine (exit code 3)",
+    )
+    corpus_run.add_argument(
+        "--store", type=Path, default=None, metavar="PATH",
+        help="persist per-routine reports and verdicts at PATH; re-runs "
+        "skip unchanged routines and killed runs resume where they "
+        "left off",
+    )
+    corpus_run.add_argument(
+        "--store-shards", type=int, default=None, metavar="N",
+        help=f"shard count when creating a new store (default "
+        f"{DEFAULT_SHARDS}; an existing store keeps its manifest count)",
+    )
+    corpus_run.add_argument(
+        "--rebuild", action="store_true",
+        help="ignore stored reports and re-analyze every routine "
+        "(refreshes the store in place)",
+    )
+    corpus_run.add_argument(
+        "--max-rss-mb", type=float, default=None, metavar="MB",
+        help="memory watermark: over MB resident, shed in-memory caches "
+        "and throttle streaming instead of dying",
+    )
+    corpus_run.add_argument(
+        "--compact", action="store_true",
+        help="compact the store after the walk (delta-compresses "
+        "near-identical plan/report records per shard)",
+    )
 
     store = sub.add_parser(
         "store", help="inspect or maintain a persistent verdict store"
@@ -281,6 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "client":
         return _client(args)
     if args.command == "corpus":
+        if getattr(args, "corpus_command", None) == "run":
+            return _corpus_run(args)
         return _corpus()
     if args.command == "store":
         return _store(args)
@@ -385,6 +441,7 @@ def _store(args: argparse.Namespace) -> int:
             return EXIT_STORE_ERROR
         for line in report.lines():
             print(line)
+        print(report.compaction_line())
         store = _open_store(path)
         if store is None:
             return EXIT_STORE_ERROR
@@ -415,16 +472,23 @@ def _store(args: argparse.Namespace) -> int:
     if store is None:
         return EXIT_STORE_ERROR
     try:
-        before, after = store.compact()
+        result = store.compact()
     except (StoreError, OSError) as exc:
         store.close()
         print(f"repro-deps: compaction failed for '{path}': {exc}", file=sys.stderr)
         return EXIT_STORE_ERROR
     store.close()
+    before, after = result
     print(
         f"compacted {path}: {before} -> {after} bytes "
-        f"({len(store)} verdict(s), {store.plan_count} plan(s) kept)"
+        f"({len(store)} verdict(s), {store.plan_count} plan(s), "
+        f"{store.report_count} report(s) kept)"
     )
+    for label, shard_before, shard_after in getattr(result, "shards", []):
+        print(
+            f"  {label}: {shard_before} -> {shard_after} bytes "
+            f"({shard_before - shard_after} reclaimed)"
+        )
     return 0
 
 
@@ -684,6 +748,86 @@ def _corpus() -> int:
     for suite in available_suites():
         programs = ", ".join(available_programs(suite))
         print(f"{suite}: {programs}")
+    return 0
+
+
+def _corpus_run(args: argparse.Namespace) -> int:
+    """``repro-deps corpus run <tree>`` — the streaming corpus driver.
+
+    Exit codes follow ``analyze``: 0 for complete *and* degraded walks
+    (quarantines and pressure events print as a fault report), 1 for an
+    unusable tree, 3 on a --strict abort, 4 for an unusable store.
+    """
+    from repro.corpus.stream import StreamingCorpusRunner
+    from repro.engine.store import StoreError
+
+    tree: Path = args.tree
+    if not tree.is_dir():
+        print(f"repro-deps: '{tree}' is not a directory", file=sys.stderr)
+        return 1
+    store = None
+    if args.store is not None:
+        store = _open_store(args.store, args.store_shards)
+        if store is None:
+            return EXIT_STORE_ERROR
+    engine = DependenceEngine(
+        symbols=default_symbols(),
+        jobs=max(args.jobs, 1),
+        policy=FaultPolicy.from_env(strict=args.strict),
+        store=store,
+        backend=args.backend,
+    )
+    runner = StreamingCorpusRunner(
+        tree,
+        engine,
+        rebuild=args.rebuild,
+        max_rss_mb=args.max_rss_mb,
+    )
+    try:
+        with engine:
+            stats = runner.run()
+    except EngineFaultError as exc:
+        if store is not None:
+            store.close()
+        return _strict_abort(exc)
+    except Exception as exc:
+        if not args.strict:
+            raise
+        from repro.engine.faults import describe_error
+
+        if store is not None:
+            store.close()
+        print(
+            f"repro-deps: aborted by --strict: {describe_error(exc)}",
+            file=sys.stderr,
+        )
+        return EXIT_STRICT_FAULT
+    finally:
+        if store is not None and engine.driver is not None:
+            engine.driver.drain_store_events()
+    for line in stats.summary_lines():
+        print(line, file=sys.stderr)
+    print(engine.stats.provenance_report(), file=sys.stderr)
+    if engine.stats.degraded:
+        print(engine.stats.failure_report(), file=sys.stderr)
+    if store is not None:
+        live = engine.store is not None  # None when the run degraded
+        if args.compact and live:
+            try:
+                result = store.compact()
+            except (StoreError, OSError) as exc:
+                print(
+                    f"repro-deps: compaction failed for '{args.store}': {exc}",
+                    file=sys.stderr,
+                )
+                store.close()
+                return EXIT_STORE_ERROR
+            print(
+                f"compacted {args.store}: {result.before} -> "
+                f"{result.after} bytes ({result.reclaimed} reclaimed)",
+                file=sys.stderr,
+            )
+        store.close()
     return 0
 
 

@@ -13,6 +13,15 @@ from repro.corpus.generator import (
     coupled_group_nest,
     random_nest,
     siv_family,
+    synthesize_corpus_tree,
+)
+from repro.corpus.stream import (
+    CorpusStats,
+    StreamingCorpusRunner,
+    file_token,
+    routine_token,
+    stream_corpus,
+    walk_tree,
 )
 
 __all__ = [
@@ -26,4 +35,11 @@ __all__ = [
     "coupled_group_nest",
     "random_nest",
     "siv_family",
+    "synthesize_corpus_tree",
+    "CorpusStats",
+    "StreamingCorpusRunner",
+    "file_token",
+    "routine_token",
+    "stream_corpus",
+    "walk_tree",
 ]

@@ -194,3 +194,107 @@ def _wrap(body: List[Node], indices: Sequence[str], extent: int) -> List[Node]:
     for index in reversed(list(indices)):
         nodes = [Loop(index, Const(1), Const(extent), 1, nodes)]
     return nodes
+
+
+# ---------------------------------------------------------------------------
+# Synthetic corpus *trees* (Fortran source text on disk)
+# ---------------------------------------------------------------------------
+#
+# The streaming corpus driver (repro.corpus.stream) walks directory trees
+# of real source files, so its gates need a deterministic way to grow one.
+# Unlike the IR generators above, these emit parseable Fortran-subset
+# *text* — the front end is part of what corpus runs exercise.
+
+#: Source templates, parameterized by a carried-dependence distance
+#: ``d`` in [1, 3].  The mix covers serial carried flow, fully parallel
+#: loops, anti dependences, a 2-D stencil, and an SIV coefficient pair,
+#: so synthetic corpora produce non-trivial graphs and verdicts.
+_CORPUS_TEMPLATES = (
+    (
+        "      subroutine {name}(n, a, b)\n"
+        "      integer n, i\n"
+        "      real a(n), b(n)\n"
+        "      do 10 i = {d1}, n\n"
+        "         a(i) = a(i-{d}) + b(i)\n"
+        "   10 continue\n"
+        "      end\n"
+    ),
+    (
+        "      subroutine {name}(n, a, b, c)\n"
+        "      integer n, i\n"
+        "      real a(n), b(n), c(n)\n"
+        "      do 10 i = 1, n\n"
+        "         a(i) = b(i) + c(i)\n"
+        "   10 continue\n"
+        "      end\n"
+    ),
+    (
+        "      subroutine {name}(n, a, b)\n"
+        "      integer n, i\n"
+        "      real a(n), b(n)\n"
+        "      do 10 i = 1, n - {d}\n"
+        "         a(i) = a(i+{d}) + b(i)\n"
+        "   10 continue\n"
+        "      end\n"
+    ),
+    (
+        "      subroutine {name}(n, a)\n"
+        "      integer n, i, j\n"
+        "      real a(n,n)\n"
+        "      do 20 j = 2, n\n"
+        "         do 10 i = 2, n\n"
+        "            a(i, j) = a(i-1, j) + a(i, j-{d})\n"
+        "   10    continue\n"
+        "   20 continue\n"
+        "      end\n"
+    ),
+    (
+        "      subroutine {name}(n, a, b)\n"
+        "      integer n, i\n"
+        "      real a(n), b(n)\n"
+        "      do 10 i = 1, n\n"
+        "         a(2*i) = a(i) + b(i)\n"
+        "   10 continue\n"
+        "      end\n"
+    ),
+)
+
+
+def synthesize_corpus_tree(
+    root,
+    files: int = 6,
+    routines_per_file: int = 3,
+    seed: int = 0,
+    subdirs: int = 2,
+) -> List["Path"]:
+    """Write a deterministic synthetic Fortran corpus tree under ``root``.
+
+    ``files`` source files of ``routines_per_file`` routines each are
+    spread over ``subdirs`` subdirectories (0 keeps everything flat).
+    Routine names encode their file and ordinal (``gen003r1``) so
+    reports are self-identifying.  Everything derives from ``seed`` —
+    the same arguments always produce byte-identical trees, which is
+    what lets kill/resume and incremental gates compare outputs across
+    processes.
+
+    Returns the written file paths, sorted.
+    """
+    from pathlib import Path
+
+    root = Path(root)
+    rng = random.Random(seed)
+    written: List[Path] = []
+    for f in range(files):
+        directory = root / f"sub{f % subdirs}" if subdirs > 0 else root
+        directory.mkdir(parents=True, exist_ok=True)
+        chunks = []
+        for r in range(routines_per_file):
+            template = rng.choice(_CORPUS_TEMPLATES)
+            d = rng.randint(1, 3)
+            chunks.append(template.format(
+                name=f"gen{f:03d}r{r}", d=d, d1=d + 1
+            ))
+        path = directory / f"gen{f:03d}.f"
+        path.write_text("".join(chunks))
+        written.append(path)
+    return sorted(written)

@@ -1,0 +1,442 @@
+"""Streaming corpus driver: incremental, crash-resumable, bounded-memory.
+
+``repro-deps corpus run <tree>`` walks a directory tree of Fortran
+sources and analyzes each routine exactly once per *content version*.
+The unit of work is the routine, identified by a **routine token** — a
+:func:`repro.engine.checkpoint.run_token` over the report schema, the
+file's content digest, and the routine's position and name.  Finished
+routines persist their rendered report in the verdict store as a
+report document (kind ``"d"``), and a clean file persists a **file
+token** record listing its routine tokens, so:
+
+* a killed run resumes where it left off — completed routines replay
+  from the store byte-identically, only the tail is re-analyzed;
+* a re-run after edits touches only edited files — unchanged files
+  replay wholesale off their file token without even being parsed;
+* the emitted corpus report is byte-identical either way, because
+  cached text and freshly rendered text go through the same renderer
+  with per-routine-dense statement numbering (process-global statement
+  ids drift between parses; report text must not).
+
+Robustness rules (the conservative-degradation contract at tree scale):
+
+* **File quarantine** — an unreadable or malformed file produces a
+  ``"file"`` :class:`~repro.engine.faults.FailureRecord` and the walk
+  continues; nothing about that file lands in the store.
+* **Routine quarantine** — a crash inside one routine's analysis
+  produces a ``"routine"`` record and skips only that routine; the
+  file's other routines still stream, but the file token is withheld
+  so the failed routine is retried next run.
+* **Degraded output is never cached** — a report rendered while the
+  engine absorbed faults (assumed-dependence verdicts, store failures)
+  is emitted but not persisted, so a later healthy run repairs it.
+* **Backpressure** — store write failures (e.g. ENOSPC) degrade the
+  run to memory-only via the PR 3 fault machinery; an RSS watermark
+  (``--max-rss-mb``) sheds the driver's caches and records a
+  ``"pressure"`` failure instead of dying.
+
+Strict mode (``--strict``) turns engine faults into an abort as
+everywhere else; file-level syntax quarantine is input validation, not
+an engine fault, and stays quarantine-and-continue even in strict runs.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.dirvec.vectors import format_vector
+from repro.engine import faultinject
+from repro.engine.checkpoint import run_token
+from repro.engine.engine import DependenceEngine
+from repro.engine.faults import EngineFaultError, FailureRecord, describe_error
+from repro.fortran.errors import FortranSyntaxError
+from repro.fortran.parser import parse_program
+from repro.ir.normalize import normalize_program
+from repro.ir.scalars import substitute_scalars_program
+from repro.transform.parallel import find_parallel_loops
+
+#: Bump when the rendered report format changes: tokens embed the schema,
+#: so a format change invalidates cached report documents instead of
+#: replaying stale text.
+REPORT_SCHEMA = 1
+
+#: File suffixes the tree walk considers Fortran sources.
+CORPUS_SUFFIXES = (".f", ".f77", ".for")
+
+
+def walk_tree(root: Path) -> List[PurePosixPath]:
+    """Fortran source files under ``root``, as sorted relative paths.
+
+    The order is the deterministic spine of the whole subsystem: tokens,
+    kill points, resume, and byte-identity all assume two walks of the
+    same tree visit files identically.
+    """
+    found = []
+    for path in root.rglob("*"):
+        if path.is_file() and path.suffix.lower() in CORPUS_SUFFIXES:
+            found.append(PurePosixPath(path.relative_to(root).as_posix()))
+    return sorted(found)
+
+
+def file_token(data: bytes) -> str:
+    """Content token for one source file (schema-qualified)."""
+    return run_token("corpus-file", REPORT_SCHEMA, data)
+
+
+def routine_token(file_digest: str, ordinal: int, name: str) -> str:
+    """Content token for one routine of a file.
+
+    Keyed by the file digest (not the routine's own text): a routine's
+    analysis can depend on anything in its file (shared symbol
+    environment, statement context), so editing a file invalidates all
+    its routines — coarse but sound.
+    """
+    return run_token("corpus-routine", REPORT_SCHEMA, file_digest, ordinal, name)
+
+
+def render_routine_report(name: str, graph, verdicts) -> str:
+    """Deterministic per-routine report text.
+
+    Mirrors ``DependenceGraph.__str__`` but renumbers statement ids
+    densely in access-site order: the global statement counter drifts
+    between parses, and cached reports must compare byte-equal with
+    freshly rendered ones.
+    """
+    stmt_ids: Dict[int, int] = {}
+    for site in graph.sites:
+        raw = site.stmt.stmt_id
+        if raw not in stmt_ids:
+            stmt_ids[raw] = len(stmt_ids) + 1
+    lines = [f"-- routine {name} --"]
+    for edge in graph.edges:
+        vectors = ", ".join(sorted(format_vector(v) for v in edge.vectors))
+        src = stmt_ids.get(edge.source.stmt.stmt_id, 0)
+        snk = stmt_ids.get(edge.sink.stmt.stmt_id, 0)
+        text = (
+            f"{edge.dep_type} {edge.source.ref} (S{src})"
+            f" -> {edge.sink.ref} (S{snk}) {{{vectors}}}"
+        )
+        if edge.assumed:
+            text += " [assumed]"
+        lines.append(text)
+    lines.append(
+        f"({graph.tested_pairs} pairs tested, "
+        f"{graph.independent_pairs} independent)"
+    )
+    for verdict in verdicts:
+        lines.append(str(verdict))
+    lines.append("")
+    return "\n".join(lines)
+
+
+@dataclass
+class CorpusStats:
+    """Walk-level counters for one streaming run (engine counters live
+    in :class:`~repro.engine.stats.EngineStats` and are reported
+    separately)."""
+
+    files: int = 0
+    files_replayed: int = 0
+    files_quarantined: int = 0
+    routines: int = 0
+    analyzed: int = 0
+    skipped: int = 0
+    quarantined: int = 0
+    pressure_events: int = 0
+    shed_entries: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def skip_rate(self) -> float:
+        """Fraction of routines replayed from the store (1.0 = no-op run)."""
+        return self.skipped / self.routines if self.routines else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Freshly analyzed routines per second of wall clock."""
+        return self.analyzed / self.elapsed if self.elapsed > 0 else 0.0
+
+    def summary_lines(self) -> List[str]:
+        return [
+            (
+                f"corpus: files={self.files} replayed={self.files_replayed} "
+                f"quarantined={self.files_quarantined}"
+            ),
+            (
+                f"corpus: routines={self.routines} analyzed={self.analyzed} "
+                f"skipped={self.skipped} quarantined={self.quarantined}"
+            ),
+            (
+                f"corpus: elapsed={self.elapsed:.2f}s "
+                f"throughput={self.throughput:.1f} routines/s "
+                f"skip_rate={self.skip_rate:.2f} "
+                f"pressure_events={self.pressure_events}"
+            ),
+        ]
+
+
+def current_rss_mb() -> Optional[float]:
+    """Resident set size in MiB, or None when unknowable.
+
+    ``REPRO_FAULTS=fake-rss:<mb>`` overrides the probe so pressure
+    handling is testable without actually ballooning a process.
+    """
+    fake = faultinject.fake_rss()
+    if fake is not None:
+        return fake
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) / 1024.0
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB; the probe only feeds a watermark comparison,
+        # so peak-vs-current imprecision errs toward shedding earlier.
+        return peak / 1024.0
+    except Exception:
+        return None
+
+
+class StreamingCorpusRunner:
+    """One streaming pass over a source tree (see module docstring).
+
+    Owns the walk and the report stream; borrows ``engine`` (and its
+    attached store) from the caller, who closes both.  ``out`` receives
+    the byte-identity surface — file headers and routine reports —
+    and nothing else; summaries and fault reports go to ``err``.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        engine: DependenceEngine,
+        out: Optional[TextIO] = None,
+        err: Optional[TextIO] = None,
+        rebuild: bool = False,
+        max_rss_mb: Optional[float] = None,
+    ):
+        self.root = Path(root)
+        self.engine = engine
+        self.out = out if out is not None else sys.stdout
+        self.err = err if err is not None else sys.stderr
+        self.rebuild = rebuild
+        self.max_rss_mb = max_rss_mb
+        self.stats = CorpusStats()
+        self._pressure_reported = False
+
+    # -- store plumbing --------------------------------------------------
+    #
+    # All store access goes through ``engine.driver.persist`` (the *live*
+    # handle): when a write fails the driver degrades to memory-only and
+    # the walk keeps streaming fresh analysis without caching.
+
+    def _store(self):
+        return self.engine.driver.persist
+
+    def _get_report(self, token: str):
+        store = self._store()
+        if store is None or self.rebuild:
+            return None
+        try:
+            return store.get_report(token)
+        except Exception:
+            return None
+
+    def _put_report(self, token: str, value: object) -> None:
+        store = self._store()
+        if store is None or store.read_only:
+            return
+        try:
+            store.put_report(token, value)
+        except Exception as exc:  # ENOSPC, quarantine, injected faults
+            self.engine.driver._degrade_store(exc)
+        self.engine.driver.drain_store_events()
+
+    def _checkpoint(self) -> None:
+        store = self._store()
+        if store is None or store.read_only:
+            return
+        try:
+            store.checkpoint()
+        except Exception as exc:
+            self.engine.driver._degrade_store(exc)
+        self.engine.driver.drain_store_events()
+
+    # -- fault isolation -------------------------------------------------
+
+    def _quarantine_file(self, rel: PurePosixPath, error: str) -> None:
+        self.stats.files_quarantined += 1
+        self.engine.stats.record_failure(
+            FailureRecord("file", rel.as_posix(), error)
+        )
+
+    def _quarantine_routine(self, rel: PurePosixPath, name: str, exc: Exception) -> None:
+        self.stats.quarantined += 1
+        self.engine.stats.record_failure(
+            FailureRecord(
+                "routine", f"{rel.as_posix()}:{name}", describe_error(exc)
+            )
+        )
+
+    def _check_pressure(self, rel: PurePosixPath) -> None:
+        if self.max_rss_mb is None:
+            return
+        rss = current_rss_mb()
+        if rss is None or rss <= self.max_rss_mb:
+            return
+        shed = self.engine.driver.shed_memory()
+        gc.collect()
+        self.stats.pressure_events += 1
+        self.stats.shed_entries += shed
+        if not self._pressure_reported:
+            self._pressure_reported = True
+            self.engine.stats.record_failure(
+                FailureRecord(
+                    "pressure",
+                    f"corpus:{rel.as_posix()}",
+                    (
+                        f"rss {rss:.0f} MiB over {self.max_rss_mb:.0f} MiB "
+                        f"watermark; shed {shed} cached entr(ies) and "
+                        "throttled streaming"
+                    ),
+                )
+            )
+
+    # -- the walk --------------------------------------------------------
+
+    def run(self) -> CorpusStats:
+        start = time.perf_counter()
+        files = walk_tree(self.root)
+        self.stats.files = len(files)
+        for rel in files:
+            faultinject.on_corpus_file(rel.as_posix())
+            self.out.write(f"== file {rel.as_posix()} ==\n")
+            self._run_file(rel)
+            self._checkpoint()
+            self._check_pressure(rel)
+        self.stats.elapsed = time.perf_counter() - start
+        return self.stats
+
+    def _run_file(self, rel: PurePosixPath) -> None:
+        path = self.root / Path(rel)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            self._quarantine_file(rel, describe_error(exc))
+            return
+
+        ftoken = file_token(data)
+        if self._replay_file(ftoken):
+            return
+
+        try:
+            source = data.decode("utf-8")
+            program = normalize_program(
+                substitute_scalars_program(
+                    parse_program(source, name=path.stem)
+                )
+            )
+        except (FortranSyntaxError, UnicodeDecodeError) as exc:
+            self._quarantine_file(rel, describe_error(exc))
+            return
+        except Exception as exc:
+            self._quarantine_file(rel, describe_error(exc))
+            return
+
+        digest = hashlib.sha256(data).hexdigest()
+        tokens: List[str] = []
+        clean = True
+        for ordinal, routine in enumerate(program.routines):
+            self.stats.routines += 1
+            rtoken = routine_token(digest, ordinal, routine.name)
+            cached = self._get_report(rtoken)
+            if isinstance(cached, str):
+                self.out.write(cached)
+                self.stats.skipped += 1
+                tokens.append(rtoken)
+                continue
+            rendered = self._analyze_routine(rel, routine)
+            if rendered is None:
+                clean = False
+                continue
+            text, degraded = rendered
+            self.out.write(text)
+            self.stats.analyzed += 1
+            if degraded:
+                clean = False
+            else:
+                self._put_report(rtoken, text)
+                tokens.append(rtoken)
+        # The file record is the wholesale-skip fast path; withhold it
+        # unless every routine produced a healthy, persisted report.
+        if clean and tokens and len(tokens) == len(program.routines):
+            self._put_report(ftoken, {"routines": tokens})
+
+    def _replay_file(self, ftoken: str) -> bool:
+        """Emit a whole unchanged file from its stored reports."""
+        entry = self._get_report(ftoken)
+        if not isinstance(entry, dict):
+            return False
+        texts = []
+        for rtoken in entry.get("routines", ()):
+            text = self._get_report(rtoken)
+            if not isinstance(text, str):
+                return False  # partial store: fall back to analysis
+            texts.append(text)
+        for text in texts:
+            self.out.write(text)
+        self.stats.files_replayed += 1
+        self.stats.routines += len(texts)
+        self.stats.skipped += len(texts)
+        return True
+
+    def _analyze_routine(
+        self, rel: PurePosixPath, routine
+    ) -> Optional[Tuple[str, bool]]:
+        stats = self.engine.stats
+        assumed_before = stats.assumed
+        failures_before = len(stats.failures)
+        try:
+            faultinject.on_routine(routine.name)
+            graph = self.engine.build_graph(routine.body)
+            verdicts = find_parallel_loops(
+                routine.body, self.engine.symbols, graph
+            )
+        except EngineFaultError:
+            raise  # strict mode: the CLI turns this into exit 3
+        except Exception as exc:
+            if self.engine.policy.strict:
+                raise  # same contract as `analyze --strict`
+            self._quarantine_routine(rel, routine.name, exc)
+            return None
+        degraded = (
+            stats.assumed > assumed_before
+            or len(stats.failures) > failures_before
+        )
+        return render_routine_report(routine.name, graph, verdicts), degraded
+
+
+def stream_corpus(
+    root: Path,
+    engine: DependenceEngine,
+    out: Optional[TextIO] = None,
+    err: Optional[TextIO] = None,
+    rebuild: bool = False,
+    max_rss_mb: Optional[float] = None,
+) -> CorpusStats:
+    """Convenience wrapper: run one streaming pass and return its stats."""
+    runner = StreamingCorpusRunner(
+        root, engine, out=out, err=err, rebuild=rebuild, max_rss_mb=max_rss_mb
+    )
+    return runner.run()

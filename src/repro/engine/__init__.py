@@ -84,6 +84,7 @@ from repro.engine.profile import PhaseProfile
 from repro.engine.stats import EngineStats
 from repro.engine.store import (
     DEFAULT_SHARDS,
+    CompactionResult,
     StoreError,
     StoreLockError,
     StoreReadOnlyError,
@@ -111,6 +112,7 @@ __all__ = [
     "PoolSupervisor",
     "StepBudget",
     "DEFAULT_SHARDS",
+    "CompactionResult",
     "StoreError",
     "StoreLockError",
     "StoreReadOnlyError",

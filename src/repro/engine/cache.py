@@ -267,6 +267,21 @@ class CachedDriver:
         self._entries.clear()
         self._plans.clear()
 
+    def shed_memory(self) -> int:
+        """Drop every in-memory tier under memory pressure; returns count.
+
+        The corpus streaming driver calls this when its RSS watermark
+        trips: the LRU verdict/plan tiers and the process-wide prepared-
+        pair memo all rebuild lazily (or re-read from the persistent
+        store), so shedding trades warm-cache speed for bounded memory
+        without changing any verdict.
+        """
+        shed = len(self._entries) + len(self._plans) + len(_PAIR_MEMO)
+        self._entries.clear()
+        self._plans.clear()
+        _PAIR_MEMO.clear()
+        return shed
+
     def close(self) -> None:
         """Flush the persistent tier and surface every remaining event.
 

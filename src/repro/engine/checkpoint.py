@@ -67,9 +67,15 @@ class CheckpointLog:
         self._build = -1
         # Progress the killed run left behind for this token, frozen at
         # open time so the resume report does not count our own markers.
+        # ``store.runs()`` polls the meta shard, so markers a sibling
+        # writer landed in a shared (v2 sharded) store count too — and
+        # they are deduped by value on fold, so two writers marking the
+        # same routine yield one skip, not two.
         self.prior_chunks: Set[Tuple[int, int]] = store.chunks_done(token)
         self.prior_runs: int = sum(
-            1 for t, _ in store.runs() if t == token
+            1
+            for t, label in store.runs()
+            if t == token and not label.startswith("routine:")
         )
         self.prior_routines: Set[str] = {
             label[len("routine:"):]

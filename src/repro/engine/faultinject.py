@@ -41,9 +41,20 @@ engine's seams:
   store breaker trips, then recovers once the fault budget is spent);
 * ``kill-mid-request:<n>`` — the service process dies with ``os._exit``
   while handling its ``<n>``-th analysis request (a crash with requests
-  in flight: clients see a dropped connection, the store must recover).
+  in flight: clients see a dropped connection, the store must recover);
+* ``die-file:<n>`` — the corpus streaming driver dies with ``os._exit``
+  as it enters its ``<n>``-th file (a SIGKILL at a file boundary; the
+  corpus kill-and-resume gate is built on it);
+* ``die-compact:<n>`` — the process dies right before the ``<n>``-th
+  shard rewrite of a store compaction commits (mid-compaction crash:
+  already-swapped shards are new, the dying shard's old segment must
+  survive intact);
+* ``fake-rss:<mb>`` — the corpus driver's RSS watermark probe reports
+  this value instead of reading ``/proc``, making memory-backpressure
+  throttling deterministic.
 
-Terminal directives (``store-die``, ``kill-mid-request``) honor the
+Terminal directives (``store-die``, ``kill-mid-request``, ``die-file``,
+``die-compact``) honor the
 ``REPRO_FAULT_MARKER`` environment variable: the file it names is
 created immediately before the process dies, so harnesses can assert
 the kill actually fired rather than inferring it from an exit code.
@@ -111,6 +122,9 @@ class FaultPlan:
     slow_handler_count: Optional[int] = None
     reject_store: Optional[int] = None
     kill_request: Optional[int] = None
+    die_file: Optional[int] = None
+    die_compact: Optional[int] = None
+    fake_rss_mb: Optional[float] = None
 
     @property
     def empty(self) -> bool:
@@ -126,6 +140,9 @@ class FaultPlan:
             or self.slow_handler is not None
             or self.reject_store is not None
             or self.kill_request is not None
+            or self.die_file is not None
+            or self.die_compact is not None
+            or self.fake_rss_mb is not None
         )
 
 
@@ -145,6 +162,9 @@ def parse_spec(spec: str) -> FaultPlan:
     slow_handler_count: Optional[int] = None
     reject_store: Optional[int] = None
     kill_request: Optional[int] = None
+    die_file: Optional[int] = None
+    die_compact: Optional[int] = None
+    fake_rss_mb: Optional[float] = None
     for raw in spec.split(","):
         directive = raw.strip()
         if not directive:
@@ -181,6 +201,12 @@ def parse_spec(spec: str) -> FaultPlan:
                 reject_store = int(args[0])
             elif name == "kill-mid-request" and args:
                 kill_request = int(args[0])
+            elif name == "die-file" and args:
+                die_file = int(args[0])
+            elif name == "die-compact" and args:
+                die_compact = int(args[0])
+            elif name == "fake-rss" and args:
+                fake_rss_mb = float(args[0])
         except ValueError:
             continue
     return FaultPlan(
@@ -198,6 +224,9 @@ def parse_spec(spec: str) -> FaultPlan:
         slow_handler_count=slow_handler_count,
         reject_store=reject_store,
         kill_request=kill_request,
+        die_file=die_file,
+        die_compact=die_compact,
+        fake_rss_mb=fake_rss_mb,
     )
 
 
@@ -396,3 +425,58 @@ def on_segment_open(path: os.PathLike, shard: ShardSel = None) -> None:
             handle.write(b"\xde\xad\xbe\xef torn")
     except OSError:
         pass
+
+
+# Corpus files this process has started streaming (die-file counter).
+_CORPUS_FILES = 0
+
+
+def on_corpus_file(path: os.PathLike) -> None:
+    """Called as the corpus streaming driver enters one source file.
+
+    ``die-file:<n>`` kills the process *uncleanly* (marker dropped
+    first) as the ``n``-th file is entered — a SIGKILL landing at a
+    deterministic file boundary, which is exactly where the streaming
+    driver's resume contract must hold: every earlier file's routines
+    are durable and skippable, the current file re-analyzes.
+    """
+    global _CORPUS_FILES
+    plan = active_plan()
+    if plan is None or plan.die_file is None:
+        return
+    _CORPUS_FILES += 1
+    if _CORPUS_FILES >= plan.die_file:
+        _drop_marker()
+        os._exit(9)
+
+
+# Shard rewrites this process's compactions have attempted (die-compact).
+_COMPACT_SHARDS = 0
+
+
+def on_compact(shard: ShardSel = None) -> None:
+    """Called right before a compaction commits one shard's rewrite.
+
+    ``die-compact:<n>`` kills the process (marker dropped first) before
+    the ``n``-th shard swap: shards compacted earlier hold their new
+    segments, the dying shard must still hold its old one — the
+    staging + atomic-rename crash-safety contract, made testable.
+    """
+    global _COMPACT_SHARDS
+    plan = active_plan()
+    if plan is None or plan.die_compact is None:
+        return
+    _COMPACT_SHARDS += 1
+    if _COMPACT_SHARDS >= plan.die_compact:
+        _drop_marker()
+        os._exit(9)
+
+
+def fake_rss() -> Optional[float]:
+    """The injected RSS reading in MiB (``fake-rss:<mb>``), or None.
+
+    Lets the corpus driver's memory-watermark throttling run in tests
+    without actually ballooning the process.
+    """
+    plan = active_plan()
+    return None if plan is None else plan.fake_rss_mb

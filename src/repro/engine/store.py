@@ -59,6 +59,23 @@ traceback and never an assumed independence.
 Assumed (degraded) verdicts are never written: persistence must not
 extend PR 3's contamination guarantee across runs — a faulted pair gets
 a fresh test next process, not a stale assumption.
+
+**Report documents and compaction groups.**  Two record kinds beyond
+verdicts/plans/markers serve the corpus streaming driver
+(:mod:`repro.corpus.stream`):
+
+* ``d`` — a *report document*: an opaque payload keyed by a content
+  token (see :func:`~repro.engine.checkpoint.run_token`).  The corpus
+  driver stores each routine's rendered report under its content hash;
+  the record's presence is the routine-completion marker and its
+  payload replays the output byte-identically.  Like verdicts, reports
+  for degraded (assumed) analyses are never persisted.
+* ``g`` — a *compaction group*: several near-identical record payloads
+  delta-compressed against a shared base (the groupcompress idiom) and
+  deflated as one frame.  :meth:`VerdictStore.compact` groups plan and
+  report payloads this way; :func:`_parse_records` expands groups
+  transparently, so folds, polls, scans, and verifies all see the
+  member records as if they were written plain.
 """
 
 from __future__ import annotations
@@ -137,6 +154,14 @@ LOCK_BACKOFF_CAP = 0.5
 #: Shard-id memo bound (cleared wholesale past this).
 _SHARD_MEMO_LIMIT = 1 << 16
 
+#: Members per compaction group.  Bounds the decode cost of one frame
+#: (a torn group loses at most this many records) while still letting
+#: the shared-base delta + deflate amortize across many payloads.
+GROUP_SIZE = 64
+
+#: zlib level for compaction groups: 6 is the speed/size knee.
+GROUP_ZLIB_LEVEL = 6
+
 
 class StoreError(Exception):
     """Base class for verdict-store failures."""
@@ -185,6 +210,7 @@ class StoreReport:
     plans: int = 0
     chunks: int = 0
     runs: int = 0
+    reports: int = 0
     records: int = 0
     dropped: int = 0
     dead_bytes: int = 0
@@ -212,6 +238,7 @@ class StoreReport:
         self.plans += sub.plans
         self.chunks += sub.chunks
         self.runs += sub.runs
+        self.reports += sub.reports
         self.records += sub.records
         self.dropped += sub.dropped
         self.dead_bytes += sub.dead_bytes
@@ -223,8 +250,18 @@ class StoreReport:
     def counts_line(self) -> str:
         return (
             f"  {self.verdicts} verdict(s), {self.plans} plan(s), "
-            f"{self.chunks} chunk marker(s), {self.runs} run marker(s) "
-            f"in {self.records} record(s)"
+            f"{self.reports} report(s), {self.chunks} chunk marker(s), "
+            f"{self.runs} run marker(s) in {self.records} record(s)"
+        )
+
+    def compaction_line(self) -> str:
+        """Dead/duplicate bytes compaction would reclaim (``store info``)."""
+        if self.size <= 0:
+            return "  compaction opportunity: none (store is empty)"
+        pct = 100.0 * self.dead_bytes / self.size
+        return (
+            f"  compaction opportunity: {self.dead_bytes} dead byte(s) "
+            f"of {self.size} ({pct:.1f}%)"
         )
 
     def rule_report(self) -> str:
@@ -255,6 +292,7 @@ class StoreReport:
                     out.append(
                         f"  {sub.label}: {sub.records} record(s) "
                         f"({sub.verdicts} verdicts, {sub.plans} plans, "
+                        f"{sub.reports} reports, "
                         f"{sub.chunks + sub.runs} markers), "
                         f"{sub.dead_bytes} dead byte(s), "
                         f"last checkpoint {when}"
@@ -270,6 +308,40 @@ class StoreReport:
         if self.clean:
             out.append("  clean: no corruption found")
         return out
+
+
+class CompactionResult(tuple):
+    """Outcome of :meth:`VerdictStore.compact`.
+
+    Subclasses ``tuple`` so it unpacks as the historical ``(before,
+    after)`` byte totals; ``shards`` carries the per-segment breakdown
+    as ``(label, before_bytes, after_bytes)`` triples for the CLI's
+    reclaimed-bytes report (quarantined/skipped segments are absent).
+    """
+
+    shards: List[Tuple[str, int, int]]
+
+    def __new__(
+        cls,
+        before: int,
+        after: int,
+        shards: Optional[List[Tuple[str, int, int]]] = None,
+    ) -> "CompactionResult":
+        self = super().__new__(cls, (before, after))
+        self.shards = list(shards or [])
+        return self
+
+    @property
+    def before(self) -> int:
+        return self[0]
+
+    @property
+    def after(self) -> int:
+        return self[1]
+
+    @property
+    def reclaimed(self) -> int:
+        return self[0] - self[1]
 
 
 # ---------------------------------------------------------------------------
@@ -352,18 +424,77 @@ def _fsync_dir(directory: Path) -> None:
 
 
 #: Identity of one record for on-disk dedup: ``("v", key)``, ``("p",
-#: key)``, ``("c", token, build, seq)``.  Run markers have no identity
-#: (None) — every ``mark_run`` appends.
+#: key)``, ``("d", token)``, ``("c", token, build, seq)``.  Routine
+#: markers (``r`` records labelled ``routine:<name>``) dedup by value —
+#: a corpus re-run marking the same routines must not grow the meta
+#: shard unboundedly.  Plain run markers have no identity (None): every
+#: ``begin_run`` appends.
 RecordId = Optional[Tuple]
 
 
 def _record_identity(record: Tuple) -> RecordId:
     kind = record[0]
-    if kind in ("v", "p"):
+    if kind in ("v", "p", "d"):
         return (kind, record[1])
     if kind == "c":
         return ("c", record[1], record[2], record[3])
+    if (
+        kind == "r"
+        and isinstance(record[2], str)
+        and record[2].startswith("routine:")
+    ):
+        return ("r", record[1], record[2])
     return None
+
+
+# -- compaction groups (groupcompress idiom) --------------------------------
+
+
+def _delta_encode(base: bytes, text: bytes) -> Tuple[int, int, bytes]:
+    """Encode ``text`` against ``base`` as (prefix, suffix, middle).
+
+    Near-identical pickled payloads (plans for the same subscript shape,
+    reports for structurally similar routines) share long prefixes and
+    suffixes with the group's base; storing only the differing middle is
+    the cheap core of the groupcompress idiom — no suffix trees needed
+    for payloads this regular.
+    """
+    limit = min(len(base), len(text))
+    prefix = 0
+    while prefix < limit and base[prefix] == text[prefix]:
+        prefix += 1
+    suffix = 0
+    limit -= prefix
+    while (
+        suffix < limit and base[-1 - suffix] == text[-1 - suffix]
+    ):
+        suffix += 1
+    return prefix, suffix, text[prefix:len(text) - suffix]
+
+
+def _delta_decode(base: bytes, delta: Tuple[int, int, bytes]) -> bytes:
+    prefix, suffix, middle = delta
+    tail = base[len(base) - suffix:] if suffix else b""
+    return base[:prefix] + middle + tail
+
+
+def _encode_group(payloads: List[bytes]) -> bytes:
+    """Pickle several record payloads as one ``("g", blob)`` record.
+
+    The first payload is stored verbatim as the group base; the rest are
+    prefix/suffix deltas against it.  The whole structure is deflated,
+    so shared middles compress too.
+    """
+    base = payloads[0]
+    group = [base] + [_delta_encode(base, p) for p in payloads[1:]]
+    blob = zlib.compress(pickle.dumps(group, protocol=4), GROUP_ZLIB_LEVEL)
+    return pickle.dumps(("g", blob), protocol=4)
+
+
+def _decode_group(record: Tuple) -> List[bytes]:
+    group = pickle.loads(zlib.decompress(record[1]))
+    base = group[0]
+    return [base] + [_delta_decode(base, d) for d in group[1:]]
 
 
 def _parse_records(data: bytes, offset: int, report: StoreReport, sink) -> int:
@@ -415,15 +546,37 @@ def _parse_records(data: bytes, offset: int, report: StoreReport, sink) -> int:
             )
             offset = end
             continue
-        if kind == "v":
-            report.verdicts += 1
-        elif kind == "p":
-            report.plans += 1
-        elif kind == "c":
-            report.chunks += 1
-        elif kind == "r":
-            report.runs += 1
-        else:
+        if kind == "g":
+            # A compaction group: expand members and hand each to the
+            # sink as if it had been written plain.  An unreadable blob
+            # loses only this frame (framing already resynced above).
+            try:
+                members = [pickle.loads(m) for m in _decode_group(record)]
+            except Exception as exc:
+                report.dropped += 1
+                report.drop_record("undecodable", end - offset)
+                report.problems.append(
+                    f"undecodable compaction group at byte {offset} "
+                    f"dropped ({type(exc).__name__})"
+                )
+                offset = end
+                continue
+            # The frame already counted once; members are the logical
+            # records it carries.
+            report.records += max(len(members) - 1, 0)
+            for member in members:
+                if _count_record(member, report, offset):
+                    sink(member, offset, end)
+                else:
+                    report.dropped += 1
+                    report.drop_record("unknown-kind")
+                    report.problems.append(
+                        f"unknown record kind {member[0]!r} in group at "
+                        f"byte {offset} dropped"
+                    )
+            offset = end
+            continue
+        if not _count_record(record, report, offset):
             report.dropped += 1
             report.drop_record("unknown-kind", end - offset)
             report.problems.append(
@@ -434,6 +587,24 @@ def _parse_records(data: bytes, offset: int, report: StoreReport, sink) -> int:
         sink(record, offset, end)
         offset = end
     return report.truncated_at if report.truncated_at is not None else offset
+
+
+def _count_record(record: Tuple, report: StoreReport, offset: int) -> bool:
+    """Bump the per-kind counter; False for an unknown kind."""
+    kind = record[0]
+    if kind == "v":
+        report.verdicts += 1
+    elif kind == "p":
+        report.plans += 1
+    elif kind == "c":
+        report.chunks += 1
+    elif kind == "r":
+        report.runs += 1
+    elif kind == "d":
+        report.reports += 1
+    else:
+        return False
+    return True
 
 
 def _scan_segment_file(path: Path, label: str) -> Tuple[StoreReport, List[Tuple]]:
@@ -676,8 +847,12 @@ class VerdictStore:
             )
         self._verdicts: Dict[CanonicalKey, CacheEntry] = {}
         self._plans: Dict[CanonicalKey, TestPlan] = {}
+        self._reports: Dict[str, object] = {}
         self._chunks: Set[Tuple[str, int, int]] = set()
         self._runs: List[Tuple[str, str]] = []
+        # Membership index over _runs: folding meta at corpus scale
+        # (tens of thousands of routine markers) must not be O(n^2).
+        self._runs_seen: Set[Tuple[str, str]] = set()
         self._foreign: Set[CanonicalKey] = set()
         self._shard_memo: Dict[CanonicalKey, int] = {}
         self._pending_total = 0
@@ -922,13 +1097,17 @@ class VerdictStore:
                     self._foreign.add(record[1])
         elif kind == "p":
             self._plans.setdefault(record[1], record[2])
+        elif kind == "d":
+            self._reports.setdefault(record[1], record[2])
         elif kind == "c":
             self._chunks.add((record[1], record[2], record[3]))
         elif kind == "r":
             # A compaction-triggered re-parse replays markers already
-            # resident; run markers have no identity, so dedup by value.
-            if (record[1], record[2]) not in self._runs:
-                self._runs.append((record[1], record[2]))
+            # resident; dedup every marker by value.
+            marker = (record[1], record[2])
+            if marker not in self._runs_seen:
+                self._runs_seen.add(marker)
+                self._runs.append(marker)
 
     def _quarantine(self, segment: _Segment, exc: Exception, dropped: int = 0) -> None:
         """Degrade one shard to memory-only after an absorbed failure."""
@@ -980,6 +1159,10 @@ class VerdictStore:
     @property
     def plan_count(self) -> int:
         return len(self._plans)
+
+    @property
+    def report_count(self) -> int:
+        return len(self._reports)
 
     @property
     def closed(self) -> bool:
@@ -1037,7 +1220,10 @@ class VerdictStore:
             start = _HEADER.size
         folded = False
         scratch = StoreReport(path=segment.path, label=segment.label)
-        before = len(self._verdicts) + len(self._plans) + len(self._chunks)
+        before = (
+            len(self._verdicts) + len(self._plans)
+            + len(self._reports) + len(self._chunks)
+        )
 
         def sink(record, _start, _end):
             known = _record_identity(record)
@@ -1047,7 +1233,8 @@ class VerdictStore:
 
         end = _parse_records(data, start, scratch, sink)
         folded = (
-            len(self._verdicts) + len(self._plans) + len(self._chunks)
+            len(self._verdicts) + len(self._plans)
+            + len(self._reports) + len(self._chunks)
         ) > before
         segment.offset = end
         segment.ino = stat.st_ino
@@ -1076,6 +1263,19 @@ class VerdictStore:
             if self._poll(self._segment_for(key)):
                 plan = self._plans.get(key)
         return plan
+
+    def get_report(self, token: str) -> Optional[object]:
+        """The report document stored under ``token`` (or None).
+
+        Misses poll the token's shard tail like verdict reads, so a
+        sibling corpus writer's completed routines become skippable
+        mid-run.
+        """
+        value = self._reports.get(token)
+        if value is None and self._segments:
+            if self._poll(self._segment_for(token)):
+                value = self._reports.get(token)
+        return value
 
     def chunk_done(self, token: str, build: int, seq: int) -> bool:
         if (token, build, seq) in self._chunks:
@@ -1137,6 +1337,22 @@ class VerdictStore:
         self._plans[key] = plan
         self._queue(self._segment_for(key), ("p", key), ("p", key, plan))
 
+    def put_report(self, token: str, value: object) -> None:
+        """Persist one report document under its content token.
+
+        The record doubles as a completion marker: the corpus driver
+        only writes it after a routine (or file) analyzed cleanly, so
+        presence implies the payload replays a healthy run's output.
+        Degraded reports must not be offered here — like assumed
+        verdicts, they would contaminate later runs.
+        """
+        self._check_writable()
+        faultinject.on_store_put()
+        if token in self._reports:
+            return
+        self._reports[token] = value
+        self._queue(self._segment_for(token), ("d", token), ("d", token, value))
+
     def mark_chunk(self, token: str, build: int, seq: int) -> None:
         self._check_writable()
         marker = (token, build, seq)
@@ -1147,8 +1363,13 @@ class VerdictStore:
 
     def mark_run(self, token: str, label: str) -> None:
         self._check_writable()
-        self._runs.append((token, label))
-        self._queue(self._meta, None, ("r", token, label))
+        marker = (token, label)
+        identity = _record_identity(("r", token, label))
+        if identity is not None and marker in self._runs_seen:
+            return  # routine markers dedup: re-runs must not grow meta
+        self._runs_seen.add(marker)
+        self._runs.append(marker)
+        self._queue(self._meta, identity, ("r", token, label))
 
     # -- durability -------------------------------------------------------
 
@@ -1243,18 +1464,30 @@ class VerdictStore:
 
     # -- maintenance ------------------------------------------------------
 
-    def compact(self) -> Tuple[int, int]:
-        """Rewrite every shard's live state as fresh segments.
+    def compact(self) -> "CompactionResult":
+        """Rewrite every shard's live state as fresh, delta-packed segments.
 
-        Returns total ``(before, after)`` byte sizes.  Each shard is
-        rewritten under its lock via temp file + atomic rename, so a
-        crash mid-compaction leaves that shard's old segment intact and
-        every other shard untouched.  Quarantined shards are skipped.
+        Verdicts rewrite as plain records (the hot replay path stays
+        cheap to poll); plans and report documents — near-identical
+        pickles — are grouped :data:`GROUP_SIZE` at a time and
+        delta-compressed against a shared base (``g`` records, the
+        groupcompress idiom), which is what keeps a corpus-scale store
+        small.  Returns a :class:`CompactionResult` (unpacks as the
+        historical ``(before, after)`` byte totals; per-shard deltas
+        ride in ``.shards``).
+
+        Each shard is rewritten under its lock via temp file + atomic
+        rename, so a crash mid-compaction leaves that shard's old
+        segment intact and every other shard either fully old or fully
+        new — never mixed within one segment.  Quarantined shards are
+        skipped.  Chunk markers and deduped routine markers survive
+        (resume state must not be lost to maintenance); of the plain
+        run markers only the latest is kept.
         """
         self._check_writable()
         self.checkpoint()
-        before = self.size()
-        self._runs = self._runs[-1:]
+        before_total = self.size()
+        shard_sizes: List[Tuple[str, int, int]] = []
         for segment in self._all_segments():
             if segment.quarantined:
                 continue
@@ -1266,6 +1499,10 @@ class VerdictStore:
             try:
                 faultinject.on_lock_held(segment.shard)
                 self._sync_under_lock(segment)
+                try:
+                    seg_before = segment.path.stat().st_size
+                except OSError:
+                    seg_before = 0
                 body = io.BytesIO()
                 keys: Set[Tuple] = set()
                 for identity in sorted(
@@ -1279,37 +1516,61 @@ class VerdictStore:
                         pickle.dumps(("v", identity[1], entry), protocol=4)
                     ))
                     keys.add(identity)
-                for identity in sorted(
-                    (i for i in segment.keys if i[0] == "p"),
-                    key=lambda i: repr(i[1]),
-                ):
-                    plan = self._plans.get(identity[1])
-                    if plan is None:
-                        continue
-                    body.write(_encode_record(
-                        pickle.dumps(("p", identity[1], plan), protocol=4)
-                    ))
-                    keys.add(identity)
+                for kind, live in (("p", self._plans), ("d", self._reports)):
+                    payloads: List[bytes] = []
+                    for identity in sorted(
+                        (i for i in segment.keys if i[0] == kind),
+                        key=lambda i: repr(i[1]),
+                    ):
+                        value = live.get(identity[1])
+                        if value is None:
+                            continue
+                        payloads.append(pickle.dumps(
+                            (kind, identity[1], value), protocol=4
+                        ))
+                        keys.add(identity)
+                    for start in range(0, len(payloads), GROUP_SIZE):
+                        body.write(_encode_record(
+                            _encode_group(payloads[start:start + GROUP_SIZE])
+                        ))
                 if segment is self._meta:
                     for token, build, seq in sorted(self._chunks):
                         body.write(_encode_record(pickle.dumps(
                             ("c", token, build, seq), protocol=4
                         )))
                         keys.add(("c", token, build, seq))
-                    for token, label in self._runs[-1:]:
-                        # Only the latest run marker stays relevant.
-                        body.write(_encode_record(pickle.dumps(
-                            ("r", token, label), protocol=4
-                        )))
+                    kept: List[Tuple[str, str]] = []
+                    last_plain: Optional[Tuple[str, str]] = None
+                    for marker in self._runs:
+                        if marker[1].startswith("routine:"):
+                            kept.append(marker)  # _runs is already deduped
+                        else:
+                            last_plain = marker
+                    if last_plain is not None:
+                        kept.append(last_plain)
+                    self._runs = kept
+                    self._runs_seen = set(kept)
+                    for token, label in kept:
+                        record = ("r", token, label)
+                        body.write(_encode_record(
+                            pickle.dumps(record, protocol=4)
+                        ))
+                        identity = _record_identity(record)
+                        if identity is not None:
+                            keys.add(identity)
+                faultinject.on_compact(segment.shard)
                 _atomic_create(segment.path, body.getvalue())
                 segment.keys = keys
                 segment.offset = _HEADER.size + len(body.getvalue())
                 segment.ino = os.stat(segment.path).st_ino
+                shard_sizes.append(
+                    (segment.label, seg_before, segment.offset)
+                )
             except (OSError, StoreError) as exc:
                 self._quarantine(segment, exc)
             finally:
                 segment.lock.release()
-        return before, self.size()
+        return CompactionResult(before_total, self.size(), shard_sizes)
 
     def close(self) -> None:
         """Checkpoint, then release and tidy shard sidecars (idempotent).
